@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench examples figures outputs clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/adversarial_showdown.py 120
+	python examples/bounded_queue_tradeoff.py
+	python examples/linear_time_routing.py
+	python examples/dynamic_traffic.py
+	python examples/hard_instance_library.py
+	python examples/render_figures.py
+
+# The artifacts recorded in EXPERIMENTS.md.
+outputs:
+	python -m pytest tests/ 2>&1 | tee test_output.txt
+	python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache benchmarks/results hard_instances
+	find . -name __pycache__ -type d -exec rm -rf {} +

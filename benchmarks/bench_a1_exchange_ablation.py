@@ -1,0 +1,74 @@
+"""A1 (ablation) -- do the exchanges matter?
+
+Runs the Section 3 initial instance against the adaptive victim twice: once
+with the adversary's exchanges enabled, once with the raw instance and no
+interceptor.  With exchanges the top-level classes are provably penned
+(Corollary 9); without, the adaptive router may drain the boxes much
+faster.  The gap isolates the contribution of the exchange mechanism
+itself, beyond the hard initial placement.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import AdaptiveLowerBoundConstruction
+from repro.core.adversary import AdaptiveAdversary
+from repro.mesh import Mesh, Simulator
+from repro.routing import GreedyAdaptiveRouter
+
+
+def run_one(n: int, with_exchanges: bool):
+    factory = lambda: GreedyAdaptiveRouter(1)
+    con = AdaptiveLowerBoundConstruction(n, factory)
+    packets = con.build_packets()
+    interceptor = (
+        AdaptiveAdversary(con.constants, con.geometry) if with_exchanges else None
+    )
+    sim = Simulator(Mesh(n), factory(), packets, interceptor=interceptor)
+    sim.run_steps(con.constants.bound_steps)
+    undelivered_at_bound = sim.in_flight
+    result = sim.run(max_steps=2_000_000)
+    return {
+        "bound": con.constants.bound_steps,
+        "undelivered": undelivered_at_bound,
+        "total": result.steps if result.completed else None,
+        "exchanges": interceptor.exchange_count if interceptor else 0,
+    }
+
+
+def run_experiment():
+    rows = []
+    for n in (120, 216):
+        on = run_one(n, True)
+        off = run_one(n, False)
+        rows.append([n, "with exchanges", on["exchanges"], on["undelivered"], on["total"]])
+        rows.append([n, "no exchanges", 0, off["undelivered"], off["total"]])
+    return rows
+
+
+def test_a1_exchange_ablation(benchmark, record_result):
+    rows = run_once(benchmark, run_experiment)
+    by_n: dict[int, dict[str, list]] = {}
+    for row in rows:
+        by_n.setdefault(row[0], {})[row[1]] = row
+    for n, pair in by_n.items():
+        on, off = pair["with exchanges"], pair["no exchanges"]
+        # The adversary keeps at least as many packets undelivered at the
+        # horizon, and strictly delays completion.
+        assert on[3] >= off[3], (n, on, off)
+        if on[4] is not None and off[4] is not None:
+            assert on[4] >= off[4]
+    record_result(
+        "A1_exchange_ablation",
+        format_table(
+            ["n", "adversary", "exchanges", "undelivered @ bound", "completion steps"],
+            rows,
+        )
+        + "\n\nWith exchanges the horizon retains at least as many packets "
+        "and completion is never earlier.  The measured gap is modest for "
+        "this victim -- natural congestion in the packed 1-box already does "
+        "most of the penning (cf. E4) -- but the exchanges are what make "
+        "the bound a *guarantee* for every destination-exchangeable "
+        "algorithm rather than an empirical observation.",
+    )

@@ -1,0 +1,66 @@
+"""E11 -- Section 5, nonminimal extension: Omega(n^2 / ((delta+1)^3 k^2)) for
+destination-exchangeable algorithms straying at most delta beyond the
+minimal rectangle.
+
+The closed form is checked for monotonicity and the delta = 0 anchoring to
+Theorem 14; the delta -> infinity trend explains why the O(n^{3/2})
+hot-potato algorithm (destination-exchangeable but unboundedly nonminimal)
+does not contradict the bound.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core.bounds import (
+    diameter_bound,
+    nonminimal_lower_bound,
+    theorem14_closed_form,
+)
+from repro.mesh import Mesh, Packet, Simulator
+from repro.routing import BoundedExcursionRouter
+
+
+def run_experiment():
+    n, k = 24 * 9 * 4, 1  # deep in the asymptotic regime for k=1
+    rows = []
+    for delta in (0, 1, 2, 4, 8):
+        bound = nonminimal_lower_bound(n, k, delta)
+        rows.append([delta, f"{bound:.0f}", diameter_bound(n)])
+
+    # Empirical counterpart: the bounded-excursion router (the Section 5
+    # class realized in code) on the canonical head-on jam.
+    demo = []
+    for delta in (0, 1):
+        pair = [Packet(0, (1, 1), (3, 1)), Packet(1, (2, 1), (0, 1))]
+        run = Simulator(Mesh(4), BoundedExcursionRouter(1, delta=delta), pair).run(100)
+        demo.append([delta, "delivered" if run.completed else "deadlocked", run.steps])
+    return n, k, rows, demo
+
+
+def test_e11_nonminimal_extension(benchmark, record_result):
+    n, k, rows, demo = run_once(benchmark, run_experiment)
+    bounds = [float(r[1]) for r in rows]
+    assert bounds[0] == float(f"{theorem14_closed_form(n, k):.0f}")
+    assert bounds == sorted(bounds, reverse=True)  # decreasing in delta
+    # (delta+1)^3 scaling: delta 0 -> 1 divides by 8.
+    assert bounds[0] / bounds[1] == 8.0
+    # delta = 0 deadlocks the head-on pair; delta = 1 dissolves it.
+    assert demo[0][1] == "deadlocked" and demo[1][1] == "delivered"
+    record_result(
+        "E11_nonminimal",
+        format_table(
+            ["delta", f"lower bound (n={n}, k={k})", "2n-2"],
+            rows,
+        )
+        + "\n\nBound decays as (delta+1)^3: enough nonminimality (hot-potato "
+        "routing) escapes it, matching the paper's O(n^{3/2}) example.\n\n"
+        + format_table(
+            ["router delta", "head-on jam (k=1)", "steps"],
+            demo,
+        )
+        + "\n\nOne unit of excursion budget dissolves the canonical minimal-"
+        "routing deadlock; fixed budgets still exhaust on dense knots "
+        "(tests pin both behaviours), which is why the bound survives every "
+        "fixed delta.",
+    )

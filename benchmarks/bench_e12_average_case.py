@@ -1,0 +1,56 @@
+"""E12 -- Section 1.1's average-case contrast (Leighton, quoted by the paper):
+with random destinations, greedy dimension-order routing finishes in
+``2n + O(log n)`` steps w.h.p. and queues stay tiny (max four packets) --
+while the *worst case* with bounded queues is Theta(n^2/k).
+
+This is the gap that motivates the whole paper: averages are easy, worst
+cases are provably hard.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.mesh import Mesh, Simulator
+from repro.routing import DimensionOrderRouter
+from repro.workloads import random_destinations
+
+
+def run_experiment():
+    rows = []
+    for n in (24, 48, 96):
+        mesh = Mesh(n)
+        worst_steps = 0
+        worst_queue = 0
+        for seed in range(5):
+            packets = random_destinations(mesh, seed=seed)
+            # Capacity 16 is "effectively unbounded": the claim is that
+            # occupancy never comes close.
+            result = Simulator(mesh, DimensionOrderRouter(16), packets).run(
+                max_steps=100_000
+            )
+            assert result.completed
+            worst_steps = max(worst_steps, result.steps)
+            worst_queue = max(worst_queue, result.max_queue_len)
+        rows.append([n, worst_steps, 2 * n, worst_queue])
+    return rows
+
+
+def test_e12_average_case(benchmark, record_result):
+    rows = run_once(benchmark, run_experiment)
+    for n, steps, two_n, queue in rows:
+        # 2n + O(log n): allow a generous constant on the log term.
+        assert steps <= two_n + 8 * max(1, n.bit_length())
+        # "None of the queues ever contains more than four packets" (whp);
+        # allow 6 for the tail at 5 seeds.
+        assert queue <= 6
+    record_result(
+        "E12_average_case",
+        format_table(
+            ["n", "worst steps over 5 seeds", "2n", "worst queue"],
+            rows,
+        )
+        + "\n\nRandom destinations route in ~2n steps with queues <= 4-6 -- "
+        "the average case is easy (Section 1.1), which is why the paper's "
+        "worst-case lower bounds are the interesting object.",
+    )

@@ -1,0 +1,79 @@
+"""E14 -- the two upper bounds head to head: O(n) (Section 6) vs
+O(n^2/k + n) (Theorem 15).
+
+The paper motivates Section 6 as the asymptotic winner while conceding its
+constants are impractical (972n with 834-packet queues).  This experiment
+quantifies that tension on identical workloads: at implementable sizes the
+Theorem 15 router's *measured* time beats Section 6's barrier schedule by
+orders of magnitude; the guaranteed-time crossover (8(n^2/k + n) vs 972n)
+sits near n ~ 120 k -- but the schedule constants and 834-packet
+queues keep the quadratic router preferable in practice far beyond it.
+Exactly the paper's open problem: "Is there a practical routing algorithm
+that routes arbitrary permutations in O(n) time?"
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis import crossover_point, format_table
+from repro.core.bounds import section6_time_bound, theorem15_upper_bound
+from repro.mesh import Mesh, Simulator
+from repro.routing import BoundedDimensionOrderRouter
+from repro.tiling import Section6Router
+from repro.workloads import random_permutation
+
+
+def run_experiment():
+    rows = []
+    for n in (27, 81):
+        mesh = Mesh(n)
+        packets = random_permutation(mesh, seed=0)
+        t15 = Simulator(mesh, BoundedDimensionOrderRouter(1), packets).run(
+            max_steps=1_000_000
+        )
+        s6 = Section6Router(n, record_phases=False).route(
+            random_permutation(mesh, seed=0)
+        )
+        rows.append(
+            [
+                n,
+                t15.steps,
+                theorem15_upper_bound(n, 1),
+                s6.actual_steps,
+                s6.scheduled_steps,
+                section6_time_bound(n),
+            ]
+        )
+
+    # Where do the *guarantees* cross?  8(n^2/k + n) vs 972n for k = 1.
+    ns = list(range(20, 500, 10))
+    t15_guarantee = [theorem15_upper_bound(n, 1) for n in ns]
+    s6_guarantee = [section6_time_bound(n) for n in ns]
+    crossover = crossover_point(ns, t15_guarantee, s6_guarantee)
+    return rows, crossover
+
+
+def test_e14_upper_bound_crossover(benchmark, record_result):
+    rows, crossover = run_once(benchmark, run_experiment)
+    for n, t15_steps, t15_budget, s6_actual, s6_sched, s6_budget in rows:
+        assert t15_steps <= t15_budget
+        assert s6_sched <= s6_budget
+        # At implementable sizes Theorem 15 wins on the wall clock.
+        assert t15_steps < s6_sched
+    # 8(n^2/k + n) = 972n  =>  n ~ (972 - 8)/8 ~ 120 at k = 1.
+    assert crossover is not None and 80 <= crossover <= 150
+
+    record_result(
+        "E14_upper_bound_crossover",
+        format_table(
+            ["n", "Thm15 measured", "Thm15 budget 8(n^2/k+n)",
+             "S6 actual", "S6 schedule", "S6 budget 972n"],
+            rows,
+        )
+        + f"\n\nGuaranteed-time crossover (k=1): n ~ {crossover:.0f}. "
+        "Below it the quadratic router's guarantee is the better one; beyond "
+        "it Section 6's O(n) guarantee wins -- yet its measured barrier "
+        "schedule still loses to Theorem 15's measured time at every "
+        "implementable size, which is the paper's closing open problem on "
+        "*practical* O(n) routing.",
+    )

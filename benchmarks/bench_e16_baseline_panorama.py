@@ -1,0 +1,104 @@
+"""E16 -- the Section 1 panorama: every algorithm family the introduction
+surveys, on the same instances.
+
+One table reproducing the paper's framing: simple bounded-queue routers
+(the paper's subject), the unbounded-queue classic, the sorting-based
+family, hot-potato routing, and the O(n) Section 6 algorithm -- measured on
+identical random permutations, with each family's model caveats noted.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.mesh import Mesh, Simulator
+from repro.routing import (
+    BoundedDimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+    HotPotatoRouter,
+    ShearsortRouter,
+)
+from repro.tiling import Section6Router
+from repro.workloads import random_permutation
+
+N = 27  # power of 3 so Section 6 can join the panorama
+
+
+def run_experiment():
+    mesh = Mesh(N)
+    rows = []
+
+    def sim_run(algorithm, note):
+        result = Simulator(mesh, algorithm, random_permutation(mesh, seed=2)).run(
+            max_steps=100_000
+        )
+        rows.append(
+            [
+                algorithm.name,
+                result.steps if result.completed else None,
+                result.max_node_load,
+                note,
+            ]
+        )
+
+    sim_run(BoundedDimensionOrderRouter(2), "simple, dest-exchangeable (Thm 15)")
+    sim_run(GreedyAdaptiveRouter(2, "incoming"), "simple, minimal adaptive")
+    sim_run(FarthestFirstRouter(N, "central"), "unbounded queues (S1.1 classic)")
+    sim_run(HotPotatoRouter(), "nonminimal, bufferless (S1.2)")
+
+    sorted_result = ShearsortRouter(N).route(random_permutation(mesh, seed=2))
+    rows.append(
+        [
+            "shearsort+route",
+            sorted_result.total_steps if sorted_result.completed else None,
+            sorted_result.max_node_load,
+            "sorting-based, full addresses (S1.2)",
+        ]
+    )
+
+    s6 = Section6Router(N, record_phases=False).route(random_permutation(mesh, seed=2))
+    rows.append(
+        [
+            "section6 (actual)",
+            s6.actual_steps if s6.completed else None,
+            s6.max_node_load,
+            "minimal adaptive, O(n)/O(1) (S6)",
+        ]
+    )
+    rows.append(
+        [
+            "section6 (schedule)",
+            s6.scheduled_steps,
+            s6.max_node_load,
+            "the 972n-certified barrier clock",
+        ]
+    )
+    return rows
+
+
+def test_e16_baseline_panorama(benchmark, record_result):
+    rows = run_once(benchmark, run_experiment)
+    by_name = {r[0]: r for r in rows}
+    # Everyone delivers this benign instance.
+    for name, steps, _load, _note in rows:
+        assert steps is not None, name
+    # The classic hierarchy on a benign instance: simple routers and the
+    # unbounded classic sit near the diameter; sorting pays its n log n;
+    # Section 6's schedule pays its constants.
+    diameter = 2 * N - 2
+    assert by_name["bounded-dimension-order"][1] <= 2 * diameter
+    assert by_name["farthest-first"][1] <= diameter
+    assert by_name["shearsort+route"][1] > diameter
+    assert by_name["section6 (schedule)"][1] > by_name["shearsort+route"][1]
+    record_result(
+        "E16_baseline_panorama",
+        format_table(
+            ["algorithm", f"steps (n={N}, random perm)", "max node load", "family"],
+            rows,
+        )
+        + "\n\nThe introduction's whole landscape on one instance: simple "
+        "routers are fast here -- the paper's point is that only the "
+        "complicated families on this table survive the *worst* case with "
+        "bounded queues.",
+    )

@@ -1,0 +1,77 @@
+"""E8 -- Theorems 20/34: the Section 6 algorithm is minimal adaptive,
+delivers every permutation, uses at most 834 packets per node, and runs in
+at most 972n steps (564n with the improved schedule).
+
+Sweeps n in {27, 81, 243}; the linear shape is asserted via a power-law fit
+on both clocks.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.analysis import fit_power_law, format_table
+from repro.mesh import Mesh
+from repro.tiling import Section6Router
+from repro.workloads import random_permutation, transpose_permutation
+
+
+def run_experiment():
+    rows = []
+    series_actual = {}
+    series_sched = {}
+    for n in (27, 81, 243):
+        mesh = Mesh(n)
+        workloads = [("random", random_permutation(mesh, seed=0))]
+        if n <= 81:
+            workloads.append(("transpose", transpose_permutation(mesh)))
+        for name, packets in workloads:
+            result = Section6Router(n, record_phases=False).route(packets)
+            rows.append(
+                {
+                    "n": n,
+                    "workload": name,
+                    "actual": result.actual_steps,
+                    "scheduled": result.scheduled_steps,
+                    "bound": result.paper_time_bound,
+                    "load": result.max_node_load,
+                    "completed": result.completed,
+                }
+            )
+            if name == "random":
+                series_actual[n] = result.actual_steps
+                series_sched[n] = result.scheduled_steps
+    # Improved schedule at n = 81.
+    mesh81 = Mesh(81)
+    improved = Section6Router(81, improved=True, record_phases=False).route(
+        random_permutation(mesh81, seed=0)
+    )
+    return rows, series_actual, series_sched, improved
+
+
+def test_e8_section6_linear_time(benchmark, record_result):
+    rows, actual, sched, improved = run_once(benchmark, run_experiment)
+    for r in rows:
+        assert r["completed"]
+        assert r["scheduled"] <= r["bound"]  # Theorem 34: <= 972 n
+        assert r["load"] <= 834  # Lemma 28
+        assert r["actual"] <= r["scheduled"]
+    assert improved.completed and improved.scheduled_steps <= 564 * 81
+
+    fit_a = fit_power_law(list(actual), list(actual.values()))
+    fit_s = fit_power_law(list(sched), list(sched.values()))
+    assert fit_a.exponent <= 1.5, fit_a  # O(n), not O(n^2)
+    assert fit_s.exponent <= 1.5, fit_s
+
+    record_result(
+        "E8_section6_linear",
+        format_table(
+            ["n", "workload", "actual steps", "scheduled steps", "972n", "max load"],
+            [
+                [r["n"], r["workload"], r["actual"], r["scheduled"], r["bound"], r["load"]]
+                for r in rows
+            ],
+        )
+        + f"\n\nexponent fits over n: actual {fit_a.exponent:.2f}, "
+        f"scheduled {fit_s.exponent:.2f} (both ~1: O(n) time).\n"
+        f"improved schedule at n=81: {improved.scheduled_steps} <= 564n = {564 * 81}.",
+    )

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_eXX`` file regenerates one table/claim from the paper (see
+DESIGN.md's experiment index).  Experiments run once under
+``benchmark.pedantic`` (they are deterministic; wall time is reported by
+pytest-benchmark) and write their paper-shaped result tables to
+``benchmarks/results/`` as well as stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Write an experiment's table to benchmarks/results/<name>.txt."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _write
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The paper's main result, live: build a permutation that defeats a
+minimal adaptive router.
+
+For a destination-exchangeable minimal adaptive algorithm, the Section 3
+adversary constructs a permutation certified (Theorem 13) to need at least
+``floor(l) * dn`` steps.  This example runs the construction, verifies the
+Lemma 12 replay equality, and contrasts the constructed permutation's
+routing time with a random permutation's.
+
+Usage::
+
+    python examples/adversarial_showdown.py [n]
+"""
+
+import sys
+
+from repro import GreedyAdaptiveRouter, Mesh, Simulator
+from repro.core import AdaptiveLowerBoundConstruction, replay_constructed_permutation
+from repro.workloads import random_partial_permutation
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    factory = lambda: GreedyAdaptiveRouter(1)
+
+    print(f"Victim: {factory().name} (destination-exchangeable, minimal, k=1)")
+    print(f"Mesh: {n}x{n}, diameter {2 * n - 2}\n")
+
+    construction = AdaptiveLowerBoundConstruction(n, factory, check_invariants=True)
+    consts = construction.constants
+    print(
+        f"Construction constants: cn={consts.cn}, dn={consts.dn}, p={consts.p}, "
+        f"levels={consts.l_floor}, certified bound = {consts.bound_steps} steps"
+    )
+    result = construction.run()
+    print(
+        f"Construction ran {result.bound_steps} steps with "
+        f"{result.exchange_count} destination exchanges; "
+        f"{result.undelivered_at_bound} packets still undelivered (Corollary 9)\n"
+    )
+
+    report = replay_constructed_permutation(
+        result, factory, run_to_completion=True, max_steps=1_000_000
+    )
+    print(
+        "Replay without the adversary (Lemma 12): configuration matches = "
+        f"{report.configuration_matches}, deliveries match = "
+        f"{report.delivery_times_match}"
+    )
+    print(
+        f"Routing the constructed permutation to completion took "
+        f"{report.total_steps} steps\n"
+    )
+
+    # Apples-to-apples: a random partial permutation with the same number
+    # of packets.  (A *full* random permutation would start with every k=1
+    # central queue full -- gridlocked from step 0, see the dimension-order
+    # router docs.)
+    mesh = Mesh(n)
+    fraction = len(result.permutation) / mesh.num_nodes
+    rand = Simulator(
+        mesh, factory(), random_partial_permutation(mesh, fraction, seed=7)
+    ).run(max_steps=20 * n)
+    if rand.completed:
+        print(
+            f"A random partial permutation of the same size "
+            f"({len(result.permutation)} packets) takes {rand.steps} steps."
+        )
+        print(
+            f"Adversarial / random slowdown: "
+            f"{report.total_steps / rand.steps:.1f}x"
+        )
+    else:
+        print(
+            f"The random instance stalled "
+            f"({rand.total_packets - rand.delivered} packets stuck "
+            f"after {rand.steps} steps): with k=1 central queues, head-on "
+            "transit pairs exchange-deadlock -- the very pathology Theorem "
+            "15's incoming-queue organization exists to avoid."
+        )
+
+
+if __name__ == "__main__":
+    main()

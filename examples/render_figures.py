@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Render the paper's figures as text, from live construction objects.
+
+Usage::
+
+    python examples/render_figures.py
+"""
+
+from repro.core import AdaptiveLowerBoundConstruction
+from repro.core.constants import (
+    AdaptiveConstants,
+    DimensionOrderConstants,
+    FarthestFirstConstants,
+)
+from repro.core.dor_adversary import DorGeometry
+from repro.core.ff_adversary import FfGeometry
+from repro.core.geometry import BoxGeometry
+from repro.routing import GreedyAdaptiveRouter
+from repro.tiling.geometry import Tile
+from repro.viz import (
+    render_box_invariant,
+    render_lemma12_diagram,
+    render_construction_geometry,
+    render_dor_construction,
+    render_ff_construction,
+    render_sort_smooth,
+    render_strips,
+    render_subphase_schedule,
+)
+
+
+def main() -> None:
+    consts = AdaptiveConstants.choose(60, 1)
+    geo = BoxGeometry.from_constants(consts)
+    print(render_construction_geometry(geo))
+    print()
+
+    # Figure 2: run the construction briefly and show live packet classes.
+    factory = lambda: GreedyAdaptiveRouter(1)
+    con = AdaptiveLowerBoundConstruction(60, factory)
+    packets = con.build_packets()
+    from repro.core.adversary import AdaptiveAdversary
+    from repro.mesh import Mesh, Simulator
+
+    adv = AdaptiveAdversary(con.constants, con.geometry)
+    sim = Simulator(Mesh(60), factory(), packets, interceptor=adv)
+    sim.run_steps(min(10, con.constants.bound_steps))
+    print(render_box_invariant(con.geometry, packets, i=1))
+    print()
+
+    print(render_lemma12_diagram(con.constants.bound_steps, adv.exchange_count))
+    print()
+
+    dc = DimensionOrderConstants.choose(60, 1)
+    print(render_dor_construction(DorGeometry(n=60, cn=dc.cn, levels=dc.l_floor)))
+    print()
+
+    fc = FarthestFirstConstants.choose(60, 1)
+    print(
+        render_ff_construction(
+            FfGeometry(n=60, cn=fc.cn, levels=fc.l_floor, num_classes=12)
+        )
+    )
+    print()
+
+    print(render_strips(Tile(0, 0, 81), dest_strip=20))
+    print()
+
+    print(
+        render_sort_smooth(
+            before={(0, 1): [6, 7, 1, 1, 2], (0, 0): [4, 2, 3, 6]},
+            after={(0, 3): [7, 6], (0, 2): [6, 4], (0, 1): [3, 2], (0, 0): [2, 1]},
+            d=4,
+        )
+    )
+    print()
+
+    print(render_subphase_schedule())
+    print()
+
+    # Bonus: a live occupancy heatmap mid-construction (not a paper figure,
+    # but the fastest way to *see* the 1-box congestion the adversary pins).
+    from repro.viz import render_occupancy_heatmap
+
+    occupancy = {
+        node: sum(len(q) for q in qs.values()) for node, qs in sim.queues.items()
+    }
+    print(render_occupancy_heatmap(occupancy, 60, title="construction occupancy @ t=10"))
+
+
+if __name__ == "__main__":
+    main()

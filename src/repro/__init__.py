@@ -1,0 +1,76 @@
+"""repro: a reproduction of Chinn, Leighton & Tompa (SPAA 1994),
+"Minimal Adaptive Routing on the Mesh with Bounded Queue Size".
+
+The package implements the paper's machine model (synchronous mesh/torus
+with bounded queues), its routing algorithms (dimension order, the
+Theorem 15 bounded-queue router, farthest-first, minimal adaptive routers,
+and the Section 6 O(n)-time O(1)-queue algorithm), and -- the paper's main
+contribution -- the adversarial lower-bound constructions of Sections 3-5,
+runnable against any destination-exchangeable algorithm.
+
+Quickstart::
+
+    from repro import Mesh, BoundedDimensionOrderRouter, Simulator
+    from repro.workloads import random_permutation
+
+    mesh = Mesh(32)
+    packets = random_permutation(mesh, seed=0)
+    sim = Simulator(mesh, BoundedDimensionOrderRouter(queue_capacity=2), packets)
+    result = sim.run(max_steps=10_000)
+    print(result.steps, result.max_queue_len)
+"""
+
+from repro.mesh import (
+    Direction,
+    FullPacketView,
+    Mesh,
+    NodeContext,
+    Offer,
+    Packet,
+    PacketView,
+    QueueSpec,
+    RoutingAlgorithm,
+    RunResult,
+    Simulator,
+    Topology,
+    Torus,
+)
+from repro.routing import (
+    AlternatingAdaptiveRouter,
+    BoundedDimensionOrderRouter,
+    BoundedExcursionRouter,
+    DimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+    HotPotatoRouter,
+    RandomizedAdaptiveRouter,
+    ShearsortRouter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Direction",
+    "FullPacketView",
+    "Mesh",
+    "NodeContext",
+    "Offer",
+    "Packet",
+    "PacketView",
+    "QueueSpec",
+    "RoutingAlgorithm",
+    "RunResult",
+    "Simulator",
+    "Topology",
+    "Torus",
+    "AlternatingAdaptiveRouter",
+    "BoundedDimensionOrderRouter",
+    "BoundedExcursionRouter",
+    "DimensionOrderRouter",
+    "FarthestFirstRouter",
+    "GreedyAdaptiveRouter",
+    "HotPotatoRouter",
+    "RandomizedAdaptiveRouter",
+    "ShearsortRouter",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Measurement and analysis utilities for the experiment harness."""
+
+from repro.analysis.scaling import fit_power_law, crossover_point, PowerLawFit
+from repro.analysis.metrics import (
+    RoutingMeasurement,
+    measure_routing,
+    compare_algorithms,
+)
+from repro.analysis.report import format_table, format_series
+from repro.analysis.turning_intervals import TurningInterval, TurningIntervalMonitor
+from repro.analysis.latency import LatencyStats, latency_stats, peak_throughput, throughput_series
+
+__all__ = [
+    "fit_power_law",
+    "crossover_point",
+    "PowerLawFit",
+    "RoutingMeasurement",
+    "measure_routing",
+    "compare_algorithms",
+    "format_table",
+    "format_series",
+    "TurningInterval",
+    "TurningIntervalMonitor",
+    "LatencyStats",
+    "latency_stats",
+    "peak_throughput",
+    "throughput_series",
+]

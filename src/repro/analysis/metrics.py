@@ -1,0 +1,69 @@
+"""Routing measurements: one call, one comparable record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import Simulator
+from repro.mesh.topology import Topology
+
+
+@dataclass(frozen=True)
+class RoutingMeasurement:
+    """Summary of one routing run.
+
+    Attributes:
+        algorithm: The algorithm's name.
+        completed: All packets delivered within the step budget.
+        steps: Steps executed (delivery time of the last packet when
+            completed; the budget otherwise).
+        max_queue_len: Largest single-queue occupancy observed.
+        max_node_load: Largest per-node total observed.
+        total_moves: Link transmissions (network load).
+        avg_delivery_time: Mean delivery step over delivered packets.
+    """
+
+    algorithm: str
+    completed: bool
+    steps: int
+    max_queue_len: int
+    max_node_load: int
+    total_moves: int
+    avg_delivery_time: float
+
+
+def measure_routing(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    packets: Iterable[Packet],
+    max_steps: int = 1_000_000,
+) -> RoutingMeasurement:
+    """Run one instance and summarize it."""
+    sim = Simulator(topology, algorithm, list(packets))
+    result = sim.run(max_steps=max_steps)
+    times = list(result.delivery_times.values())
+    return RoutingMeasurement(
+        algorithm=algorithm.name,
+        completed=result.completed,
+        steps=result.steps,
+        max_queue_len=result.max_queue_len,
+        max_node_load=result.max_node_load,
+        total_moves=result.total_moves,
+        avg_delivery_time=sum(times) / len(times) if times else 0.0,
+    )
+
+
+def compare_algorithms(
+    topology: Topology,
+    factories: Sequence[tuple[str, Callable[[], RoutingAlgorithm]]],
+    workload: Callable[[], list[Packet]],
+    max_steps: int = 1_000_000,
+) -> list[RoutingMeasurement]:
+    """Run the same (regenerated) workload through several algorithms."""
+    out = []
+    for _name, factory in factories:
+        out.append(measure_routing(topology, factory(), workload(), max_steps))
+    return out

@@ -1,0 +1,33 @@
+"""Plain-text tables for the benchmark harness.
+
+Every bench prints the rows/series the corresponding paper claim implies;
+these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """One labelled series as `label: x=y, x=y, ...`."""
+    pairs = ", ".join(f"{x}={_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

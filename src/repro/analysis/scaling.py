@@ -1,0 +1,76 @@
+"""Power-law fitting and crossover detection for bound-shape validation.
+
+The paper's results are asymptotic: Theorem 14 says the adversarial time
+grows like ``n^2 / k^2``, Theorem 15 like ``n^2 / k``, Section 6 like ``n``.
+These helpers turn measured (parameter, time) series into fitted exponents
+so each bench can assert the *shape* rather than absolute constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``t = C * x^alpha`` on log-log axes.
+
+    Attributes:
+        exponent: The fitted alpha.
+        coefficient: The fitted C.
+        r_squared: Goodness of fit in log space (1.0 = perfect power law).
+    """
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit a power law through measured points (requires >= 2 points,
+    all positive)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit needs positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    resid = ly - (slope * lx + intercept)
+    total = ly - ly.mean()
+    denom = float(total @ total)
+    r2 = 1.0 - float(resid @ resid) / denom if denom > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope), coefficient=float(np.exp(intercept)), r_squared=r2
+    )
+
+
+def crossover_point(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> float | None:
+    """The x at which series A overtakes series B (linear interpolation).
+
+    Returns None when one series dominates throughout.  Used e.g. to locate
+    where the adversarial instance's cost crosses the diameter bound.
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)):
+        raise ValueError("series must have equal length")
+    diff = [a - b for a, b in zip(ys_a, ys_b)]
+    for i in range(1, len(diff)):
+        if diff[i - 1] == 0:
+            return float(xs[i - 1])
+        if diff[i - 1] * diff[i] < 0:
+            frac = abs(diff[i - 1]) / (abs(diff[i - 1]) + abs(diff[i]))
+            return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
+    if diff and diff[-1] == 0:
+        return float(xs[-1])
+    return None

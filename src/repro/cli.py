@@ -1,0 +1,250 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands:
+
+- ``route``       -- route a workload with a chosen algorithm
+- ``lower-bound`` -- run an adversarial construction + replay verification
+- ``section6``    -- run the O(n)-time O(1)-queue algorithm
+- ``bounds``      -- print every closed-form bound for given (n, k)
+
+Example::
+
+    python -m repro lower-bound --construction adaptive --n 120 --k 1
+    python -m repro route --algorithm bounded-dor --n 32 --k 2 --workload transpose
+    python -m repro section6 --n 81 --workload random
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.core import bounds as bounds_mod
+from repro.core import (
+    AdaptiveLowerBoundConstruction,
+    DorLowerBoundConstruction,
+    FfLowerBoundConstruction,
+    replay_constructed_permutation,
+)
+from repro.core.extensions import HhLowerBoundConstruction, TorusLowerBoundConstruction
+from repro.mesh import Mesh, Simulator, Torus
+from repro.routing import (
+    AlternatingAdaptiveRouter,
+    BoundedDimensionOrderRouter,
+    BoundedExcursionRouter,
+    DimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+    HotPotatoRouter,
+    RandomizedAdaptiveRouter,
+)
+from repro.workloads import (
+    bit_reversal_permutation,
+    random_partial_permutation,
+    random_permutation,
+    rotation_permutation,
+    transpose_permutation,
+)
+
+ALGORITHMS: dict[str, Callable[[argparse.Namespace], object]] = {
+    "dor": lambda a: DimensionOrderRouter(a.k),
+    "bounded-dor": lambda a: BoundedDimensionOrderRouter(a.k),
+    "farthest-first": lambda a: FarthestFirstRouter(a.k),
+    "greedy-adaptive": lambda a: GreedyAdaptiveRouter(a.k, a.queues),
+    "alternating-adaptive": lambda a: AlternatingAdaptiveRouter(a.k, a.queues),
+    "hot-potato": lambda a: HotPotatoRouter(),
+    "randomized-adaptive": lambda a: RandomizedAdaptiveRouter(a.k, a.seed, a.queues),
+    "bounded-excursion": lambda a: BoundedExcursionRouter(a.k, a.delta, a.queues),
+}
+
+
+def make_workload(name: str, topology, seed: int):
+    if name == "random":
+        return random_permutation(topology, seed=seed)
+    if name == "partial":
+        return random_partial_permutation(topology, 0.5, seed=seed)
+    if name == "transpose":
+        return transpose_permutation(topology)
+    if name == "bit-reversal":
+        return bit_reversal_permutation(topology)
+    if name == "rotation":
+        return rotation_permutation(topology, topology.width // 2, topology.height // 3)
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    topology = Torus(args.n) if args.torus else Mesh(args.n)
+    algorithm = ALGORITHMS[args.algorithm](args)
+    packets = make_workload(args.workload, topology, args.seed)
+    sim = Simulator(topology, algorithm, packets)
+    if args.availability < 1.0:
+        from repro.mesh.asynchrony import make_async
+
+        make_async(sim, args.availability, seed=args.seed)
+    result = sim.run(max_steps=args.max_steps)
+    status = "delivered" if result.completed else "STALLED"
+    print(
+        f"{algorithm.name} on {topology!r} / {args.workload}: {status} "
+        f"{result.delivered}/{result.total_packets} in {result.steps} steps "
+        f"(diameter {topology.diameter}), max queue {result.max_queue_len}, "
+        f"max node load {result.max_node_load}, {result.total_moves} moves"
+    )
+    return 0 if result.completed else 1
+
+
+def cmd_lower_bound(args: argparse.Namespace) -> int:
+    if args.construction == "adaptive":
+        factory = lambda: GreedyAdaptiveRouter(args.k)
+        con = AdaptiveLowerBoundConstruction(
+            args.n, factory, check_invariants=args.check_invariants
+        )
+        topology = None
+    elif args.construction == "torus":
+        factory = lambda: GreedyAdaptiveRouter(args.k)
+        con = TorusLowerBoundConstruction(
+            args.n, factory, check_invariants=args.check_invariants
+        )
+        topology = con.topology
+    elif args.construction == "dor":
+        factory = lambda: BoundedDimensionOrderRouter(args.k)
+        con = DorLowerBoundConstruction(
+            args.n, factory, check_invariants=args.check_invariants
+        )
+        topology = None
+    elif args.construction == "ff":
+        factory = lambda: FarthestFirstRouter(args.k)
+        con = FfLowerBoundConstruction(
+            args.n, factory, check_invariants=args.check_invariants
+        )
+        topology = None
+    elif args.construction == "hh":
+        factory = lambda: GreedyAdaptiveRouter(max(args.k, args.h))
+        con = HhLowerBoundConstruction(
+            args.n, args.h, factory, check_invariants=args.check_invariants
+        )
+        topology = None
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown construction {args.construction!r}")
+
+    result = con.run()
+    print(
+        f"{args.construction} construction on n={args.n}, k={args.k}: "
+        f"certified bound {result.bound_steps} steps, "
+        f"{result.exchange_count} exchanges, "
+        f"{result.undelivered_at_bound} packets undelivered at the horizon"
+    )
+    report = replay_constructed_permutation(
+        result,
+        factory,
+        topology=topology,
+        run_to_completion=not args.no_completion,
+        max_steps=args.max_steps,
+    )
+    print(
+        f"replay: configuration match = {report.configuration_matches}, "
+        f"deliveries match = {report.delivery_times_match}"
+    )
+    if report.completed is not None:
+        print(f"full routing time: {report.total_steps} steps")
+    return 0 if report.configuration_matches else 1
+
+
+def cmd_section6(args: argparse.Namespace) -> int:
+    from repro.tiling import Section6Router
+
+    mesh = Mesh(args.n)
+    packets = make_workload(args.workload, mesh, args.seed)
+    result = Section6Router(args.n, improved=args.improved).route(packets)
+    factor = 564 if args.improved else 972
+    print(
+        f"Section 6 on n={args.n} / {args.workload}: delivered "
+        f"{result.delivered}/{result.total_packets}; actual "
+        f"{result.actual_steps} steps, scheduled {result.scheduled_steps} "
+        f"(bound {factor * args.n}), max node load {result.max_node_load} "
+        f"(bound 834)"
+    )
+    return 0 if result.completed else 1
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    n, k = args.n, args.k
+    rows = [
+        ("diameter (2n-2)", bounds_mod.diameter_bound(n)),
+        ("Theorem 13 certified", bounds_mod.adaptive_lower_bound(n, k)),
+        ("Theorem 14 closed form", bounds_mod.theorem14_closed_form(n, k)),
+        ("dim-order lower (S5)", bounds_mod.dimension_order_lower_bound(n, k)),
+        ("dim-order closed form", bounds_mod.dimension_order_closed_form(n, k)),
+        ("farthest-first lower (S5)", bounds_mod.farthest_first_lower_bound(n, k)),
+        ("Theorem 15 upper budget", bounds_mod.theorem15_upper_bound(n, k)),
+        ("Section 6 time (972n)", bounds_mod.section6_time_bound(n)),
+        ("Section 6 improved (564n)", bounds_mod.section6_improved_time_bound(n)),
+        ("Section 6 queue bound", bounds_mod.section6_queue_bound()),
+    ]
+    width = max(len(r[0]) for r in rows)
+    for name, value in rows:
+        print(f"{name.ljust(width)}  {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chinn-Leighton-Tompa (SPAA 1994) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("route", help="route one workload")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="bounded-dor")
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--queues", choices=["central", "incoming"], default="central")
+    p.add_argument("--delta", type=int, default=1)
+    p.add_argument(
+        "--availability",
+        type=float,
+        default=1.0,
+        help="per-link per-step up probability (< 1.0 simulates asynchrony)",
+    )
+    p.add_argument("--workload", default="random")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("lower-bound", help="run an adversarial construction")
+    p.add_argument(
+        "--construction",
+        choices=["adaptive", "dor", "ff", "torus", "hh"],
+        default="adaptive",
+    )
+    p.add_argument("--n", type=int, default=120)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--h", type=int, default=2)
+    p.add_argument("--check-invariants", action="store_true")
+    p.add_argument("--no-completion", action="store_true")
+    p.add_argument("--max-steps", type=int, default=2_000_000)
+    p.set_defaults(func=cmd_lower_bound)
+
+    p = sub.add_parser("section6", help="run the O(n) minimal adaptive algorithm")
+    p.add_argument("--n", type=int, default=81)
+    p.add_argument("--workload", default="random")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--improved", action="store_true")
+    p.set_defaults(func=cmd_section6)
+
+    p = sub.add_parser("bounds", help="print every closed-form bound")
+    p.add_argument("--n", type=int, default=216)
+    p.add_argument("--k", type=int, default=1)
+    p.set_defaults(func=cmd_bounds)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""The paper's primary contribution: constructive lower bounds.
+
+- :mod:`repro.core.constants` -- the Section 4.3 / Section 5 constants,
+  computed exactly and feasibility-checked.
+- :mod:`repro.core.geometry` -- i-boxes, N_i-columns/E_i-rows, packet
+  classification.
+- :mod:`repro.core.placement` -- the initial arrangement (Section 3 step 1).
+- :mod:`repro.core.adversary` -- exchange rules EX1-EX4 as an interceptor.
+- :mod:`repro.core.construction` -- running the construction, with optional
+  per-step verification of Lemmas 1-2 and 5-8.
+- :mod:`repro.core.replay` -- Lemma 12 / Theorem 13: replaying the
+  constructed permutation with no exchanges.
+- :mod:`repro.core.dor_adversary` -- the Section 5 dimension-order
+  construction (Omega(n^2/k)).
+- :mod:`repro.core.ff_adversary` -- the Section 5 farthest-first
+  construction (Omega(n^2/k) without destination-exchangeability).
+- :mod:`repro.core.bounds` -- every closed-form bound in the paper.
+"""
+
+from repro.core.adversary import AdaptiveAdversary, ExchangeRecord
+from repro.core.constants import (
+    AdaptiveConstants,
+    DimensionOrderConstants,
+    FarthestFirstConstants,
+    InfeasibleConstructionError,
+)
+from repro.core.construction import (
+    AdaptiveLowerBoundConstruction,
+    ConstructionResult,
+    InvariantViolation,
+)
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+from repro.core.placement import build_construction_packets
+from repro.core.dor_adversary import (
+    DimensionOrderAdversary,
+    DorGeometry,
+    DorLowerBoundConstruction,
+)
+from repro.core.extensions import (
+    HhConstants,
+    HhLowerBoundConstruction,
+    TorusLowerBoundConstruction,
+)
+from repro.core.ff_adversary import (
+    FarthestFirstAdversary,
+    FfGeometry,
+    FfLowerBoundConstruction,
+)
+from repro.core.replay import (
+    ReplayReport,
+    packets_for_replay,
+    packets_from_permutation,
+    packets_from_table,
+    replay_constructed_permutation,
+)
+from repro.core import bounds
+
+__all__ = [
+    "AdaptiveAdversary",
+    "ExchangeRecord",
+    "AdaptiveConstants",
+    "DimensionOrderConstants",
+    "FarthestFirstConstants",
+    "InfeasibleConstructionError",
+    "AdaptiveLowerBoundConstruction",
+    "ConstructionResult",
+    "InvariantViolation",
+    "BoxGeometry",
+    "N_CLASS",
+    "E_CLASS",
+    "build_construction_packets",
+    "ReplayReport",
+    "packets_from_permutation",
+    "replay_constructed_permutation",
+]

@@ -1,0 +1,174 @@
+"""The Section 3 adversary: exchange rules EX1-EX4 as a phase-(b) interceptor.
+
+During each of the first ``floor(l) * dn`` steps, after the outqueue
+policies have committed their schedules but before the inqueue policies see
+them, the adversary inspects every scheduled move and applies:
+
+    EX1. i >= 1, j > i:  an E_j-packet scheduled to enter the E_i-row west
+         of the N_i-column (steps 1..i*dn) is exchanged with an eligible
+         E_i-packet.
+    EX2. i >= 1, j > i:  an N_j-packet scheduled to enter the N_i-column
+         south of the E_i-row is exchanged with an eligible N_i-packet.
+    EX3. i >= 1, j >= i: an E_j-packet scheduled to enter the N_i-column
+         south of the E_i-row is exchanged with an eligible N_i-packet.
+    EX4. i >= 1, j >= i: an N_j-packet scheduled to enter the E_i-row west
+         of the N_i-column is exchanged with an eligible E_i-packet.
+
+"Eligible" means: same class and level as required, currently in the
+``(i-1)``-box, and not scheduled to enter the guarded column/row (Lemmas 3
+and 4 prove such packets always exist).  An exchange can re-arm another
+scheduled move (the partner may itself be scheduled toward a lower-level
+column), so rules are applied to a fixpoint; each exchange strictly lowers
+the triggering destination's level along any chain, so the loop terminates.
+
+Because an exchange only swaps destinations -- and the views shown to a
+destination-exchangeable algorithm do not contain destinations -- the
+algorithm's behaviour is identical with or without the exchanges (Lemma 10),
+which is what makes the final "constructed permutation" hard for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constants import AdaptiveConstants
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+from repro.mesh.errors import AdversaryError
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import ScheduledMove, Simulator
+
+
+@dataclass
+class ExchangeRecord:
+    """One applied exchange (for audit and tests)."""
+
+    time: int
+    rule: str
+    level: int
+    scheduled_pid: int
+    partner_pid: int
+
+
+@dataclass
+class AdaptiveAdversary:
+    """Interceptor implementing EX1-EX4 for one construction run.
+
+    Install as ``Simulator(..., interceptor=adversary)``.  Inert after
+    ``constants.bound_steps`` steps (the construction's horizon).
+    """
+
+    constants: AdaptiveConstants
+    geometry: BoxGeometry
+    log: bool = False
+    exchange_count: int = 0
+    records: list[ExchangeRecord] = field(default_factory=list)
+
+    def __call__(self, sim: Simulator, schedule: list[ScheduledMove]) -> None:
+        t = sim.time
+        if t > self.constants.bound_steps:
+            return
+        scheduled_target = {mv.packet.pid: mv.target for mv in schedule}
+
+        max_rounds = len(schedule) * (self.geometry.levels + 1) + 16
+        for _ in range(max_rounds):
+            exchanged = False
+            for mv in schedule:
+                applied = self._apply_rules(sim, mv, scheduled_target, t)
+                if applied:
+                    exchanged = True
+            if not exchanged:
+                return
+        raise AdversaryError(
+            f"exchange fixpoint not reached at step {t} (adversary bug)"
+        )
+
+    # -- rule evaluation ------------------------------------------------------
+
+    def _apply_rules(
+        self,
+        sim: Simulator,
+        mv: ScheduledMove,
+        scheduled_target: dict[int, tuple[int, int]],
+        t: int,
+    ) -> bool:
+        geo = self.geometry
+        cls = geo.classify(mv.packet.dest)
+        if cls is None:
+            return False
+        tag, j = cls
+        x, y = mv.target
+        dn = self.constants.dn
+
+        # Entering an N_i-column south of the E_i-row?
+        i = x - geo.cn + 2
+        if 1 <= i <= geo.levels and y < geo.e_row(i) and t <= i * dn:
+            if (tag == N_CLASS and j > i) or (tag == E_CLASS and j >= i):
+                rule = "EX2" if tag == N_CLASS else "EX3"
+                self._exchange(sim, mv, N_CLASS, i, rule, scheduled_target, t)
+                return True
+
+        # Entering an E_i-row west of the N_i-column?
+        i = y - geo.cn + 2
+        if 1 <= i <= geo.levels and x < geo.n_column(i) and t <= i * dn:
+            if (tag == E_CLASS and j > i) or (tag == N_CLASS and j >= i):
+                rule = "EX1" if tag == E_CLASS else "EX4"
+                self._exchange(sim, mv, E_CLASS, i, rule, scheduled_target, t)
+                return True
+
+        return False
+
+    def _exchange(
+        self,
+        sim: Simulator,
+        mv: ScheduledMove,
+        partner_class: str,
+        i: int,
+        rule: str,
+        scheduled_target: dict[int, tuple[int, int]],
+        t: int,
+    ) -> None:
+        partner = self._find_partner(sim, mv.packet, partner_class, i, scheduled_target)
+        if partner is None:
+            raise AdversaryError(
+                f"step {t}: no eligible {partner_class}_{i}-packet for {rule} "
+                f"(would falsify Lemma {'3' if partner_class == N_CLASS else '4'})"
+            )
+        mv.packet.exchange_destinations(partner)
+        self.exchange_count += 1
+        if self.log:
+            self.records.append(
+                ExchangeRecord(t, rule, i, mv.packet.pid, partner.pid)
+            )
+
+    def _find_partner(
+        self,
+        sim: Simulator,
+        exclude: Packet,
+        partner_class: str,
+        i: int,
+        scheduled_target: dict[int, tuple[int, int]],
+    ) -> Packet | None:
+        """Eligible partner: class (partner_class, i), inside the (i-1)-box,
+        not scheduled to enter the guarded column/row.  Prefers packets not
+        scheduled anywhere (fewer cascades); ties break on pid."""
+        geo = self.geometry
+        guard_coord = geo.n_column(i)  # == geo.e_row(i)
+        best: Packet | None = None
+        best_rank: tuple[int, int] | None = None
+        for p in sim.iter_packets():
+            if p.pid == exclude.pid:
+                continue
+            if geo.classify(p.dest) != (partner_class, i):
+                continue
+            if not geo.in_box(p.pos, i - 1):
+                continue
+            target = scheduled_target.get(p.pid)
+            if target is not None:
+                axis = 0 if partner_class == N_CLASS else 1
+                if target[axis] == guard_coord:
+                    continue  # scheduled to enter the guarded column/row
+            rank = (0 if target is None else 1, p.pid)
+            if best_rank is None or rank < best_rank:
+                best = p
+                best_rank = rank
+        return best

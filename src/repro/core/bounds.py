@@ -1,0 +1,141 @@
+"""Every closed-form bound stated in the paper, as checkable functions.
+
+These are the formulas the experiment harness prints next to measured
+values.  Where the paper gives both an exact expression (via the
+construction constants) and an asymptotic simplification, we expose both.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import (
+    AdaptiveConstants,
+    DimensionOrderConstants,
+    FarthestFirstConstants,
+)
+
+# -- Theorems 13/14: the minimal adaptive lower bound -------------------------
+
+
+def adaptive_lower_bound(n: int, k: int) -> int:
+    """The certified step count ``floor(l) * dn`` of Theorem 13."""
+    return AdaptiveConstants.choose(n, k).bound_steps
+
+
+def theorem14_closed_form(n: int, k: int) -> int:
+    """Theorem 14, Case 1: ``(n / (12(k+2)^2) - 1) * n/3`` for
+    ``n >= 24 (k+2)^2``; Case 2 falls back to the diameter bound."""
+    if n >= 24 * (k + 2) ** 2:
+        return max(0, (n // (12 * (k + 2) ** 2) - 1) * n // 3)
+    return 2 * n - 2
+
+
+def diameter_bound(n: int) -> int:
+    """The trivial ``2n - 2`` bound every permutation router can meet."""
+    return 2 * n - 2
+
+
+# -- Section 5 extensions ------------------------------------------------------
+
+
+def nonminimal_lower_bound(n: int, k: int, delta: int) -> float:
+    """Section 5: algorithms straying at most ``delta`` beyond the minimal
+    rectangle need ``Omega(n^2 / ((delta+1)^3 k^2))`` steps.
+
+    Expressed through the Theorem 14 closed form with ``p`` scaled by
+    ``(delta + 1)`` (which scales ``l`` down by the same factor and the
+    effective constant region by another two factors).
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    return theorem14_closed_form(n, k) / (delta + 1) ** 3
+
+
+def torus_lower_bound(n: int, k: int) -> int:
+    """Section 5: the construction on an ``(n/2) x (n/2)`` submesh."""
+    if n % 2 != 0:
+        raise ValueError(f"torus bound defined for even n, got {n}")
+    return AdaptiveConstants.choose(n // 2, k).bound_steps
+
+
+def hh_lower_bound_closed_form(n: int, k: int, h: int) -> int:
+    """Section 5: ``l dn >= floor(h^2 n / (26 (k+1+h)^2)) * (77/144) h n``."""
+    levels = (h * h * n) // (26 * (k + 1 + h) ** 2)
+    return levels * (77 * h * n) // 144
+
+
+def dimension_order_lower_bound(n: int, k: int) -> int:
+    """Section 5 dimension-order construction: ``floor(l) * dn``."""
+    return DimensionOrderConstants.choose(n, k).bound_steps
+
+
+def dimension_order_closed_form(n: int, k: int) -> int:
+    """Paper: ``floor(3n / (8(k+2))) * (2n/5)``."""
+    return (3 * n // (8 * (k + 2))) * (2 * n // 5)
+
+
+def hh_dimension_order_closed_form(n: int, k: int, h: int) -> int:
+    """Paper: ``floor(4hn / (15(k+1+h))) * (2hn/5)``."""
+    return (4 * h * n // (15 * (k + 1 + h))) * (2 * h * n // 5)
+
+
+def farthest_first_lower_bound(n: int, k: int) -> int:
+    """Section 5 farthest-first construction: ``floor(l) * dn``."""
+    return FarthestFirstConstants.choose(n, k).bound_steps
+
+
+def farthest_first_closed_form(n: int, k: int) -> int:
+    """Paper: ``floor(2n / (9(k+1))) * (2n/5)``."""
+    return (2 * n // (9 * (k + 1))) * (2 * n // 5)
+
+
+# -- Theorem 15: the dimension-order upper bound --------------------------------
+
+
+def theorem15_upper_bound(n: int, k: int, constant: int = 8) -> int:
+    """``O(n^2/k + n)``: the number of turning intervals per row is at most
+    ``n/k``, each interval plus its aftermath costs ``O(n)``; the default
+    multiplicative constant 8 majorizes the proof's 1 + 3 + 2 phases plus
+    slack."""
+    return constant * (n * n // k + n)
+
+
+# -- Section 6: the O(n) minimal adaptive algorithm ---------------------------------
+
+
+def section6_march_bound(q: int, d: int) -> int:
+    """Lemma 29: the March takes at most ``q d - 1`` steps."""
+    return q * d - 1
+
+
+def section6_sort_smooth_bound(q: int, d: int) -> int:
+    """Lemma 30: Sort and Smooth takes at most ``2((d-1) + q d)`` steps."""
+    return 2 * ((d - 1) + q * d)
+
+
+def section6_balancing_bound(h: int) -> int:
+    """Lemma 31: Horizontal Balancing takes at most ``3h - 4`` steps on an
+    ``h x h`` tile."""
+    return 3 * h - 4
+
+
+def section6_base_case_bound() -> int:
+    """Lemma 32: the dimension-order base case takes at most 14 steps."""
+    return 14
+
+
+def section6_queue_bound(q: int = 408) -> int:
+    """Lemma 28 / Theorem 34: at most ``2q + 18`` packets per node
+    (834 with q = 408; 222 with the improved q = 102 after iteration 0)."""
+    return 2 * q + 18
+
+
+def section6_time_bound(n: int) -> int:
+    """Theorem 34: the full algorithm (all four direction classes) delivers
+    every permutation within ``972 n`` steps."""
+    return 972 * n
+
+
+def section6_improved_time_bound(n: int) -> int:
+    """The improvement noted after Theorem 34 (q = 102 for iterations
+    j >= 1): ``564 n`` steps."""
+    return 564 * n

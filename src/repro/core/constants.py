@@ -1,0 +1,225 @@
+"""Construction constants (Section 4.3 and the Section 5 analyses).
+
+The lower-bound constructions are parameterized by two constants ``c`` and
+``d`` with ``cn`` and ``dn`` integers.  Section 4.3 chooses the largest
+``c <= 1/(2(k+2))`` and ``d <= 2/5`` with integral products, and proves the
+three feasibility constraints hold once ``n >= 24 (k+2)^2``.  We compute
+everything in exact rational arithmetic and *verify* the constraints rather
+than assume them, reporting precisely why a given ``(n, k)`` is infeasible.
+
+``k`` here is the number of packets a node can hold.  For the central-queue
+model that is the queue capacity; for the four-incoming-queue model it is
+``4k`` (Section 5, "Other Queue Types").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+
+class InfeasibleConstructionError(ValueError):
+    """The (n, k) pair violates a feasibility constraint of the construction."""
+
+
+@dataclass(frozen=True)
+class AdaptiveConstants:
+    """Constants for the Sections 3-4 construction (minimal adaptive bound).
+
+    Attributes:
+        n: Mesh side length.
+        k: Packets a node can hold.
+        cn: The integer ``c * n`` (side of the 1-box).
+        dn: The integer ``d * n`` (steps charged per box level).
+        p: Packets per class per level, ``floor((k+1)(cn + c^2 n) + dn)``.
+        l_floor: Number of box levels, ``floor(c^2 n^2 / (2p))``.
+        bound_steps: The certified lower bound ``l_floor * dn`` (Theorem 13).
+    """
+
+    n: int
+    k: int
+    cn: int
+    dn: int
+    p: int
+    l_floor: int
+    bound_steps: int
+
+    @property
+    def c(self) -> Fraction:
+        return Fraction(self.cn, self.n)
+
+    @property
+    def d(self) -> Fraction:
+        return Fraction(self.dn, self.n)
+
+    @property
+    def l(self) -> Fraction:
+        """The exact (unfloored) number of levels, ``c^2 n^2 / (2p)``."""
+        return Fraction(self.cn * self.cn, 2 * self.p)
+
+    @property
+    def total_construction_packets(self) -> int:
+        """Packets placed by the construction: p of each class per level."""
+        return 2 * self.p * self.l_floor
+
+    @classmethod
+    def choose(cls, n: int, k: int) -> "AdaptiveConstants":
+        """Pick constants per Section 4.3 and verify feasibility.
+
+        Raises:
+            InfeasibleConstructionError: when ``n`` is too small relative to
+                ``k`` for the construction to fit (the paper's asymptotic
+                regime needs ``n >= 24 (k+2)^2``; somewhat smaller ``n``
+                often still verifies).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        cn = n // (2 * (k + 2))  # largest c <= 1/(2(k+2)) with cn integral
+        dn = (2 * n) // 5  # largest d <= 2/5 with dn integral
+        if cn < 1:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: cn = floor(n / (2(k+2))) = 0; need n >= {2 * (k + 2)}"
+            )
+        if dn < 1:
+            raise InfeasibleConstructionError(f"n={n}: dn = floor(2n/5) = 0")
+
+        c = Fraction(cn, n)
+        # p = floor((k+1)(cn + c^2 n) + dn), computed exactly.
+        p_exact = (k + 1) * (cn + c * c * n) + dn
+        p = int(p_exact)  # floor for positive rationals
+        l = Fraction(cn * cn, 2 * p)
+        l_floor = int(l)
+
+        consts = cls(
+            n=n, k=k, cn=cn, dn=dn, p=p, l_floor=l_floor, bound_steps=l_floor * dn
+        )
+        consts.verify()
+        return consts
+
+    def verify(self) -> None:
+        """Check the three Section 4.3 constraints (exact arithmetic)."""
+        n, k, cn = self.n, self.k, self.cn
+        c, l = self.c, self.l
+        # Constraint 1: enough distinct destination rows/columns:
+        #   p <= (1-c) n - l.
+        if self.p + l > (1 - c) * n:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: constraint 1 fails: p + l = {self.p} + {float(l):.2f} "
+                f"> (1-c)n = {float((1 - c) * n):.2f}"
+            )
+        # Constraint 3: l <= c^2 n (used in the Lemma 3/4 counting).
+        if l > c * c * n:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: constraint 3 fails: l = {float(l):.2f} "
+                f"> c^2 n = {float(c * c * n):.2f}"
+            )
+        if self.l_floor < 1:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: floor(l) = 0 -- construction has no levels"
+            )
+
+    @classmethod
+    def minimum_feasible_n(cls, k: int, limit: int = 100_000) -> int:
+        """Smallest n for which the construction is feasible for this k."""
+        for n in range(2 * (k + 2), limit):
+            try:
+                cls.choose(n, k)
+                return n
+            except InfeasibleConstructionError:
+                continue
+        raise InfeasibleConstructionError(f"no feasible n <= {limit} for k={k}")
+
+
+@dataclass(frozen=True)
+class DimensionOrderConstants:
+    """Constants for the Section 5 dimension-order construction.
+
+    Here ``p = (k+1) cn + dn`` and ``l = (1-c) c n^2 / p``, capped so the
+    ``N_i``-columns fit inside the ``cn`` easternmost (destination) columns.
+    Bound: ``l_floor * dn = Omega(n^2 / k)``.
+    """
+
+    n: int
+    k: int
+    cn: int
+    dn: int
+    p: int
+    l_floor: int
+    bound_steps: int
+
+    @property
+    def c(self) -> Fraction:
+        return Fraction(self.cn, self.n)
+
+    @property
+    def d(self) -> Fraction:
+        return Fraction(self.dn, self.n)
+
+    @classmethod
+    def choose(cls, n: int, k: int) -> "DimensionOrderConstants":
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        cn = n // (2 * (k + 2))
+        dn = (2 * n) // 5
+        if cn < 1 or dn < 1:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: need n >= {2 * (k + 2)} (cn >= 1) and n >= 3 (dn >= 1)"
+            )
+        p = (k + 1) * cn + dn
+        l = Fraction((n - cn) * cn, p)  # (1-c) c n^2 / p, exactly
+        # The N_i-columns are the destination columns, of which there are cn;
+        # and each level needs p distinct destination rows among the
+        # northern (1-c)n rows.
+        l_floor = min(int(l), cn)
+        if l_floor < 1:
+            raise InfeasibleConstructionError(f"n={n}, k={k}: floor(l) = 0")
+        if p > n - cn:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: p = {p} > (1-c)n = {n - cn}: not enough "
+                "destination rows per column"
+            )
+        return cls(n=n, k=k, cn=cn, dn=dn, p=p, l_floor=l_floor, bound_steps=l_floor * dn)
+
+
+@dataclass(frozen=True)
+class FarthestFirstConstants:
+    """Constants for the Section 5 farthest-first construction.
+
+    ``p = (2k+1) cn + dn`` and ``l = c n^2 / p``; the ``N_i``-column is the
+    ``(n+1-i)``-th column.  Bound: ``l_floor * dn = Omega(n^2 / k)``.
+    """
+
+    n: int
+    k: int
+    cn: int
+    dn: int
+    p: int
+    l_floor: int
+    bound_steps: int
+
+    @property
+    def c(self) -> Fraction:
+        return Fraction(self.cn, self.n)
+
+    @classmethod
+    def choose(cls, n: int, k: int) -> "FarthestFirstConstants":
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        cn = n // (4 * (k + 1))  # paper: 1/(5(k+1)) <= c <= 1/(4(k+1))
+        dn = (2 * n) // 5
+        if cn < 1 or dn < 1:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: need n >= {4 * (k + 1)}"
+            )
+        p = (2 * k + 1) * cn + dn
+        l = Fraction(cn * n, p)  # c n^2 / p
+        # Each level needs p destination rows among the northern (1-c)n rows
+        # of its column, and levels must not run past the sources' columns.
+        l_floor = min(int(l), n // 2)
+        if p > n - cn:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}: p = {p} > (1-c)n = {n - cn}"
+            )
+        if l_floor < 1:
+            raise InfeasibleConstructionError(f"n={n}, k={k}: floor(l) = 0")
+        return cls(n=n, k=k, cn=cn, dn=dn, p=p, l_floor=l_floor, bound_steps=l_floor * dn)

@@ -1,0 +1,229 @@
+"""Running the Sections 3-4 construction against a routing algorithm.
+
+Executes the algorithm with the :class:`~repro.core.adversary.
+AdaptiveAdversary` installed for ``floor(l) * dn`` steps, optionally
+verifying Lemmas 1-2 and 5-8 after every step, and extracts the
+*constructed permutation*: the packets' source/destination pairs after all
+exchanges.  Corollary 9 guarantees at least one packet is still undelivered
+when the horizon is reached -- in fact at least ``2 * (p - dn + 1)`` are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.adversary import AdaptiveAdversary, ExchangeRecord
+from repro.core.constants import AdaptiveConstants
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+from repro.core.placement import build_construction_packets
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import Simulator
+from repro.mesh.topology import Mesh, Topology
+
+
+class InvariantViolation(AssertionError):
+    """A construction lemma failed during the run (model or code bug)."""
+
+
+@dataclass
+class ConstructionResult:
+    """Everything the construction run produced.
+
+    Attributes:
+        constants: The (n, k) constants used.
+        permutation: The constructed permutation as (source, dest) pairs,
+            including packets delivered during the construction (paper
+            step 4).
+        bound_steps: ``floor(l) * dn`` -- the certified lower bound on the
+            time any run of the algorithm needs on this permutation.
+        exchange_count: Number of destination exchanges performed.
+        undelivered_at_bound: Packets still in the network at the horizon
+            (Corollary 9 demands >= 1).
+        final_configuration: Network configuration snapshot at the horizon,
+            for the Lemma 12 replay-equality check.
+        delivery_times: pid -> delivery step for packets delivered during
+            the construction.
+        records: Exchange audit log (when logging was enabled).
+    """
+
+    constants: AdaptiveConstants
+    permutation: list[tuple[tuple[int, int], tuple[int, int]]]
+    bound_steps: int
+    exchange_count: int
+    undelivered_at_bound: int
+    final_configuration: tuple
+    delivery_times: dict[int, int]
+    records: list[ExchangeRecord] = field(default_factory=list, repr=False)
+    #: (pid, source, dest) triples preserving packet identity.  With
+    #: multiple packets per node (h-h), replaying from bare (source, dest)
+    #: pairs would reorder co-located packets; pids pin the initial queue
+    #: order so Lemma 12's configuration equality is exact.
+    packet_table: list[tuple[int, tuple[int, int], tuple[int, int]]] = field(
+        default_factory=list, repr=False
+    )
+
+
+class AdaptiveLowerBoundConstruction:
+    """The constructive lower bound for one algorithm at one (n, k).
+
+    Args:
+        n: Mesh side.
+        algorithm_factory: Zero-argument callable producing a *fresh*
+            instance of the destination-exchangeable minimal algorithm
+            under attack.  (Fresh instances keep construction and replay
+            runs independent.)
+        fill: ``"none"`` or ``"full"`` (Section 3 step 2).
+        check_invariants: Verify Lemmas 1-2 and 5-8 after every step
+            (slower; invaluable in tests).
+        log_exchanges: Record an audit trail of every exchange.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[], RoutingAlgorithm],
+        *,
+        fill: str = "none",
+        check_invariants: bool = False,
+        log_exchanges: bool = False,
+    ) -> None:
+        self.algorithm_factory = algorithm_factory
+        probe = algorithm_factory()
+        if not probe.destination_exchangeable:
+            raise TypeError(
+                f"{probe.name}: the Sections 3-4 construction applies only to "
+                "destination-exchangeable algorithms"
+            )
+        if not probe.minimal:
+            raise TypeError(
+                f"{probe.name}: the Sections 3-4 construction applies only to "
+                "minimal algorithms"
+            )
+        # k in the analysis is the number of packets a node can hold: the
+        # queue capacity for the central model, 4k for incoming queues
+        # (Section 5, "Other Queue Types").
+        self.k = probe.queue_spec.node_capacity
+        self.constants = AdaptiveConstants.choose(n, self.k)
+        self.geometry = BoxGeometry.from_constants(self.constants)
+        self.fill = fill
+        self.check_invariants = check_invariants
+        self.log_exchanges = log_exchanges
+        self.topology: Topology = Mesh(n)
+
+    def build_packets(self) -> list[Packet]:
+        return build_construction_packets(self.constants, self.geometry, self.fill)
+
+    def run(self) -> ConstructionResult:
+        packets = self.build_packets()
+        adversary = AdaptiveAdversary(
+            self.constants, self.geometry, log=self.log_exchanges
+        )
+        sim = Simulator(
+            self.topology, self.algorithm_factory(), packets, interceptor=adversary
+        )
+        checker = (
+            _InvariantChecker(self.constants, self.geometry, packets)
+            if self.check_invariants
+            else None
+        )
+        for _ in range(self.constants.bound_steps):
+            if checker:
+                checker.before_step(sim)
+            sim.step()
+            if checker:
+                checker.after_step(sim)
+
+        permutation = sorted((p.source, p.dest) for p in packets)
+        return ConstructionResult(
+            constants=self.constants,
+            permutation=permutation,
+            bound_steps=self.constants.bound_steps,
+            exchange_count=adversary.exchange_count,
+            undelivered_at_bound=sim.in_flight,
+            final_configuration=sim.configuration(),
+            delivery_times=dict(sim.delivery_times),
+            records=list(adversary.records),
+            packet_table=sorted((p.pid, p.source, p.dest) for p in packets),
+        )
+
+
+class _InvariantChecker:
+    """Verifies Lemmas 1-2 and 5-8 after every construction step."""
+
+    def __init__(
+        self, consts: AdaptiveConstants, geo: BoxGeometry, packets: list[Packet]
+    ) -> None:
+        self.consts = consts
+        self.geo = geo
+        self.all_packets = {p.pid: p for p in packets}
+        self._before: dict[int, tuple[int, int]] = {}
+
+    def before_step(self, sim: Simulator) -> None:
+        self._before = {p.pid: p.pos for p in sim.iter_packets()}
+
+    def after_step(self, sim: Simulator) -> None:
+        geo, dn, levels = self.geo, self.consts.dn, self.geo.levels
+        t = sim.time
+        current = {p.pid: p for p in sim.iter_packets()}
+
+        # Lemmas 7 and 8: forbidden regions for N_i / E_i packets.
+        for p in current.values():
+            cls = geo.classify(p.dest)
+            if cls is None:
+                continue
+            tag, i = cls
+            if t <= i * dn:
+                x, y = p.pos
+                if tag == N_CLASS and y >= geo.e_row(i) and x < geo.n_column(i):
+                    raise InvariantViolation(
+                        f"Lemma 7 violated at t={t}: N_{i}-packet {p.pid} at {p.pos}"
+                    )
+                if tag == E_CLASS and x >= geo.n_column(i) and y < geo.e_row(i):
+                    raise InvariantViolation(
+                        f"Lemma 8 violated at t={t}: E_{i}-packet {p.pid} at {p.pos}"
+                    )
+            # Lemmas 5 and 6: class >= i confined to the (i-2)-box while
+            # t <= (i-1) dn (for 1 < i <= level of the packet).
+            for box_i in range(2, min(i, levels) + 1):
+                if t <= (box_i - 1) * dn and not geo.in_box(p.pos, box_i - 2):
+                    raise InvariantViolation(
+                        f"Lemma {'5' if tag == N_CLASS else '6'} violated at "
+                        f"t={t}: {tag}_{i}-packet {p.pid} at {p.pos} outside "
+                        f"the {box_i - 2}-box"
+                    )
+
+        # Lemmas 1 and 2: box-escape counting.
+        escapes: dict[tuple[str, int], int] = {}
+        for pid, pos_before in self._before.items():
+            p = self.all_packets[pid]  # delivered packets rest at their dest
+            pos_after = p.pos
+            for i in range(1, levels + 1):
+                if not geo.in_box(pos_before, i):
+                    continue
+                if geo.in_box(pos_after, i):
+                    continue
+                cls = geo.classify(p.dest)
+                if cls is None:
+                    continue  # fillers are unconstrained
+                tag, j = cls
+                if j < i:
+                    continue  # lower classes are unconstrained by box i
+                if t <= (i - 1) * dn:
+                    raise InvariantViolation(
+                        f"Lemma 1 violated at t={t}: {tag}_{j}-packet {pid} "
+                        f"left the {i}-box"
+                    )
+                if t <= i * dn:
+                    if j > i:
+                        raise InvariantViolation(
+                            f"Lemma 1/5 violated at t={t}: {tag}_{j}-packet "
+                            f"{pid} left the {i}-box during its protected phase"
+                        )
+                    escapes[(tag, i)] = escapes.get((tag, i), 0) + 1
+                    if escapes[(tag, i)] > 1:
+                        raise InvariantViolation(
+                            f"Lemma 2 violated at t={t}: two {tag}_{i}-packets "
+                            f"left the {i}-box in one step"
+                        )

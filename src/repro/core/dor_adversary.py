@@ -1,0 +1,262 @@
+"""The Section 5 dimension-order construction: Omega(n^2/k).
+
+Geometry (Figure 4, left): the sources are the westernmost ``(1-c)n`` nodes
+of the ``cn`` southernmost rows; every source sends one packet to the
+northern ``(1-c)n`` nodes of the ``cn`` easternmost columns.  The
+``N_i``-column is the ``i``-th destination column (west to east), and the
+``i``-box is everything west of and including it within the southern band.
+
+Because the victim routes dimension-order (row first, then column), a
+packet crosses the destination columns in increasing level order before
+turning north in its own column.  The single exchange rule
+
+    for i >= 1, j > i: an N_j-packet scheduled to enter the N_i-column
+    during steps 1..i*dn is exchanged with an N_i-packet in the (i-1)-box
+    not scheduled to enter the N_i-column
+
+pens every destination class behind its column: at most one packet per
+step escapes the ``i``-box (through the top of the ``N_i``-column) during
+its ``dn``-step window, certifying ``floor(l) * dn = Omega(n^2/k)`` steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.adversary import ExchangeRecord
+from repro.core.constants import DimensionOrderConstants
+from repro.mesh.errors import AdversaryError
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import ScheduledMove, Simulator
+from repro.mesh.topology import Mesh
+
+
+@dataclass(frozen=True)
+class DorGeometry:
+    """Geometry of the dimension-order construction (0-indexed)."""
+
+    n: int
+    cn: int
+    levels: int
+
+    def column(self, i: int) -> int:
+        """0-indexed x of the N_i-column; i = 0 gives the 0-box east edge."""
+        return self.n - self.cn - 1 + i
+
+    def classify(self, dest: tuple[int, int]) -> int | None:
+        """Destination class: the level of the destination column."""
+        level = dest[0] - (self.n - self.cn) + 1
+        if 1 <= level <= self.cn and dest[1] >= self.cn:
+            return level
+        return None
+
+    def in_box(self, node: tuple[int, int], i: int) -> bool:
+        """The i-box: west of/including the N_i-column, within the band."""
+        return node[0] <= self.column(i) and node[1] < self.cn
+
+    def sources(self) -> list[tuple[int, int]]:
+        return [
+            (x, y) for y in range(self.cn) for x in range(self.n - self.cn)
+        ]
+
+    def destination(self, level: int, j: int) -> tuple[int, int]:
+        """The j-th destination cell of a column (rows cn..n-1)."""
+        return (self.column(level), self.cn + j)
+
+
+@dataclass
+class DimensionOrderAdversary:
+    """Interceptor applying the single dimension-order exchange rule."""
+
+    constants: DimensionOrderConstants
+    geometry: DorGeometry
+    log: bool = False
+    exchange_count: int = 0
+    records: list[ExchangeRecord] = field(default_factory=list)
+
+    def __call__(self, sim: Simulator, schedule: list[ScheduledMove]) -> None:
+        t = sim.time
+        if t > self.constants.bound_steps:
+            return
+        geo, dn = self.geometry, self.constants.dn
+        scheduled_target = {mv.packet.pid: mv.target for mv in schedule}
+
+        for _ in range(len(schedule) * (geo.levels + 1) + 16):
+            exchanged = False
+            for mv in schedule:
+                j = geo.classify(mv.packet.dest)
+                if j is None:
+                    continue
+                x, y = mv.target
+                i = x - (self.constants.n - self.constants.cn) + 1
+                if not (1 <= i <= geo.levels and y < geo.cn and t <= i * dn):
+                    continue
+                if j <= i:
+                    continue
+                partner = self._find_partner(sim, mv.packet, i, scheduled_target)
+                if partner is None:
+                    raise AdversaryError(
+                        f"step {t}: no eligible N_{i}-packet (dim-order rule)"
+                    )
+                mv.packet.exchange_destinations(partner)
+                self.exchange_count += 1
+                if self.log:
+                    self.records.append(
+                        ExchangeRecord(t, "DOR", i, mv.packet.pid, partner.pid)
+                    )
+                exchanged = True
+            if not exchanged:
+                return
+        raise AdversaryError(f"exchange fixpoint not reached at step {t}")
+
+    def _find_partner(
+        self,
+        sim: Simulator,
+        exclude: Packet,
+        i: int,
+        scheduled_target: dict[int, tuple[int, int]],
+    ) -> Packet | None:
+        geo = self.geometry
+        guard_x = geo.column(i)
+        best: Packet | None = None
+        best_rank: tuple[int, int] | None = None
+        for p in sim.iter_packets():
+            if p.pid == exclude.pid or geo.classify(p.dest) != i:
+                continue
+            if not geo.in_box(p.pos, i - 1):
+                continue
+            target = scheduled_target.get(p.pid)
+            if target is not None and target[0] == guard_x:
+                continue
+            rank = (0 if target is None else 1, p.pid)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = p, rank
+        return best
+
+
+class DorLowerBoundConstruction:
+    """Run the dimension-order construction against a dimension-order victim."""
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[], RoutingAlgorithm],
+        *,
+        check_invariants: bool = False,
+        log_exchanges: bool = False,
+    ) -> None:
+        self.algorithm_factory = algorithm_factory
+        probe = algorithm_factory()
+        if not probe.destination_exchangeable:
+            raise TypeError(
+                f"{probe.name}: this construction needs a destination-"
+                "exchangeable victim (use the farthest-first construction "
+                "for distance-aware dimension-order routers)"
+            )
+        if not probe.dimension_ordered or not probe.minimal:
+            raise TypeError(
+                f"{probe.name}: the Section 5 construction applies only to "
+                "minimal dimension-order algorithms"
+            )
+        self.k = probe.queue_spec.node_capacity
+        self.constants = DimensionOrderConstants.choose(n, self.k)
+        self.geometry = DorGeometry(
+            n=n, cn=self.constants.cn, levels=self.constants.l_floor
+        )
+        self.check_invariants = check_invariants
+        self.log_exchanges = log_exchanges
+
+    def build_packets(self) -> list[Packet]:
+        """Every source sends; each destination column receives (1-c)n packets.
+
+        Packet ids are assigned in sorted-source order to match
+        :func:`~repro.core.replay.packets_from_permutation`, so construction
+        and replay configurations are comparable packet-for-packet.
+        """
+        geo = self.geometry
+        rows_per_column = geo.n - geo.cn
+        pairs: dict[tuple[int, int], tuple[int, int]] = {}
+        for idx, src in enumerate(geo.sources()):
+            level = idx // rows_per_column + 1
+            j = idx % rows_per_column
+            pairs[src] = geo.destination(level, j)
+        return [Packet(pid, src, dst) for pid, (src, dst) in enumerate(sorted(pairs.items()))]
+
+    def run(self):
+        from repro.core.construction import ConstructionResult, InvariantViolation
+
+        packets = self.build_packets()
+        self._all = {p.pid: p for p in packets}
+        adversary = DimensionOrderAdversary(
+            self.constants, self.geometry, log=self.log_exchanges
+        )
+        sim = Simulator(
+            Mesh(self.constants.n),
+            self.algorithm_factory(),
+            packets,
+            interceptor=adversary,
+        )
+        geo, dn = self.geometry, self.constants.dn
+        before: dict[int, tuple[int, int]] = {}
+        for _ in range(self.constants.bound_steps):
+            if self.check_invariants:
+                before = {p.pid: p.pos for p in sim.iter_packets()}
+            sim.step()
+            if self.check_invariants:
+                self._check(sim, before)
+
+        return ConstructionResult(
+            constants=self.constants,
+            permutation=sorted((p.source, p.dest) for p in packets),
+            bound_steps=self.constants.bound_steps,
+            exchange_count=adversary.exchange_count,
+            undelivered_at_bound=sim.in_flight,
+            final_configuration=sim.configuration(),
+            delivery_times=dict(sim.delivery_times),
+            records=list(adversary.records),
+            packet_table=sorted((p.pid, p.source, p.dest) for p in packets),
+        )
+
+    def _check(self, sim: Simulator, before: dict[int, tuple[int, int]]) -> None:
+        from repro.core.construction import InvariantViolation
+
+        geo, dn, t = self.geometry, self.constants.dn, sim.time
+        # Confinement: while level i is protected, no class j > i has
+        # reached the N_i-column.
+        current = {p.pid: p for p in sim.iter_packets()}
+        for p in current.values():
+            j = geo.classify(p.dest)
+            if j is None:
+                continue
+            for i in range(1, min(j, geo.levels + 1)):
+                if t <= i * dn and p.pos[0] >= geo.column(i):
+                    raise InvariantViolation(
+                        f"t={t}: class-{j} packet {p.pid} at {p.pos} reached "
+                        f"the N_{i}-column"
+                    )
+        # Escape counting: at most one class-i packet leaves the i-box per
+        # step during its window; none while a higher level protects it.
+        escapes: dict[int, int] = {}
+        for pid, pos_before in before.items():
+            p = self._all[pid]  # delivered packets rest at their destination
+            for i in range(1, geo.levels + 1):
+                if not geo.in_box(pos_before, i):
+                    continue
+                if geo.in_box(p.pos, i):
+                    continue
+                j = geo.classify(p.dest)
+                if j is None or j < i:
+                    continue
+                if t <= (i - 1) * dn or (j > i and t <= i * dn):
+                    raise InvariantViolation(
+                        f"t={t}: class-{j} packet {pid} left the {i}-box "
+                        "during a protected phase"
+                    )
+                if t <= i * dn:
+                    escapes[i] = escapes.get(i, 0) + 1
+                    if escapes[i] > 1:
+                        raise InvariantViolation(
+                            f"t={t}: two class-{i} packets left the {i}-box"
+                        )

@@ -1,0 +1,244 @@
+"""Section 5 extensions of the lower bound: the torus and h-h routing.
+
+**Torus.**  "The construction is simply applied to a contiguous
+``(n/2) x (n/2)`` submesh of the torus."  Every displacement inside that
+submesh is strictly shorter than half the circumference, so minimal paths
+never wrap and profitable directions match the mesh -- the whole Sections
+3-4 machinery runs unchanged, yielding the same ``Omega(n^2/k^2)`` (in the
+submesh side ``m = n/2``).
+
+**h-h routing.**  Each 1-box node starts with ``h`` packets; ``p`` is
+unchanged but ``l = h c^2 n^2 / (2p)``, giving
+``Omega(h^3 n^2 / (k+h)^2)``.  The static variant requires ``h <= k`` (the
+paper notes ``h > k`` forces the dynamic setting).  The exchange rules and
+all lemmas are untouched: :class:`~repro.core.adversary.AdaptiveAdversary`
+is reused as-is.
+
+**Nonminimal algorithms.**  For destination-exchangeable algorithms whose
+packets stray at most ``delta`` nodes beyond their source-destination
+rectangle, Section 5 scales ``p`` by ``(delta + 1)`` and obtains
+``Omega(n^2 / ((delta+1)^3 k^2))``; :func:`nonminimal_bound_steps` exposes
+that closed form (see :mod:`repro.core.bounds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable
+
+from repro.core.adversary import AdaptiveAdversary
+from repro.core.constants import InfeasibleConstructionError
+from repro.core.construction import (
+    AdaptiveLowerBoundConstruction,
+    ConstructionResult,
+    _InvariantChecker,
+)
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import Simulator
+from repro.mesh.topology import Torus
+
+
+class TorusLowerBoundConstruction(AdaptiveLowerBoundConstruction):
+    """The Sections 3-4 construction embedded in an ``n x n`` torus.
+
+    Constants are chosen for the ``(n//2) x (n//2)`` submesh at the origin;
+    the simulation runs on the full torus.  ``n`` must be even.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[], RoutingAlgorithm],
+        **kwargs,
+    ) -> None:
+        if n % 2 != 0:
+            raise ValueError(f"torus construction needs even n, got {n}")
+        super().__init__(n // 2, algorithm_factory, **kwargs)
+        # Everything geometric was sized for the m x m submesh; only the
+        # network is the full torus.
+        self.torus_n = n
+        self.topology = Torus(n)
+
+
+@dataclass(frozen=True)
+class HhConstants:
+    """Constants for the h-h extension.
+
+    Mirrors :class:`~repro.core.constants.AdaptiveConstants` with
+    ``l = floor(h c^2 n^2 / (2p))``.  The duck-typed fields used by the
+    adversary and replay (``n``, ``dn``, ``bound_steps``) are identical.
+    """
+
+    n: int
+    k: int
+    h: int
+    cn: int
+    dn: int
+    p: int
+    l_floor: int
+    bound_steps: int
+
+    @property
+    def c(self) -> Fraction:
+        return Fraction(self.cn, self.n)
+
+    @property
+    def l(self) -> Fraction:
+        return Fraction(self.h * self.cn * self.cn, 2 * self.p)
+
+    @property
+    def total_construction_packets(self) -> int:
+        return 2 * self.p * self.l_floor
+
+    @classmethod
+    def choose(cls, n: int, k: int, h: int) -> "HhConstants":
+        if h < 1:
+            raise ValueError(f"h must be >= 1, got {h}")
+        if k < h:
+            raise InfeasibleConstructionError(
+                f"static h-h needs h <= k (paper: h > k requires the dynamic "
+                f"setting); got h={h}, k={k}"
+            )
+        # Paper: c <= h/(3(k+1+h)); largest integral cn.
+        cn = (n * h) // (3 * (k + 1 + h))
+        dn = (2 * n) // 5  # d <= 2/5 remains safely within d <= 5h/9
+        if cn < 1 or dn < 1:
+            raise InfeasibleConstructionError(f"n={n}, k={k}, h={h}: cn or dn is 0")
+        c = Fraction(cn, n)
+        p = int((k + 1) * (cn + c * c * n) + dn)
+        l = Fraction(h * cn * cn, 2 * p)
+        l_floor = int(l)
+        consts = cls(
+            n=n, k=k, h=h, cn=cn, dn=dn, p=p, l_floor=l_floor,
+            bound_steps=l_floor * dn,
+        )
+        # Constraint: p <= h((1-c)n - l) -- enough destination rows at
+        # multiplicity h.
+        if consts.p > h * ((1 - c) * n - l):
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}, h={h}: destination constraint fails"
+            )
+        if l > c * c * n * h:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}, h={h}: l exceeds h c^2 n"
+            )
+        if l_floor < 1:
+            raise InfeasibleConstructionError(
+                f"n={n}, k={k}, h={h}: floor(l) = 0"
+            )
+        return consts
+
+
+class HhLowerBoundConstruction:
+    """The h-h lower bound construction (static variant, h <= k)."""
+
+    def __init__(
+        self,
+        n: int,
+        h: int,
+        algorithm_factory: Callable[[], RoutingAlgorithm],
+        *,
+        check_invariants: bool = False,
+    ) -> None:
+        self.algorithm_factory = algorithm_factory
+        probe = algorithm_factory()
+        if not probe.destination_exchangeable or not probe.minimal:
+            raise TypeError(
+                f"{probe.name}: need a destination-exchangeable minimal victim"
+            )
+        self.k = probe.queue_spec.node_capacity
+        self.h = h
+        self.constants = HhConstants.choose(n, self.k, h)
+        self.geometry = BoxGeometry(
+            n=n, cn=self.constants.cn, levels=self.constants.l_floor,
+            p=self.constants.p, h=h,
+        )
+        self.check_invariants = check_invariants
+        from repro.mesh.topology import Mesh
+
+        self.topology = Mesh(n)
+
+    def build_packets(self) -> list[Packet]:
+        """Place h packets per 1-box node, column/row exclusivity preserved."""
+        consts, geo = self.constants, self.geometry
+        cn, p, levels, h = consts.cn, consts.p, consts.l_floor, self.h
+
+        labels: list[tuple[str, int]] = []
+        # Column/row exclusive cells first (h slots each).
+        column_cells = [(cn - 1, y) for y in range(cn)]
+        row_cells = [(x, cn - 1) for x in range(cn - 1)]
+        zero_box = [(x, y) for y in range(cn - 1) for x in range(cn - 1)]
+
+        remaining = {
+            (N_CLASS, i): p for i in range(1, levels + 1)
+        }
+        remaining.update({(E_CLASS, i): p for i in range(1, levels + 1)})
+
+        placements: list[tuple[tuple[int, int], tuple[str, int]]] = []
+
+        def take(cells, key):
+            for cell in cells:
+                for _ in range(h):
+                    if remaining[key] == 0:
+                        return
+                    remaining[key] -= 1
+                    placements.append((cell, key))
+
+        take(column_cells, (N_CLASS, 1))
+        take(row_cells, (E_CLASS, 1))
+
+        # Everything left goes into the 0-box, h per node, any order.
+        flat: list[tuple[str, int]] = []
+        for key in sorted(remaining, key=lambda kv: (kv[1], kv[0])):
+            flat.extend([key] * remaining[key])
+        slots = [cell for cell in zero_box for _ in range(h)]
+        if len(flat) > len(slots):
+            raise InfeasibleConstructionError(
+                f"h-h placement does not fit: {len(flat)} packets for "
+                f"{len(slots)} 0-box slots"
+            )
+        placements.extend(zip(slots, flat))
+
+        counters: dict[tuple[str, int], int] = {}
+        pairs: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        for cell, key in placements:
+            j = counters.get(key, 0)
+            counters[key] = j + 1
+            tag, i = key
+            dest = (
+                geo.n_destination(i, j) if tag == N_CLASS else geo.e_destination(i, j)
+            )
+            pairs.append((cell, dest))
+        pairs.sort()
+        return [Packet(pid, src, dst) for pid, (src, dst) in enumerate(pairs)]
+
+    def run(self) -> ConstructionResult:
+        packets = self.build_packets()
+        adversary = AdaptiveAdversary(self.constants, self.geometry)
+        sim = Simulator(
+            self.topology, self.algorithm_factory(), packets, interceptor=adversary
+        )
+        checker = (
+            _InvariantChecker(self.constants, self.geometry, packets)
+            if self.check_invariants
+            else None
+        )
+        for _ in range(self.constants.bound_steps):
+            if checker:
+                checker.before_step(sim)
+            sim.step()
+            if checker:
+                checker.after_step(sim)
+        return ConstructionResult(
+            constants=self.constants,
+            permutation=sorted((p.source, p.dest) for p in packets),
+            bound_steps=self.constants.bound_steps,
+            exchange_count=adversary.exchange_count,
+            undelivered_at_bound=sim.in_flight,
+            final_configuration=sim.configuration(),
+            delivery_times=dict(sim.delivery_times),
+            packet_table=sorted((p.pid, p.source, p.dest) for p in packets),
+        )

@@ -1,0 +1,283 @@
+"""The Section 5 farthest-first construction: Omega(n^2/k) without
+destination-exchangeability.
+
+Farthest-first inspects remaining distances, so the Lemma 10 argument does
+not apply; the paper instead crafts exchanges that preserve every
+*comparison* the farthest-first policy will make.  Geometry (Figure 4,
+right): every node of the ``cn`` southernmost rows sends one packet; the
+``N_i``-column is the ``(n+1-i)``-th column (level 1 is the easternmost
+column, levels grow westward); destinations sit north of the band in the
+corresponding column.
+
+Initial arrangement: within each row, destination classes are
+non-increasing west to east (so farther-destined packets are always west of
+nearer-destined ones), and no ``N_i``-packet starts in its own column for
+``i >= 2``.
+
+Exchange rule: while ``t <= (j-1) dn``, an ``N_j``-packet scheduled to
+enter its own ``N_j``-column is exchanged with an ``N_{j-1}``-packet that
+is in the ``(j+1)``-box, not scheduled to enter the ``N_j``-column, and
+westernmost in its row -- pushing the about-to-turn packet's destination
+one column east and preserving the row ordering invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.adversary import ExchangeRecord
+from repro.core.constants import FarthestFirstConstants
+from repro.mesh.errors import AdversaryError
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import ScheduledMove, Simulator
+from repro.mesh.topology import Mesh
+
+
+@dataclass(frozen=True)
+class FfGeometry:
+    """Geometry of the farthest-first construction (0-indexed)."""
+
+    n: int
+    cn: int
+    levels: int  # protected levels (floor(l))
+    num_classes: int  # total destination classes (columns used)
+
+    def column(self, i: int) -> int:
+        """0-indexed x of the N_i-column: the i-th column from the east."""
+        return self.n - i
+
+    def classify(self, dest: tuple[int, int]) -> int | None:
+        level = self.n - dest[0]
+        if 1 <= level <= self.num_classes and dest[1] >= self.cn:
+            return level
+        return None
+
+    def in_box(self, node: tuple[int, int], i: int) -> bool:
+        """The i-box: west of/including the N_i-column, within the band."""
+        return node[0] <= self.column(i) and node[1] < self.cn
+
+    def destination(self, level: int, j: int) -> tuple[int, int]:
+        return (self.column(level), self.cn + j)
+
+
+@dataclass
+class FarthestFirstAdversary:
+    """Interceptor applying the farthest-first exchange rule."""
+
+    constants: FarthestFirstConstants
+    geometry: FfGeometry
+    log: bool = False
+    exchange_count: int = 0
+    records: list[ExchangeRecord] = field(default_factory=list)
+
+    def __call__(self, sim: Simulator, schedule: list[ScheduledMove]) -> None:
+        t = sim.time
+        if t > self.constants.bound_steps:
+            return
+        geo, dn = self.geometry, self.constants.dn
+        scheduled_target = {mv.packet.pid: mv.target for mv in schedule}
+
+        for _ in range(len(schedule) + 16):
+            exchanged = False
+            for mv in schedule:
+                j = geo.classify(mv.packet.dest)
+                if j is None or j < 2:
+                    continue
+                if mv.target[0] != geo.column(j) or mv.target[1] >= geo.cn:
+                    continue  # not entering its own column within the band
+                if t > (j - 1) * dn:
+                    continue  # the rule has expired for this class
+                partner = self._find_partner(sim, mv.packet, j, scheduled_target)
+                if partner is None:
+                    raise AdversaryError(
+                        f"step {t}: no eligible N_{j - 1}-packet (farthest-"
+                        "first rule)"
+                    )
+                mv.packet.exchange_destinations(partner)
+                self.exchange_count += 1
+                if self.log:
+                    self.records.append(
+                        ExchangeRecord(t, "FF", j, mv.packet.pid, partner.pid)
+                    )
+                exchanged = True
+            if not exchanged:
+                return
+        raise AdversaryError(f"exchange fixpoint not reached at step {t}")
+
+    def _find_partner(
+        self,
+        sim: Simulator,
+        exclude: Packet,
+        j: int,
+        scheduled_target: dict[int, tuple[int, int]],
+    ) -> Packet | None:
+        """An N_{j-1}-packet in the (j+1)-box, not scheduled to enter the
+        N_j-column, westernmost in its row."""
+        geo = self.geometry
+        guard_x = geo.column(j)
+        per_row_best: dict[int, Packet] = {}
+        for p in sim.iter_packets():
+            if p.pid == exclude.pid or geo.classify(p.dest) != j - 1:
+                continue
+            if not geo.in_box(p.pos, j + 1):
+                continue
+            target = scheduled_target.get(p.pid)
+            if target is not None and target[0] == guard_x:
+                continue
+            row = p.pos[1]
+            cur = per_row_best.get(row)
+            if cur is None or (p.pos[0], p.pid) < (cur.pos[0], cur.pid):
+                per_row_best[row] = p
+        if not per_row_best:
+            return None
+        return min(per_row_best.values(), key=lambda p: (p.pos[0], p.pos[1], p.pid))
+
+
+class FfLowerBoundConstruction:
+    """Run the farthest-first construction against a farthest-first victim."""
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[], RoutingAlgorithm],
+        *,
+        check_invariants: bool = False,
+        log_exchanges: bool = False,
+    ) -> None:
+        self.algorithm_factory = algorithm_factory
+        probe = algorithm_factory()
+        if not probe.dimension_ordered or not probe.minimal:
+            raise TypeError(
+                f"{probe.name}: this construction targets minimal "
+                "dimension-order (farthest-first) algorithms"
+            )
+        self.k = probe.queue_spec.node_capacity
+        self.constants = FarthestFirstConstants.choose(n, self.k)
+        n_, cn, p = n, self.constants.cn, self.constants.p
+        num_classes = -(-(n_ * cn) // p)  # ceil: classes of size p (last short)
+        if num_classes > n_ // 2:
+            raise ValueError(
+                f"n={n_}, k={self.k}: {num_classes} destination classes do "
+                "not fit east of the sources"
+            )
+        self.geometry = FfGeometry(
+            n=n_, cn=cn, levels=self.constants.l_floor, num_classes=num_classes
+        )
+        self.check_invariants = check_invariants
+        self.log_exchanges = log_exchanges
+
+    def build_packets(self) -> list[Packet]:
+        """Column-major west-to-east fill with class labels descending.
+
+        Guarantees the two arrangement invariants: within each row, classes
+        are non-increasing eastward; and (because ``p >= 3 cn``) the class
+        of the packet at cell ``(n-i, y)`` is well below ``i`` for
+        ``i >= 2``, so no packet starts in its own column.
+        """
+        geo, p = self.geometry, self.constants.p
+        total = geo.n * geo.cn
+        members: dict[int, int] = {}
+        pairs: dict[tuple[int, int], tuple[int, int]] = {}
+        for idx in range(total):
+            x, y = idx // geo.cn, idx % geo.cn
+            # Descending class fill: westernmost cells get the highest class.
+            rank_from_east = total - 1 - idx
+            level = rank_from_east // p + 1
+            j = members.get(level, 0)
+            members[level] = j + 1
+            pairs[(x, y)] = geo.destination(level, j)
+        return [Packet(pid, src, dst) for pid, (src, dst) in enumerate(sorted(pairs.items()))]
+
+    def run(self):
+        from repro.core.construction import ConstructionResult
+
+        packets = self.build_packets()
+        self._all = {p.pid: p for p in packets}
+        adversary = FarthestFirstAdversary(
+            self.constants, self.geometry, log=self.log_exchanges
+        )
+        sim = Simulator(
+            Mesh(self.constants.n),
+            self.algorithm_factory(),
+            packets,
+            interceptor=adversary,
+        )
+        before: dict[int, tuple[int, int]] = {}
+        for _ in range(self.constants.bound_steps):
+            if self.check_invariants:
+                before = {p.pid: p.pos for p in sim.iter_packets()}
+            sim.step()
+            if self.check_invariants:
+                self._check(sim, before)
+
+        return ConstructionResult(
+            constants=self.constants,
+            permutation=sorted((p.source, p.dest) for p in packets),
+            bound_steps=self.constants.bound_steps,
+            exchange_count=adversary.exchange_count,
+            undelivered_at_bound=sim.in_flight,
+            final_configuration=sim.configuration(),
+            delivery_times=dict(sim.delivery_times),
+            records=list(adversary.records),
+            packet_table=sorted((p.pid, p.source, p.dest) for p in packets),
+        )
+
+    def _check(self, sim: Simulator, before: dict[int, tuple[int, int]]) -> None:
+        from repro.core.construction import InvariantViolation
+
+        geo, dn, t = self.geometry, self.constants.dn, sim.time
+        # Row-ordering invariant and own-column confinement.
+        in_band: dict[int, list[tuple[int, int]]] = {}
+        for p in sim.iter_packets():
+            j = geo.classify(p.dest)
+            if j is None:
+                continue
+            x, y = p.pos
+            if t <= (j - 1) * dn and x >= geo.column(j):
+                raise InvariantViolation(
+                    f"t={t}: class-{j} packet {p.pid} at {p.pos} reached its "
+                    "own column during the protected phase"
+                )
+            if y < geo.cn and x < geo.column(j):
+                in_band.setdefault(y, []).append((x, j))
+        for y, entries in in_band.items():
+            entries.sort()
+            min_class_west = None  # smallest class among strictly-west cells
+            idx = 0
+            while idx < len(entries):
+                x = entries[idx][0]
+                group = [j for (gx, j) in entries[idx:] if gx == x]
+                if min_class_west is not None and max(group) > min_class_west:
+                    raise InvariantViolation(
+                        f"t={t}: row {y}: class-{max(group)} packet at x={x} "
+                        f"is east of a class-{min_class_west} packet"
+                    )
+                low = min(group)
+                if min_class_west is None or low < min_class_west:
+                    min_class_west = low
+                idx += len(group)
+        # Escape counting for protected boxes.
+        escapes: dict[int, int] = {}
+        for pid, pos_before in before.items():
+            p = self._all[pid]
+            for i in range(1, geo.levels + 1):
+                if not geo.in_box(pos_before, i):
+                    continue
+                if geo.in_box(p.pos, i):
+                    continue
+                j = geo.classify(p.dest)
+                if j is None or j < i:
+                    continue
+                if t <= (i - 1) * dn or (j > i and t <= i * dn):
+                    raise InvariantViolation(
+                        f"t={t}: class-{j} packet {pid} left the {i}-box "
+                        "during a protected phase"
+                    )
+                if t <= i * dn:
+                    escapes[i] = escapes.get(i, 0) + 1
+                    if escapes[i] > 1:
+                        raise InvariantViolation(
+                            f"t={t}: two class-{i} packets left the {i}-box"
+                        )

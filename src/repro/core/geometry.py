@@ -1,0 +1,124 @@
+"""i-box geometry and packet classification (Section 2, "Definitions").
+
+The paper numbers columns/rows 1..n; we use 0-indexed coordinates, so the
+``N_i``-column (paper: the ``(cn-1+i)``-th column) has 0-indexed x equal to
+``cn + i - 2``, and likewise for the ``E_i``-row.  The ``i``-box is the set
+of nodes west of and including the ``N_i``-column and south of and
+including the ``E_i``-row; the 0-box is the set strictly southwest of both,
+which the same formula yields at ``i = 0``.
+
+A packet's class is a function of its *destination* (given that it started
+in the ``cn x cn`` submesh): an ``N_i``-packet is destined for the
+``N_i``-column strictly north of the ``E_i``-row, an ``E_i``-packet for the
+``E_i``-row strictly east of the ``N_i``-column.  Because an exchange swaps
+destinations between two construction packets, class labels travel with the
+destination, exactly as in the paper's bookkeeping.  Filler packets added
+to complete a permutation (Section 3, step 2) start outside the submesh and
+are classless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import AdaptiveConstants
+
+#: Packet class tags.
+N_CLASS = "N"
+E_CLASS = "E"
+
+
+@dataclass(frozen=True)
+class BoxGeometry:
+    """Geometry helper bound to one construction instance.
+
+    Attributes:
+        n: Mesh side.
+        cn: Side of the 1-box (the cn x cn southwest submesh).
+        levels: Number of box levels (``floor(l)``).
+        p: Packets per class per level.
+        h: Destination multiplicity (1 for permutations; the h-h extension
+            packs up to h packets per destination row/column cell).
+
+    All methods take/return 0-indexed coordinates.
+    """
+
+    n: int
+    cn: int
+    levels: int
+    p: int
+    h: int = 1
+
+    @classmethod
+    def from_constants(cls, consts: AdaptiveConstants) -> "BoxGeometry":
+        return cls(n=consts.n, cn=consts.cn, levels=consts.l_floor, p=consts.p)
+
+    @property
+    def rows_per_class(self) -> int:
+        """Distinct destination cells a class occupies: ceil(p / h)."""
+        return -(-self.p // self.h)
+
+    # -- landmark coordinates ---------------------------------------------
+
+    def n_column(self, i: int) -> int:
+        """0-indexed x of the N_i-column (paper's (cn-1+i)-th column)."""
+        return self.cn + i - 2
+
+    def e_row(self, i: int) -> int:
+        """0-indexed y of the E_i-row."""
+        return self.cn + i - 2
+
+    def corner(self, i: int) -> tuple[int, int]:
+        """The single node of the i-box boundary through which N_i/E_i
+        packets may escape (Lemma 2)."""
+        return (self.n_column(i), self.e_row(i))
+
+    # -- region predicates ---------------------------------------------------
+
+    def in_box(self, node: tuple[int, int], i: int) -> bool:
+        """Node lies in the i-box (i = 0 gives the 0-box)."""
+        return node[0] <= self.n_column(i) and node[1] <= self.e_row(i)
+
+    def in_one_box_submesh(self, node: tuple[int, int]) -> bool:
+        """Node lies in the cn x cn southwest submesh (equals the 1-box)."""
+        return node[0] < self.cn and node[1] < self.cn
+
+    def on_n_column_south(self, node: tuple[int, int], i: int) -> bool:
+        """Node is in the N_i-column strictly south of the E_i-row."""
+        return node[0] == self.n_column(i) and node[1] < self.e_row(i)
+
+    def on_e_row_west(self, node: tuple[int, int], i: int) -> bool:
+        """Node is in the E_i-row strictly west of the N_i-column."""
+        return node[1] == self.e_row(i) and node[0] < self.n_column(i)
+
+    # -- destinations and classification ---------------------------------------
+
+    def n_destination(self, i: int, j: int) -> tuple[int, int]:
+        """Destination of the j-th (0-based) N_i-packet: rows in the
+        N_i-column strictly north of the E_i-row, h packets per row."""
+        return (self.n_column(i), self.e_row(i) + 1 + j // self.h)
+
+    def e_destination(self, i: int, j: int) -> tuple[int, int]:
+        """Destination of the j-th E_i-packet."""
+        return (self.n_column(i) + 1 + j // self.h, self.e_row(i))
+
+    def classify(self, dest: tuple[int, int]) -> tuple[str, int] | None:
+        """Class of a construction packet from its destination.
+
+        Returns ``(N_CLASS, i)`` or ``(E_CLASS, i)`` when ``dest`` is one of
+        the construction's family destinations (level ``1 <= i <= levels``,
+        index ``0 <= j < p``), else None.  Filler destinations never match
+        because the families occupy their cells exclusively.
+        """
+        x, y = dest
+        i = x - self.cn + 2  # level if dest sits on an N_i-column
+        if 1 <= i <= self.levels:
+            j = y - self.e_row(i) - 1
+            if 0 <= j < self.rows_per_class:
+                return (N_CLASS, i)
+        i = y - self.cn + 2
+        if 1 <= i <= self.levels:
+            j = x - self.n_column(i) - 1
+            if 0 <= j < self.rows_per_class:
+                return (E_CLASS, i)
+        return None

@@ -1,0 +1,99 @@
+"""Initial packet placement for the Sections 3-4 construction (step 1).
+
+Places ``p`` ``N_i``- and ``p`` ``E_i``-packets for each level
+``1 <= i <= floor(l)`` inside the 1-box (the ``cn x cn`` southwest submesh)
+such that:
+
+- only ``N_1``-packets occupy the ``N_1``-column at or south of the
+  ``E_1``-row,
+- only ``E_1``-packets occupy the ``E_1``-row west of the ``N_1``-column,
+- at most one packet per node (so any queue capacity ``k >= 1`` suffices).
+
+Destinations are the unique family cells of
+:meth:`~repro.core.geometry.BoxGeometry.n_destination` /
+:meth:`~repro.core.geometry.BoxGeometry.e_destination`.  Optionally the
+instance is completed to a full permutation with classless filler packets
+(step 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import AdaptiveConstants
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+from repro.mesh.packet import Packet
+
+
+def build_construction_packets(
+    consts: AdaptiveConstants,
+    geometry: BoxGeometry | None = None,
+    fill: str = "none",
+) -> list[Packet]:
+    """Build the initial routing instance of the construction.
+
+    Args:
+        consts: Construction constants for (n, k).
+        geometry: Box geometry (derived from ``consts`` when omitted).
+        fill: ``"none"`` for just the construction's partial permutation,
+            ``"full"`` to complete it to a full permutation with filler
+            packets (paper step 2 allows any such completion).
+
+    Returns:
+        Packets with one source per node used, unique destinations; a valid
+        (partial) permutation.
+    """
+    if fill not in ("none", "full"):
+        raise ValueError(f"fill must be 'none' or 'full', got {fill!r}")
+    geo = geometry or BoxGeometry.from_constants(consts)
+    cn, p, levels = consts.cn, consts.p, consts.l_floor
+
+    # Destination queues per class/level, consumed in order.
+    dest_iters = {
+        (N_CLASS, i): [geo.n_destination(i, j) for j in range(p)] for i in range(1, levels + 1)
+    }
+    dest_iters.update(
+        {(E_CLASS, i): [geo.e_destination(i, j) for j in range(p)] for i in range(1, levels + 1)}
+    )
+
+    placements: list[tuple[tuple[int, int], tuple[str, int]]] = []
+
+    # The N_1-column inside the 1-box holds only N_1-packets (cn nodes,
+    # including the corner, which is at the E_1-row).
+    for y in range(cn):
+        placements.append(((cn - 1, y), (N_CLASS, 1)))
+    # The E_1-row west of the N_1-column holds only E_1-packets.
+    for x in range(cn - 1):
+        placements.append(((x, cn - 1), (E_CLASS, 1)))
+
+    # Everything else goes into the 0-box, one packet per node.
+    remaining: list[tuple[str, int]] = []
+    remaining.extend([(N_CLASS, 1)] * (p - cn))
+    remaining.extend([(E_CLASS, 1)] * (p - (cn - 1)))
+    for i in range(2, levels + 1):
+        remaining.extend([(N_CLASS, i)] * p)
+        remaining.extend([(E_CLASS, i)] * p)
+
+    zero_box_nodes = [(x, y) for y in range(cn - 1) for x in range(cn - 1)]
+    if len(remaining) > len(zero_box_nodes):
+        raise ValueError(
+            f"placement does not fit: {len(remaining)} packets for "
+            f"{len(zero_box_nodes)} 0-box nodes (constants bug)"
+        )
+    placements.extend(zip(zero_box_nodes, remaining))
+
+    pairs: dict[tuple[int, int], tuple[int, int]] = {}
+    for node, key in placements:
+        pairs[node] = dest_iters[key].pop(0)
+    for key, leftovers in dest_iters.items():
+        if leftovers:
+            raise ValueError(f"destinations left unassigned for {key} (placement bug)")
+
+    if fill == "full":
+        n = consts.n
+        all_nodes = [(x, y) for x in range(n) for y in range(n)]
+        used_sources = set(pairs)
+        used_dests = set(pairs.values())
+        free_sources = [v for v in all_nodes if v not in used_sources]
+        free_dests = [v for v in all_nodes if v not in used_dests]
+        pairs.update(zip(free_sources, free_dests))
+
+    return [Packet(pid, src, dst) for pid, (src, dst) in enumerate(sorted(pairs.items()))]

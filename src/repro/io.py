@@ -1,0 +1,95 @@
+"""Saving and loading routing instances and construction results.
+
+Adversarial constructions are expensive to regenerate (quadratic
+simulations); persisting the constructed permutation lets a hard instance
+be built once and reused across benchmark runs, shared, or inspected.
+Plain JSON, no pickle: files are diffable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.mesh.packet import Packet
+
+FORMAT_VERSION = 1
+
+
+def packets_to_json(packets: list[Packet]) -> dict[str, Any]:
+    """A JSON-serializable description of a routing instance."""
+    return {
+        "version": FORMAT_VERSION,
+        "packets": [
+            {
+                "pid": p.pid,
+                "source": list(p.source),
+                "dest": list(p.dest),
+                "injection_time": p.injection_time,
+            }
+            for p in packets
+        ],
+    }
+
+
+def packets_from_json(data: dict[str, Any]) -> list[Packet]:
+    """Rebuild packets from :func:`packets_to_json` output."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported instance format: {data.get('version')!r}")
+    return [
+        Packet(
+            entry["pid"],
+            tuple(entry["source"]),
+            tuple(entry["dest"]),
+            injection_time=entry.get("injection_time", 0),
+        )
+        for entry in data["packets"]
+    ]
+
+
+def save_instance(packets: list[Packet], path: str | pathlib.Path) -> None:
+    """Write an instance to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(packets_to_json(packets)))
+
+
+def load_instance(path: str | pathlib.Path) -> list[Packet]:
+    """Read an instance from a JSON file."""
+    return packets_from_json(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_construction(result, path: str | pathlib.Path) -> None:
+    """Persist the reusable parts of a ConstructionResult.
+
+    Stores the packet identity table (pids pin queue order, see
+    ``ConstructionResult.packet_table``) plus the certified bound and the
+    construction's bookkeeping.  The configuration snapshot is not stored:
+    replays regenerate it, and it is what the Lemma 12 check compares.
+    """
+    data = {
+        "version": FORMAT_VERSION,
+        "n": result.constants.n,
+        "k": result.constants.k,
+        "bound_steps": result.bound_steps,
+        "exchange_count": result.exchange_count,
+        "undelivered_at_bound": result.undelivered_at_bound,
+        "packet_table": [
+            [pid, list(src), list(dst)] for pid, src, dst in result.packet_table
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(data))
+
+
+def load_construction_instance(path: str | pathlib.Path) -> tuple[dict[str, Any], list[Packet]]:
+    """Load a saved construction: (metadata, replayable packets)."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported construction format: {data.get('version')!r}")
+    packets = [
+        Packet(pid, tuple(src), tuple(dst))
+        for pid, src, dst in sorted(data["packet_table"])
+    ]
+    meta = {key: data[key] for key in (
+        "n", "k", "bound_steps", "exchange_count", "undelivered_at_bound"
+    )}
+    return meta, packets

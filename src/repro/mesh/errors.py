@@ -1,0 +1,54 @@
+"""Exceptions raised by the simulator when a model rule is violated.
+
+These are *programming errors in a routing algorithm*, not runtime
+conditions: the paper's model obliges the inqueue policy to guarantee its
+queue never overflows, and a minimal algorithm to schedule packets only on
+profitable outlinks.  The simulator enforces both so that every experiment
+provably ran inside the model.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for model violations and simulator failures."""
+
+
+class QueueOverflowError(SimulationError):
+    """An inqueue policy accepted more packets than its queue can hold.
+
+    Section 2: "The inqueue policy must guarantee that the queue does not
+    overflow."
+    """
+
+
+class InvalidScheduleError(SimulationError):
+    """An outqueue policy produced an illegal schedule.
+
+    Examples: scheduling a packet that is not in the node, scheduling two
+    packets on one outlink, or scheduling along a nonexistent boundary link.
+    """
+
+
+class NonMinimalMoveError(InvalidScheduleError):
+    """A minimal algorithm scheduled a packet on an unprofitable outlink."""
+
+
+class SimulationLimitError(SimulationError):
+    """The step budget was exhausted before all packets were delivered."""
+
+    def __init__(self, steps: int, undelivered: int) -> None:
+        super().__init__(
+            f"{undelivered} packet(s) undelivered after {steps} steps"
+        )
+        self.steps = steps
+        self.undelivered = undelivered
+
+
+class AdversaryError(SimulationError):
+    """The adversary could not find an eligible packet for an exchange.
+
+    Lemmas 3 and 4 prove eligible packets always exist while the
+    construction's preconditions hold; hitting this error in a valid
+    configuration would falsify the construction (or reveal a bug).
+    """

@@ -1,0 +1,44 @@
+"""Topology export to networkx graphs.
+
+Provided for downstream analysis (spectral properties, cut computation,
+visualization) and used by the test suite to cross-validate our closed-form
+distances and diameters against a reference shortest-path implementation.
+"""
+
+from __future__ import annotations
+
+from repro.mesh.directions import DIRECTIONS
+from repro.mesh.topology import Topology
+
+
+def to_networkx(topology: Topology):
+    """The topology as an undirected :class:`networkx.Graph`.
+
+    Nodes are ``(x, y)`` tuples; every mesh/torus link appears once.
+    """
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.nodes())
+    for node in topology.nodes():
+        for d in DIRECTIONS:
+            nb = topology.neighbor(node, d)
+            if nb is not None:
+                graph.add_edge(node, nb)
+    return graph
+
+
+def bisection_width(topology: Topology) -> int:
+    """Links crossing the vertical midline -- the mesh/torus bisection.
+
+    The classic capacity argument: uniform traffic at per-node rate r needs
+    r * N / 2 packets to cross the bisection per step, so the saturating
+    rate is about ``2 * bisection / N`` (cf. examples/dynamic_traffic.py).
+    """
+    left = topology.width // 2 - 1
+    crossings = 0
+    for y in range(topology.height):
+        crossings += 1  # the (left, y) -- (left+1, y) link
+    if topology.wraps:
+        crossings += topology.height  # the wraparound links also cross
+    return crossings

@@ -1,0 +1,177 @@
+"""The routing-algorithm interface (Section 2's model, as an ABC).
+
+A routing algorithm supplies, for every node, an *outqueue policy* (which
+packets to attempt to transmit on which outlinks), an *inqueue policy*
+(which scheduled packets to accept), and state-transition functions for node
+and packet state.  The simulator drives these through the paper's per-step
+phase order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar, Iterable, Mapping, Sequence
+
+from repro.mesh.directions import Direction
+from repro.mesh.queues import QueueSpec
+from repro.mesh.visibility import Offer, PacketView
+
+
+class NodeContext:
+    """Everything a policy may see of one node at one step.
+
+    Attributes:
+        node: The node's coordinates.  (Positional self-knowledge is
+            slightly more than the paper's strictest reading of node state
+            grants, but it cannot break Lemma 10: views of exchanged packets
+            remain identical regardless of which nodes observe them.  All
+            built-in destination-exchangeable policies ignore it.)
+        state: The node's algorithm state (read-only here; return a new
+            state from :meth:`RoutingAlgorithm.after_step` to change it).
+        out_directions: Directions in which the node has outlinks.
+        time: Current step number (a global clock; used only by globally
+            scheduled algorithms, which are not destination-exchangeable).
+    """
+
+    __slots__ = (
+        "node",
+        "state",
+        "out_directions",
+        "time",
+        "_raw",
+        "_view_factory",
+        "_views",
+        "_packets",
+    )
+
+    def __init__(
+        self,
+        node: tuple[int, int],
+        state: Any,
+        out_directions: tuple[Direction, ...],
+        time: int,
+        raw_queues: dict[Any, list],
+        view_factory,
+    ) -> None:
+        self.node = node
+        self.state = state
+        self.out_directions = out_directions
+        self.time = time
+        # Views are materialized lazily: policies that only inspect
+        # occupancies (most inqueue policies) never pay for them.
+        self._raw = raw_queues
+        self._view_factory = view_factory
+        self._views: dict[Any, list[PacketView]] = {}
+        self._packets: tuple[PacketView, ...] | None = None
+
+    @property
+    def packets(self) -> tuple[PacketView, ...]:
+        """All packet views in the node, queue by queue, in arrival order."""
+        if self._packets is None:
+            flat: list[PacketView] = []
+            for key in sorted(self._raw, key=repr):
+                flat.extend(self.queue(key))
+            self._packets = tuple(flat)
+        return self._packets
+
+    def queue(self, key: Any) -> Sequence[PacketView]:
+        """Views in one queue, in arrival (FIFO) order."""
+        views = self._views.get(key)
+        if views is None:
+            raw = self._raw.get(key)
+            if not raw:
+                return ()
+            views = [self._view_factory(p) for p in raw]
+            self._views[key] = views
+        return views
+
+    @property
+    def queue_keys(self) -> Iterable[Any]:
+        return [k for k, q in self._raw.items() if q]
+
+    def occupancy(self, key: Any) -> int:
+        """Number of packets currently in queue ``key``."""
+        return len(self._raw.get(key, ()))
+
+    @property
+    def total_occupancy(self) -> int:
+        return sum(len(q) for q in self._raw.values())
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class for routing algorithms in the Section 2 model.
+
+    Class attributes:
+        name: Human-readable identifier used in reports.
+        destination_exchangeable: When True (the default), policies receive
+            :class:`PacketView` objects without destination information and
+            the algorithm is subject to the paper's lower bounds.  When
+            False, policies receive :class:`FullPacketView`.
+        minimal: When True (the default), the simulator rejects any schedule
+            that moves a packet along an unprofitable outlink.
+        needs_idle_updates: When True, :meth:`after_step` is invoked for
+            every node every step, even nodes holding no packets.  All
+            built-in algorithms leave this False; their node states evolve
+            only in response to local packet activity.
+
+    Instance attribute:
+        queue_spec: The node queue organization (set in ``__init__``).
+    """
+
+    name: ClassVar[str] = "unnamed"
+    destination_exchangeable: ClassVar[bool] = True
+    minimal: ClassVar[bool] = True
+    needs_idle_updates: ClassVar[bool] = False
+    #: True for algorithms that route strictly row-first then column (the
+    #: Section 5 dimension-order constructions require this path structure).
+    dimension_ordered: ClassVar[bool] = False
+
+    def __init__(self, queue_spec: QueueSpec) -> None:
+        self.queue_spec = queue_spec
+
+    # -- initialization ------------------------------------------------------
+
+    def initial_node_state(
+        self, node: tuple[int, int], originating: Sequence[PacketView]
+    ) -> Any:
+        """Node state at step 0 (default: none)."""
+        return None
+
+    def initial_packet_state(self, view: PacketView) -> Any:
+        """Packet state at step 0 (default: none).
+
+        ``view.state`` is None at this point; the returned value becomes the
+        packet's state.
+        """
+        return None
+
+    # -- the per-step policies -------------------------------------------------
+
+    @abc.abstractmethod
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        """Choose at most one packet per outlink to attempt to transmit.
+
+        Returns a mapping from outlink direction to the view of the packet
+        scheduled on it.  A packet may be scheduled on at most one outlink.
+        """
+
+    @abc.abstractmethod
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        """Choose which scheduled packets to accept.
+
+        ``offers`` is ordered by inlink direction (N, E, S, W).  Returns the
+        accepted subset.  The policy must guarantee no queue overflows after
+        this step's departures and arrivals are applied; the simulator
+        verifies and raises :class:`~repro.mesh.errors.QueueOverflowError`
+        otherwise.
+        """
+
+    # -- state transitions ------------------------------------------------------
+
+    def after_step(self, ctx: NodeContext) -> Any:
+        """Compute the node's state for the next step; may update packet states.
+
+        Called after transmission with the node's end-of-step contents.  The
+        default keeps the state unchanged.
+        """
+        return ctx.state

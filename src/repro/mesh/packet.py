@@ -1,0 +1,63 @@
+"""Packets (Section 2).
+
+A packet carries an immutable source address, a destination address (mutable
+*only* through :meth:`Packet.exchange_destinations`, the operation the
+adversary of Section 3 is permitted), and a mutable state that routing
+algorithms may read and write while the packet sits in a node.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Packet:
+    """A routed packet.
+
+    Attributes:
+        pid: Unique integer id.  Stays with the packet across destination
+            exchanges, like the source address.
+        source: The node where the packet was injected.
+        dest: The node the packet must reach.  Only the adversary's
+            exchange operation may modify it.
+        state: Algorithm-writable per-packet state (Section 2's "state of a
+            packet").  Travels with the packet.
+        pos: Current node, maintained by the simulator.
+        injection_time: Step at which the packet enters the network
+            (0 for static problems; used by dynamic workloads).
+    """
+
+    __slots__ = ("pid", "source", "dest", "state", "pos", "injection_time")
+
+    def __init__(
+        self,
+        pid: int,
+        source: tuple[int, int],
+        dest: tuple[int, int],
+        state: Any = None,
+        injection_time: int = 0,
+    ) -> None:
+        self.pid = pid
+        self.source = source
+        self.dest = dest
+        self.state = state
+        self.pos = source
+        self.injection_time = injection_time
+
+    def exchange_destinations(self, other: "Packet") -> None:
+        """Swap destination addresses with ``other``.
+
+        This is the adversary's *exchange* (Section 2, "Definitions"):
+        "a switching of their destination addresses.  The remaining packet
+        information (state and source address) remains unchanged."
+        """
+        self.dest, other.dest = other.dest, self.dest
+
+    def copy(self) -> "Packet":
+        """An independent snapshot (used by replay/equivalence checking)."""
+        clone = Packet(self.pid, self.source, self.dest, self.state, self.injection_time)
+        clone.pos = self.pos
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Packet(#{self.pid} {self.source}->{self.dest} @{self.pos})"

@@ -1,0 +1,99 @@
+"""Queue models (Section 2 and the "Other Queue Types" extension of Section 5).
+
+The paper's base model gives each node one *central* queue holding up to
+``k`` packets.  Section 5 extends the lower bound to nodes with four
+*incoming* queues (one per inlink) of size ``k`` each; Theorem 15's
+algorithm uses exactly that organization.  :class:`QueueSpec` describes
+which queues a node has, their capacity, and how packets map to queues on
+arrival and at injection time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mesh.directions import DIRECTIONS, Direction
+
+#: Queue key used by the central-queue model.
+CENTRAL = "central"
+
+#: Queue kinds.
+KIND_CENTRAL = "central"
+KIND_INCOMING = "incoming"
+
+
+def default_incoming_initial_key(profitable: frozenset[Direction]) -> Direction:
+    """Queue for a freshly injected packet in the incoming-queue model.
+
+    The packet is placed in the queue of the inlink it *would* have arrived
+    on if it were already travelling dimension-order: an east-bound packet
+    sits in the West queue, and so on.  This depends only on the packet's
+    profitable outlinks, so it is a legal initial assignment for a
+    destination-exchangeable algorithm (Section 2 allows the initial state
+    of a node to depend on the profitable outlinks of the packet that
+    originates there).
+    """
+    if Direction.E in profitable:
+        return Direction.W
+    if Direction.W in profitable:
+        return Direction.E
+    if Direction.N in profitable:
+        return Direction.S
+    if Direction.S in profitable:
+        return Direction.N
+    # Delivered-at-source packets never actually enter a queue.
+    return Direction.S
+
+
+class QueueSpec:
+    """Describes the queue organization of every node.
+
+    Args:
+        capacity: Maximum number of packets per queue (the paper's ``k``).
+        kind: ``"central"`` (one queue per node) or ``"incoming"`` (one
+            queue per inlink direction).
+        initial_key: For the incoming model, maps a packet's profitable
+            outlinks to the queue it is injected into.  Ignored for the
+            central model.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        kind: str = KIND_CENTRAL,
+        initial_key: Callable[[frozenset[Direction]], Any] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if kind not in (KIND_CENTRAL, KIND_INCOMING):
+            raise ValueError(f"unknown queue kind {kind!r}")
+        self.capacity = capacity
+        self.kind = kind
+        self._initial_key = initial_key or default_incoming_initial_key
+
+    @property
+    def keys(self) -> tuple[Any, ...]:
+        """All queue keys a node may use."""
+        if self.kind == KIND_CENTRAL:
+            return (CENTRAL,)
+        return DIRECTIONS
+
+    @property
+    def node_capacity(self) -> int:
+        """Total packets a node can hold across all of its queues."""
+        return self.capacity * len(self.keys)
+
+    def arrival_key(self, came_from: Direction) -> Any:
+        """Queue for a packet arriving on the inlink from ``came_from``."""
+        if self.kind == KIND_CENTRAL:
+            return CENTRAL
+        return came_from
+
+    def initial_key(self, profitable: frozenset[Direction]) -> Any:
+        """Queue for a packet injected at its source node."""
+        if self.kind == KIND_CENTRAL:
+            return CENTRAL
+        return self._initial_key(profitable)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"QueueSpec(capacity={self.capacity}, kind={self.kind!r})"

@@ -1,0 +1,534 @@
+"""The synchronous multi-port mesh simulator (Sections 2 and 3).
+
+Each :meth:`Simulator.step` executes the paper's exact phase order:
+
+    (a) every node's outqueue policy schedules at most one packet per
+        outlink;
+    (b) the interceptor hook runs -- this is where the Section 3 adversary
+        performs its destination exchanges;
+    (c) every node's inqueue policy accepts or refuses the packets scheduled
+        to enter it;
+    (d) accepted packets are transmitted (departures before arrivals);
+        packets arriving at their destination are delivered and removed;
+    (e) node and packet states are updated from end-of-step contents.
+
+The simulator enforces the model: at most one packet per outlink, minimal
+moves for minimal algorithms (rechecked *after* the interceptor so adversary
+bugs are caught too), and queue capacities after every transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.mesh.directions import Direction
+from repro.mesh.errors import (
+    InvalidScheduleError,
+    NonMinimalMoveError,
+    QueueOverflowError,
+    SimulationLimitError,
+)
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.topology import Topology
+from repro.mesh.visibility import FullPacketView, Offer, PacketView
+
+
+class ScheduledMove:
+    """One packet scheduled on one outlink during phase (a)."""
+
+    __slots__ = ("packet", "src", "direction", "target")
+
+    def __init__(
+        self,
+        packet: Packet,
+        src: tuple[int, int],
+        direction: Direction,
+        target: tuple[int, int],
+    ) -> None:
+        self.packet = packet
+        self.src = src
+        self.direction = direction
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScheduledMove({self.packet!r} {self.src}-{self.direction.name}->{self.target})"
+
+
+@dataclass
+class StepRecord:
+    """Optional per-step series entry (enable with ``record_series=True``)."""
+
+    time: int
+    in_flight: int
+    delivered_total: int
+    moves: int
+    max_queue_len: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Simulator.run`.
+
+    Attributes:
+        completed: True when every packet was delivered within the budget.
+        steps: Steps executed (equals the delivery time of the last packet
+            when ``completed``).
+        total_packets: Number of packets in the problem instance.
+        delivered: Number delivered.
+        max_queue_len: Maximum occupancy any single queue ever reached.
+        max_node_load: Maximum total packets any node ever held at once.
+        total_moves: Total packet transmissions (network load).
+        delivery_times: pid -> step at which the packet was delivered.
+        series: Per-step records when series recording was enabled.
+    """
+
+    completed: bool
+    steps: int
+    total_packets: int
+    delivered: int
+    max_queue_len: int
+    max_node_load: int
+    total_moves: int
+    delivery_times: dict[int, int] = field(repr=False, default_factory=dict)
+    series: list[StepRecord] = field(repr=False, default_factory=list)
+
+
+Interceptor = Callable[["Simulator", list[ScheduledMove]], None]
+
+
+class Simulator:
+    """Synchronous simulator for one routing problem instance.
+
+    Args:
+        topology: The mesh or torus.
+        algorithm: The routing algorithm under test.
+        packets: The problem instance.  Packets whose source equals their
+            destination are delivered at step 0.  Packets with
+            ``injection_time > 0`` wait outside the network and enter at the
+            first step at or after that time at which their source node has
+            queue space (the dynamic setting of Section 5).
+        interceptor: Optional phase-(b) hook; the lower-bound adversary.
+        validate: Enforce model rules every step (small overhead; leave on
+            except in the innermost benchmark loops).
+        record_series: Record a :class:`StepRecord` per step.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: RoutingAlgorithm,
+        packets: Iterable[Packet],
+        *,
+        interceptor: Interceptor | None = None,
+        validate: bool = True,
+        record_series: bool = False,
+        record_link_loads: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.algorithm = algorithm
+        self.interceptor = interceptor
+        self.validate = validate
+        self.record_series = record_series
+        self.record_link_loads = record_link_loads
+        #: (node, direction) -> transmissions, when link recording is on.
+        self.link_loads: dict[tuple[tuple[int, int], Direction], int] = {}
+        #: Optional (src, direction, time) -> bool availability hook; see
+        #: repro.mesh.asynchrony.
+        self.link_filter: Callable[[tuple[int, int], Direction, int], bool] | None = None
+        self.spec = algorithm.queue_spec
+
+        self._default_after_step = (
+            type(algorithm).after_step is RoutingAlgorithm.after_step
+        )
+        self.time = 0
+        self.queues: dict[tuple[int, int], dict[Any, list[Packet]]] = {}
+        self.node_states: dict[tuple[int, int], Any] = {}
+        self.delivery_times: dict[int, int] = {}
+        self.total_packets = 0
+        self.total_moves = 0
+        self.max_queue_len = 0
+        self.max_node_load = 0
+        self.series: list[StepRecord] = []
+        self._pending: list[Packet] = []
+        self._in_flight = 0
+        self._out_dirs_cache: dict[tuple[int, int], tuple[Direction, ...]] = {}
+
+        self._load(packets)
+
+    # -- setup ---------------------------------------------------------------
+
+    def _load(self, packets: Iterable[Packet]) -> None:
+        seen: set[int] = set()
+        originating: dict[tuple[int, int], list[Packet]] = {}
+        for p in packets:
+            if p.pid in seen:
+                raise ValueError(f"duplicate packet id {p.pid}")
+            seen.add(p.pid)
+            if not self.topology.contains(p.source) or not self.topology.contains(p.dest):
+                raise ValueError(f"packet {p.pid} endpoints outside topology")
+            self.total_packets += 1
+            if p.injection_time > 0:
+                self._pending.append(p)
+                continue
+            p.pos = p.source
+            if p.source == p.dest:
+                self.delivery_times[p.pid] = 0
+                continue
+            originating.setdefault(p.source, []).append(p)
+
+        self._pending.sort(key=lambda p: (p.injection_time, p.pid))
+
+        for node, plist in originating.items():
+            plist.sort(key=lambda p: p.pid)
+            node_queues = self.queues.setdefault(node, {})
+            views = []
+            for p in plist:
+                profitable = self.topology.profitable_directions(node, p.dest)
+                p.state = self.algorithm.initial_packet_state(self._make_view(p, profitable))
+                key = self.spec.initial_key(profitable)
+                node_queues.setdefault(key, []).append(p)
+                views.append(self._make_view(p, profitable))
+                self._in_flight += 1
+            state = self.algorithm.initial_node_state(node, views)
+            if state is not None:
+                self.node_states[node] = state
+            self._check_capacity(node)
+            self._note_load(node)
+
+    # -- views ---------------------------------------------------------------
+
+    def _make_view(self, packet: Packet, profitable: frozenset[Direction]) -> PacketView:
+        if self.algorithm.destination_exchangeable:
+            return PacketView(packet, profitable)
+        disp = self.topology.displacement(packet.pos, packet.dest)
+        return FullPacketView(packet, profitable, disp)
+
+    def _view_at(self, packet: Packet, node: tuple[int, int]) -> PacketView:
+        profitable = self.topology.profitable_directions(node, packet.dest)
+        if self.algorithm.destination_exchangeable:
+            return PacketView(packet, profitable)
+        disp = self.topology.displacement(node, packet.dest)
+        return FullPacketView(packet, profitable, disp)
+
+    def _context(self, node: tuple[int, int]) -> NodeContext:
+        return NodeContext(
+            node,
+            self.node_states.get(node),
+            self._out_directions(node),
+            self.time,
+            self.queues.get(node, {}),
+            lambda p, node=node: self._view_at(p, node),
+        )
+
+    def _out_directions(self, node: tuple[int, int]) -> tuple[Direction, ...]:
+        dirs = self._out_dirs_cache.get(node)
+        if dirs is None:
+            dirs = self.topology.out_directions(node)
+            self._out_dirs_cache[node] = dirs
+        return dirs
+
+    # -- introspection (used by adversaries, tests, and metrics) ---------------
+
+    def iter_packets(self) -> Iterator[Packet]:
+        """All undelivered, injected packets."""
+        for node_queues in self.queues.values():
+            for q in node_queues.values():
+                yield from q
+
+    def packets_at(self, node: tuple[int, int]) -> list[Packet]:
+        out: list[Packet] = []
+        for q in self.queues.get(node, {}).values():
+            out.extend(q)
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        """Undelivered packets currently in the network."""
+        return self._in_flight
+
+    @property
+    def undelivered(self) -> int:
+        return self.total_packets - len(self.delivery_times)
+
+    def configuration(self) -> tuple:
+        """Canonical hashable snapshot of the network configuration.
+
+        Captures, per node, the per-queue packet sequences (pid, source,
+        dest, state) plus the node's state -- the paper's "configuration of
+        a network" (Section 4.2).  Used to verify Lemma 12 replay equality.
+        Packet and node states must be hashable.
+        """
+        items = []
+        for node in sorted(self.queues):
+            node_queues = self.queues[node]
+            qitems = []
+            for key in sorted(node_queues, key=repr):
+                q = node_queues[key]
+                if q:
+                    qitems.append(
+                        (repr(key), tuple((p.pid, p.source, p.dest, p.state) for p in q))
+                    )
+            if qitems:
+                items.append((node, tuple(qitems), self.node_states.get(node)))
+        return tuple(items)
+
+    # -- the step ---------------------------------------------------------------
+
+    def step(self) -> list[ScheduledMove]:
+        """Run one synchronous step; returns the moves that were transmitted."""
+        self.time += 1
+        self._inject_pending()
+
+        # (a) outqueue policies.
+        schedule: list[ScheduledMove] = []
+        for node in sorted(self.queues):
+            if not any(self.queues[node].values()):
+                continue
+            ctx = self._context(node)
+            if not ctx.packets:
+                continue
+            chosen = self.algorithm.outqueue(ctx)
+            if not chosen:
+                continue
+            if self.validate:
+                self._validate_schedule(node, ctx, chosen)
+            for direction, view in chosen.items():
+                target = self.topology.neighbor(node, direction)
+                if target is None:
+                    raise InvalidScheduleError(
+                        f"{self.algorithm.name}: node {node} scheduled on missing "
+                        f"outlink {direction.name}"
+                    )
+                schedule.append(ScheduledMove(view._packet, node, direction, target))
+
+        # (b) interceptor (the adversary's exchanges happen here).
+        if self.interceptor is not None:
+            self.interceptor(self, schedule)
+
+        # Minimality is checked against post-exchange destinations: the
+        # adversary must leave every scheduled move profitable (Section 3's
+        # exchange rules guarantee this; we verify).
+        if self.validate and self.algorithm.minimal:
+            for mv in schedule:
+                profitable = self.topology.profitable_directions(mv.src, mv.packet.dest)
+                if mv.direction not in profitable:
+                    raise NonMinimalMoveError(
+                        f"packet {mv.packet.pid} at {mv.src} scheduled "
+                        f"{mv.direction.name}, unprofitable for dest {mv.packet.dest}"
+                    )
+
+        # Optional link filter (the asynchronous extension): a scheduled
+        # move over an unavailable link silently fails this step, exactly
+        # like a refusal -- the policies cannot tell the difference.
+        if self.link_filter is not None:
+            schedule = [
+                mv
+                for mv in schedule
+                if self.link_filter(mv.src, mv.direction, self.time)
+            ]
+
+        # (c) inqueue policies.
+        offers_by_target: dict[tuple[int, int], list[tuple[Offer, ScheduledMove]]] = {}
+        for mv in schedule:
+            view = self._view_at(mv.packet, mv.src)  # profitable from sender
+            offer = Offer(view, mv.direction.opposite, mv.src)
+            offers_by_target.setdefault(mv.target, []).append((offer, mv))
+
+        accepted_moves: list[ScheduledMove] = []
+        touched: set[tuple[int, int]] = set()
+        for target in sorted(offers_by_target):
+            pairs = offers_by_target[target]
+            pairs.sort(key=lambda pair: pair[0].came_from)
+            offers = [pair[0] for pair in pairs]
+            by_offer = {id(pair[0]): pair[1] for pair in pairs}
+            ctx = self._context(target)
+            accepted = list(self.algorithm.inqueue(ctx, offers))
+            if self.validate:
+                ids = {id(o) for o in offers}
+                for off in accepted:
+                    if id(off) not in ids:
+                        raise InvalidScheduleError(
+                            f"{self.algorithm.name}: inqueue at {target} accepted "
+                            "an offer it was not given"
+                        )
+                if len({id(o) for o in accepted}) != len(accepted):
+                    raise InvalidScheduleError(
+                        f"{self.algorithm.name}: inqueue at {target} accepted "
+                        "an offer twice"
+                    )
+            for off in accepted:
+                accepted_moves.append(by_offer[id(off)])
+            touched.add(target)
+            touched.update(pair[1].src for pair in pairs)
+
+        # (d) transmit: departures first, then arrivals.
+        accepted_moves.sort(key=lambda mv: (mv.target, mv.direction.opposite))
+        for mv in accepted_moves:
+            self._remove_packet(mv.src, mv.packet)
+        arrivals: set[tuple[int, int]] = set()
+        for mv in accepted_moves:
+            p = mv.packet
+            p.pos = mv.target
+            self.total_moves += 1
+            if self.record_link_loads:
+                key = (mv.src, mv.direction)
+                self.link_loads[key] = self.link_loads.get(key, 0) + 1
+            if p.pos == p.dest:
+                self.delivery_times[p.pid] = self.time
+                self._in_flight -= 1
+            else:
+                key = self.spec.arrival_key(mv.direction.opposite)
+                self.queues.setdefault(mv.target, {}).setdefault(key, []).append(p)
+                arrivals.add(mv.target)
+        for node in arrivals:
+            self._check_capacity(node)
+            self._note_load(node)
+
+        # (e) state updates from end-of-step contents.  Skipped entirely for
+        # algorithms that keep the base-class no-op after_step: they can
+        # neither change node state nor packet states here.
+        if not self._default_after_step:
+            if self.algorithm.needs_idle_updates:
+                update_nodes: Iterable[tuple[int, int]] = self.topology.nodes()
+            else:
+                touched.update(arrivals)
+                occupied = {n for n, qs in self.queues.items() if any(qs.values())}
+                update_nodes = sorted(occupied | touched)
+            for node in update_nodes:
+                ctx = self._context(node)
+                new_state = self.algorithm.after_step(ctx)
+                if new_state is None:
+                    self.node_states.pop(node, None)
+                else:
+                    self.node_states[node] = new_state
+
+        self._prune_empty()
+
+        if self.record_series:
+            self.series.append(
+                StepRecord(
+                    time=self.time,
+                    in_flight=self._in_flight,
+                    delivered_total=len(self.delivery_times),
+                    moves=len(accepted_moves),
+                    max_queue_len=self.max_queue_len,
+                )
+            )
+        return accepted_moves
+
+    # -- step helpers ---------------------------------------------------------
+
+    def _inject_pending(self) -> None:
+        if not self._pending:
+            return
+        still_pending: list[Packet] = []
+        for p in self._pending:
+            # A packet with injection_time = t is present from the end of
+            # step t, so its first move happens during step t+1 -- matching
+            # static packets (t = 0, first move at step 1).
+            if p.injection_time >= self.time:
+                still_pending.append(p)
+                continue
+            if p.source == p.dest:
+                self.delivery_times[p.pid] = self.time
+                continue
+            profitable = self.topology.profitable_directions(p.source, p.dest)
+            key = self.spec.initial_key(profitable)
+            if len(self.queues.get(p.source, {}).get(key, ())) >= self.spec.capacity:
+                still_pending.append(p)  # its queue is full; retry next step
+                continue
+            p.pos = p.source
+            p.state = self.algorithm.initial_packet_state(self._make_view(p, profitable))
+            self.queues.setdefault(p.source, {}).setdefault(key, []).append(p)
+            self._in_flight += 1
+            self._check_capacity(p.source)
+            self._note_load(p.source)
+        self._pending = still_pending
+
+    def _validate_schedule(
+        self,
+        node: tuple[int, int],
+        ctx: NodeContext,
+        chosen: dict[Direction, PacketView],
+    ) -> None:
+        seen_packets: set[int] = set()
+        for direction, view in chosen.items():
+            p = view._packet
+            if p.pos != node:
+                raise InvalidScheduleError(
+                    f"{self.algorithm.name}: node {node} scheduled packet "
+                    f"{p.pid} which is at {p.pos}"
+                )
+            if p.pid in seen_packets:
+                raise InvalidScheduleError(
+                    f"{self.algorithm.name}: node {node} scheduled packet "
+                    f"{p.pid} on two outlinks"
+                )
+            seen_packets.add(p.pid)
+
+    def _remove_packet(self, node: tuple[int, int], packet: Packet) -> None:
+        for q in self.queues.get(node, {}).values():
+            try:
+                q.remove(packet)
+                return
+            except ValueError:
+                continue
+        raise InvalidScheduleError(
+            f"packet {packet.pid} not found at {node} during transmit"
+        )
+
+    def _check_capacity(self, node: tuple[int, int]) -> None:
+        for key, q in self.queues.get(node, {}).items():
+            if len(q) > self.spec.capacity:
+                raise QueueOverflowError(
+                    f"{self.algorithm.name}: queue {key!r} at {node} holds "
+                    f"{len(q)} > capacity {self.spec.capacity}"
+                )
+
+    def _note_load(self, node: tuple[int, int]) -> None:
+        load = 0
+        for q in self.queues.get(node, {}).values():
+            n = len(q)
+            load += n
+            if n > self.max_queue_len:
+                self.max_queue_len = n
+        if load > self.max_node_load:
+            self.max_node_load = load
+
+    def _prune_empty(self) -> None:
+        for node in [n for n, qs in self.queues.items() if not any(qs.values())]:
+            del self.queues[node]
+
+    # -- driving -----------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return len(self.delivery_times) == self.total_packets
+
+    def run(self, max_steps: int, *, raise_on_limit: bool = False) -> RunResult:
+        """Step until all packets are delivered or ``max_steps`` is reached."""
+        while not self.done and self.time < max_steps:
+            self.step()
+        if not self.done and raise_on_limit:
+            raise SimulationLimitError(self.time, self.undelivered)
+        return self.result()
+
+    def run_steps(self, steps: int) -> None:
+        """Run exactly ``steps`` further steps (used by the construction)."""
+        for _ in range(steps):
+            self.step()
+
+    def result(self) -> RunResult:
+        return RunResult(
+            completed=self.done,
+            steps=self.time,
+            total_packets=self.total_packets,
+            delivered=len(self.delivery_times),
+            max_queue_len=self.max_queue_len,
+            max_node_load=self.max_node_load,
+            total_moves=self.total_moves,
+            delivery_times=dict(self.delivery_times),
+            series=list(self.series),
+        )

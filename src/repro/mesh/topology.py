@@ -1,0 +1,209 @@
+"""Mesh and torus topologies (Section 2 and the torus extension of Section 5).
+
+A topology answers purely geometric questions: which nodes exist, which
+links exist, what is the minimal distance between two nodes, and -- the
+quantity the whole paper revolves around -- which outlinks of a node are
+*profitable* for a packet, i.e. bring it strictly closer to its destination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mesh.directions import DIRECTIONS, Direction
+
+
+class Topology:
+    """Base class for rectangular grid topologies.
+
+    Subclasses define edge behaviour (:class:`Mesh` clips at the boundary,
+    :class:`Torus` wraps around).  Coordinates are ``(x, y)`` with
+    ``0 <= x < width`` (west to east) and ``0 <= y < height`` (south to
+    north).
+    """
+
+    #: Set by subclasses: True when links wrap around the boundary.
+    wraps: bool = False
+
+    def __init__(self, width: int, height: int | None = None) -> None:
+        if height is None:
+            height = width
+        if width < 1 or height < 1:
+            raise ValueError(f"topology must be at least 1x1, got {width}x{height}")
+        self.width = width
+        self.height = height
+
+    # -- basic geometry ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def nodes(self) -> Iterator[tuple[int, int]]:
+        """All nodes in column-major (west-to-east, south-to-north) order."""
+        for x in range(self.width):
+            for y in range(self.height):
+                yield (x, y)
+
+    def contains(self, node: tuple[int, int]) -> bool:
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    # -- links -------------------------------------------------------------
+
+    def neighbor(self, node: tuple[int, int], direction: Direction) -> tuple[int, int] | None:
+        """The node at the far end of ``node``'s outlink ``direction``.
+
+        Returns None when the outlink does not exist (mesh boundary).
+        """
+        raise NotImplementedError
+
+    def out_directions(self, node: tuple[int, int]) -> tuple[Direction, ...]:
+        """The directions in which ``node`` has outlinks, in (N, E, S, W) order."""
+        return tuple(d for d in DIRECTIONS if self.neighbor(node, d) is not None)
+
+    def neighbors(self, node: tuple[int, int]) -> list[tuple[int, int]]:
+        out = []
+        for d in DIRECTIONS:
+            nb = self.neighbor(node, d)
+            if nb is not None:
+                out.append(nb)
+        return out
+
+    # -- distance and profitability -----------------------------------------
+
+    def distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Length of a shortest path from ``a`` to ``b``."""
+        raise NotImplementedError
+
+    def profitable_directions(
+        self, node: tuple[int, int], dest: tuple[int, int]
+    ) -> frozenset[Direction]:
+        """Outlinks of ``node`` that move a packet strictly closer to ``dest``.
+
+        This is the only destination-derived information a
+        destination-exchangeable algorithm may use (Section 2).
+        """
+        raise NotImplementedError
+
+    def displacement(
+        self, node: tuple[int, int], dest: tuple[int, int]
+    ) -> tuple[int, int]:
+        """Signed minimal displacement ``(dx, dy)`` from ``node`` to ``dest``.
+
+        ``dx > 0`` means the destination lies to the east along a shortest
+        path, etc.  On the torus the shorter way around is chosen; an exact
+        half-circumference tie is reported as positive.
+        """
+        raise NotImplementedError
+
+    @property
+    def diameter(self) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({self.width}x{self.height})"
+
+
+class Mesh(Topology):
+    """The ``width x height`` mesh: bidirectional links between grid neighbours."""
+
+    wraps = False
+
+    def neighbor(self, node: tuple[int, int], direction: Direction) -> tuple[int, int] | None:
+        x, y = node
+        nx, ny = x + direction.dx, y + direction.dy
+        if 0 <= nx < self.width and 0 <= ny < self.height:
+            return (nx, ny)
+        return None
+
+    def distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def displacement(self, node: tuple[int, int], dest: tuple[int, int]) -> tuple[int, int]:
+        return (dest[0] - node[0], dest[1] - node[1])
+
+    def profitable_directions(
+        self, node: tuple[int, int], dest: tuple[int, int]
+    ) -> frozenset[Direction]:
+        dirs = []
+        dx = dest[0] - node[0]
+        dy = dest[1] - node[1]
+        if dy > 0:
+            dirs.append(Direction.N)
+        elif dy < 0:
+            dirs.append(Direction.S)
+        if dx > 0:
+            dirs.append(Direction.E)
+        elif dx < 0:
+            dirs.append(Direction.W)
+        return frozenset(dirs)
+
+    @property
+    def diameter(self) -> int:
+        return (self.width - 1) + (self.height - 1)
+
+
+class Torus(Topology):
+    """The ``width x height`` torus: the mesh with wraparound links."""
+
+    wraps = True
+
+    def neighbor(self, node: tuple[int, int], direction: Direction) -> tuple[int, int] | None:
+        x, y = node
+        return ((x + direction.dx) % self.width, (y + direction.dy) % self.height)
+
+    @staticmethod
+    def _axis_delta(src: int, dst: int, size: int) -> int:
+        """Signed shortest displacement along one wrapping axis.
+
+        A tie (``|delta| == size/2`` for even ``size``) is reported as
+        positive so results stay deterministic.
+        """
+        delta = (dst - src) % size
+        if delta > size // 2:
+            delta -= size
+        elif delta == size - delta and delta != 0:
+            # even size, exact halfway: keep positive representative
+            pass
+        return delta
+
+    def displacement(self, node: tuple[int, int], dest: tuple[int, int]) -> tuple[int, int]:
+        return (
+            self._axis_delta(node[0], dest[0], self.width),
+            self._axis_delta(node[1], dest[1], self.height),
+        )
+
+    def distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        dx, dy = self.displacement(a, b)
+        return abs(dx) + abs(dy)
+
+    def profitable_directions(
+        self, node: tuple[int, int], dest: tuple[int, int]
+    ) -> frozenset[Direction]:
+        dirs: list[Direction] = []
+        dxr = (dest[0] - node[0]) % self.width
+        dyr = (dest[1] - node[1]) % self.height
+        if dyr != 0:
+            # Moving north reduces distance iff the northward way is at most
+            # as long as the southward way.
+            if dyr < self.height - dyr:
+                dirs.append(Direction.N)
+            elif dyr > self.height - dyr:
+                dirs.append(Direction.S)
+            else:  # exact tie: both ways are shortest
+                dirs.append(Direction.N)
+                dirs.append(Direction.S)
+        if dxr != 0:
+            if dxr < self.width - dxr:
+                dirs.append(Direction.E)
+            elif dxr > self.width - dxr:
+                dirs.append(Direction.W)
+            else:
+                dirs.append(Direction.E)
+                dirs.append(Direction.W)
+        return frozenset(dirs)
+
+    @property
+    def diameter(self) -> int:
+        return self.width // 2 + self.height // 2

@@ -1,0 +1,69 @@
+"""Packet path tracing: record every hop of selected packets.
+
+A :class:`PathTracer` wraps a simulator's interceptor slot (or chains onto
+an existing interceptor such as an adversary) and snapshots positions after
+scheduling, reconstructing each packet's full trajectory.  Used by tests to
+verify path properties (minimality, dimension order, box confinement) and
+handy for debugging new algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.mesh.simulator import ScheduledMove, Simulator
+
+
+class PathTracer:
+    """Records trajectories of selected packets.
+
+    Args:
+        pids: Packets to trace (None = all).
+        chain: Optional interceptor to run first (e.g. an adversary); the
+            tracer observes positions *after* any destination exchanges.
+
+    Use as ``Simulator(..., interceptor=tracer)``; trajectories accumulate
+    in :attr:`paths` as lists of nodes (including the start), and
+    destination changes (adversary exchanges) in :attr:`retargets`.
+    """
+
+    def __init__(
+        self,
+        pids: Iterable[int] | None = None,
+        chain: Callable[[Simulator, list[ScheduledMove]], None] | None = None,
+    ) -> None:
+        self.filter = set(pids) if pids is not None else None
+        self.chain = chain
+        self.paths: dict[int, list[tuple[int, int]]] = {}
+        self.retargets: dict[int, list[tuple[int, tuple[int, int]]]] = {}
+        self._last_dest: dict[int, tuple[int, int]] = {}
+
+    def _wants(self, pid: int) -> bool:
+        return self.filter is None or pid in self.filter
+
+    def __call__(self, sim: Simulator, schedule: list[ScheduledMove]) -> None:
+        if self.chain is not None:
+            self.chain(sim, schedule)
+        for p in sim.iter_packets():
+            if not self._wants(p.pid):
+                continue
+            path = self.paths.setdefault(p.pid, [p.pos])
+            if path[-1] != p.pos:
+                path.append(p.pos)
+            last = self._last_dest.get(p.pid)
+            if last is not None and last != p.dest:
+                self.retargets.setdefault(p.pid, []).append((sim.time, p.dest))
+            self._last_dest[p.pid] = p.dest
+
+    def finalize(self, sim: Simulator) -> None:
+        """Append final (delivered) positions; call after the run."""
+        for pid, path in self.paths.items():
+            # Delivered packets rest at their destination.
+            dest = self._last_dest.get(pid)
+            if dest is not None and sim.delivery_times.get(pid) is not None:
+                if path[-1] != dest:
+                    path.append(dest)
+
+    def hops(self, pid: int) -> int:
+        """Number of link traversals recorded for a packet."""
+        return max(0, len(self.paths.get(pid, [])) - 1)

@@ -1,0 +1,108 @@
+"""Packet views: what a routing policy is allowed to see (Section 2).
+
+The lower bound applies to *destination-exchangeable* algorithms: their
+outqueue and inqueue policies may use only each packet's mutable state, its
+source address, and its profitable outlinks -- never the destination itself.
+We enforce this structurally.  A destination-exchangeable algorithm's
+policies receive :class:`PacketView` objects, which do not expose the
+destination at all.  Algorithms that legitimately use full destination
+addresses (farthest-first dimension order, the Section 6 algorithm) declare
+``destination_exchangeable = False`` and receive :class:`FullPacketView`.
+
+This design makes the indistinguishability argument of Lemma 10 a property
+of the code: exchanging the destinations of two packets with equal
+profitable-outlink sets produces byte-identical views, so no conforming
+policy can behave differently.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mesh.directions import Direction
+from repro.mesh.packet import Packet
+
+
+class PacketView:
+    """The destination-exchangeable view of a packet.
+
+    Attributes:
+        key: Stable packet identifier.  It travels with the packet (not the
+            destination), exactly like the source address, so exposing it
+            preserves Lemma 10's indistinguishability.
+        source: The packet's source address.
+        profitable: The packet's profitable outlinks from the node it
+            currently occupies (or, for an :class:`Offer`, from the node it
+            is coming from -- the paper's convention for inqueue policies).
+    """
+
+    __slots__ = ("_packet", "key", "source", "profitable")
+
+    def __init__(self, packet: Packet, profitable: frozenset[Direction]) -> None:
+        self._packet = packet
+        self.key = packet.pid
+        self.source = packet.source
+        self.profitable = profitable
+
+    @property
+    def state(self) -> Any:
+        """Algorithm-writable packet state."""
+        return self._packet.state
+
+    @state.setter
+    def state(self, value: Any) -> None:
+        self._packet.state = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(#{self.key} src={self.source} "
+            f"profitable={{{','.join(d.name for d in sorted(self.profitable))}}})"
+        )
+
+
+class FullPacketView(PacketView):
+    """View with full destination knowledge.
+
+    Handed to algorithms that declare ``destination_exchangeable = False``.
+
+    Attributes:
+        dest: The packet's destination address.
+        displacement: Signed minimal displacement ``(dx, dy)`` from the
+            packet's current node to its destination (used e.g. by the
+            farthest-first outqueue policy).
+    """
+
+    __slots__ = ("dest", "displacement")
+
+    def __init__(
+        self,
+        packet: Packet,
+        profitable: frozenset[Direction],
+        displacement: tuple[int, int],
+    ) -> None:
+        super().__init__(packet, profitable)
+        self.dest = packet.dest
+        self.displacement = displacement
+
+
+class Offer:
+    """A packet scheduled to enter a node, as seen by the inqueue policy.
+
+    Attributes:
+        view: The packet's view.  Its ``profitable`` set is measured from
+            the *sending* node, per the paper's definition of the inqueue
+            policy's inputs.
+        came_from: The direction of the inlink the packet arrives on (the
+            sender lies in this direction from the receiving node).
+        sender: The sending node's coordinates.
+    """
+
+    __slots__ = ("view", "came_from", "sender")
+
+    def __init__(self, view: PacketView, came_from: Direction, sender: tuple[int, int]) -> None:
+        self.view = view
+        self.came_from = came_from
+        self.sender = sender
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Offer({self.view!r} from {self.came_from.name} of {self.sender})"

@@ -1,0 +1,49 @@
+"""Routing algorithms for the bounded-queue mesh model.
+
+Destination-exchangeable algorithms (subject to the paper's lower bounds):
+
+- :class:`~repro.routing.dimension_order.DimensionOrderRouter` -- the
+  Section 2 example: dimension-order paths, FIFO outqueue, rotating-priority
+  inqueue, central queue.
+- :class:`~repro.routing.bounded_dor.BoundedDimensionOrderRouter` -- the
+  Theorem 15 algorithm: four incoming queues, straight-through priority,
+  O(n^2/k + n) worst case.
+- :class:`~repro.routing.adaptive.AlternatingAdaptiveRouter` -- the
+  Section 2 adaptive example (switch profitable direction when blocked).
+- :class:`~repro.routing.adaptive.GreedyAdaptiveRouter` -- schedules every
+  packet on any free profitable outlink.
+
+Not destination-exchangeable (the lower bound does not protect them, and the
+paper proves Omega(n^2/k) for the first anyway):
+
+- :class:`~repro.routing.farthest_first.FarthestFirstRouter` -- dimension
+  order with the farthest-first outqueue policy.
+"""
+
+from repro.routing.base import (
+    desired_dimension_order_direction,
+    rotation_order,
+)
+from repro.routing.dimension_order import DimensionOrderRouter
+from repro.routing.bounded_dor import BoundedDimensionOrderRouter
+from repro.routing.farthest_first import FarthestFirstRouter
+from repro.routing.adaptive import AlternatingAdaptiveRouter, GreedyAdaptiveRouter
+from repro.routing.hot_potato import HotPotatoRouter
+from repro.routing.randomized import RandomizedAdaptiveRouter
+from repro.routing.delta_adaptive import BoundedExcursionRouter
+from repro.routing.sort_route import ShearsortRouter, SortRouteResult
+
+__all__ = [
+    "desired_dimension_order_direction",
+    "rotation_order",
+    "DimensionOrderRouter",
+    "BoundedDimensionOrderRouter",
+    "FarthestFirstRouter",
+    "AlternatingAdaptiveRouter",
+    "GreedyAdaptiveRouter",
+    "HotPotatoRouter",
+    "RandomizedAdaptiveRouter",
+    "BoundedExcursionRouter",
+    "ShearsortRouter",
+    "SortRouteResult",
+]

@@ -1,0 +1,131 @@
+"""Minimal adaptive routers (destination-exchangeable).
+
+Two adaptive algorithms in the Section 2 mould.  Both make decisions purely
+from profitable outlinks and per-packet state, so both fall under the
+Theorem 14 lower bound: for each there exists a permutation needing
+Omega(n^2/k^2) steps, and the adversary of Section 3 constructs it.
+
+- :class:`AlternatingAdaptiveRouter` is the paper's own example: "each
+  packet moves in one profitable direction until it is blocked by
+  congestion, and then moves in its other profitable direction, continuing
+  this alternation until it reaches its destination."
+- :class:`GreedyAdaptiveRouter` saturates outlinks: every packet may be
+  scheduled on any free profitable outlink, maximizing per-step link usage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.mesh.directions import Direction
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.queues import QueueSpec
+from repro.mesh.visibility import Offer, PacketView
+from repro.routing.base import accept_up_to_central_space, rotation_order
+
+
+class AlternatingAdaptiveRouter(RoutingAlgorithm):
+    """Section 2's adaptive example: alternate profitable directions when blocked.
+
+    Packet state is ``(preferred_direction_value, last_scheduled_step,
+    last_scheduled_node)``.  When a packet is still at the node where it was
+    scheduled one step earlier, it was refused (blocked by congestion), so
+    it switches to its other profitable direction.  All information used --
+    packet state and profitable outlinks -- is destination-exchangeable.
+
+    Args:
+        queue_capacity: Packets per queue (the paper's ``k``).
+        queue_kind: ``"central"`` (paper's base model) or ``"incoming"``
+            (Section 5's alternative queue type, which avoids head-on
+            exchange deadlocks in practice).
+    """
+
+    name = "alternating-adaptive"
+    destination_exchangeable = True
+    minimal = True
+
+    def __init__(self, queue_capacity: int, queue_kind: str = "central") -> None:
+        super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
+
+    def initial_packet_state(self, view: PacketView) -> tuple[int, int, None]:
+        preferred = min(view.profitable) if view.profitable else Direction.N
+        return (int(preferred), -1, None)
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        chosen: dict[Direction, PacketView] = {}
+        for view in ctx.packets:  # arrival (FIFO) order
+            preferred_value, scheduled_at, scheduled_node = view.state
+            preferred = Direction(preferred_value)
+            profitable = view.profitable
+            if not profitable:
+                continue
+            refused_here = (
+                scheduled_at == ctx.time - 1 and scheduled_node == ctx.node
+            )
+            if preferred not in profitable or refused_here:
+                # Direction exhausted, or the packet was refused last step:
+                # alternate to the other profitable direction.
+                others = [d for d in sorted(profitable) if d != preferred]
+                preferred = others[0] if others else min(profitable)
+            direction = None
+            if preferred not in chosen:
+                direction = preferred
+            else:
+                # Outlink already claimed this step -- that, too, is
+                # congestion; try the other profitable direction now.
+                for d in sorted(profitable):
+                    if d not in chosen:
+                        direction = d
+                        break
+            if direction is None:
+                continue
+            chosen[direction] = view
+            view.state = (int(direction), ctx.time, ctx.node)
+        return chosen
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        if self.queue_spec.kind == "central":
+            return accept_up_to_central_space(ctx, offers, self.queue_spec.capacity)
+        accepted = []
+        for off in offers:
+            if ctx.occupancy(off.came_from) < self.queue_spec.capacity:
+                accepted.append(off)
+        return accepted
+
+
+class GreedyAdaptiveRouter(RoutingAlgorithm):
+    """Schedule every packet on any free profitable outlink.
+
+    Maximizes outlink utilization: packets are considered in arrival order
+    and claim the first free profitable outlink (rotating the preference
+    order with the step number so no direction is systematically starved).
+    Stateless apart from that rotation; destination-exchangeable.
+    """
+
+    name = "greedy-adaptive"
+    destination_exchangeable = True
+    minimal = True
+
+    def __init__(self, queue_capacity: int, queue_kind: str = "central") -> None:
+        super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        chosen: dict[Direction, PacketView] = {}
+        preference = rotation_order(ctx.time)
+        for view in ctx.packets:
+            for direction in preference:
+                if direction in view.profitable and direction not in chosen:
+                    chosen[direction] = view
+                    break
+            if len(chosen) == len(ctx.out_directions):
+                break
+        return chosen
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        if self.queue_spec.kind == "central":
+            return accept_up_to_central_space(ctx, offers, self.queue_spec.capacity)
+        accepted = []
+        for off in offers:
+            if ctx.occupancy(off.came_from) < self.queue_spec.capacity:
+                accepted.append(off)
+        return accepted

@@ -1,0 +1,139 @@
+"""Bounded-excursion adaptive routing: Section 5's nonminimal class, live.
+
+The nonminimal extension bounds Omega(n^2 / ((delta+1)^3 k^2)) for
+destination-exchangeable algorithms whose packets never stray more than
+``delta`` nodes beyond the rectangle spanned by their source and
+destination.  This router realizes that class: it is the greedy minimal
+adaptive router plus a per-packet *deflection budget* of ``delta``
+unprofitable moves, spent only when the packet was refused on the previous
+step and no profitable outlink is free.
+
+Budget accounting uses only packet state and profitable outlinks, so the
+algorithm stays destination-exchangeable.  Each unprofitable move increases
+the remaining distance by exactly one, so a packet ends at most ``delta``
+hops outside its current minimal rectangle -- the Section 5 class with
+parameter ``delta``.
+
+What the budget buys -- and what it cannot.  A single unit dissolves the
+canonical head-on exchange deadlock (two packets, full k=1 queues, facing
+each other): staggered patience makes one yield perpendicular, and both
+proceed.  But on *dense* central-queue instances, large multi-packet knots
+re-form faster than fixed budgets can drain them; once budgets hit zero the
+router is purely minimal again and the knot is permanent.  This is the
+empirical face of Section 5's result: a fixed delta leaves the
+Omega(n^2/((delta+1)^3 k^2)) bound intact, and genuinely escaping it takes
+*unbounded* deflection (hot-potato routing, whose excursions grow with
+congestion).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.mesh.directions import Direction
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.queues import QueueSpec
+from repro.mesh.visibility import Offer, PacketView
+from repro.routing.base import accept_up_to_central_space, rotation_order
+
+
+class BoundedExcursionRouter(RoutingAlgorithm):
+    """Greedy adaptive routing with a delta-bounded deflection budget.
+
+    Args:
+        queue_capacity: Packets per queue.
+        delta: Unprofitable moves a packet may make in its lifetime
+            (0 = purely minimal).
+        queue_kind: ``"central"`` or ``"incoming"``.
+
+    Packet state: ``(budget_left, last_scheduled_step, last_scheduled_node,
+    consecutive_refusals)``.
+    """
+
+    name = "bounded-excursion"
+    destination_exchangeable = True
+    minimal = False  # may take unprofitable outlinks (delta of them)
+
+    #: Refusals in a row before one unit of deflection budget is spent.
+    PATIENCE = 2
+
+    def __init__(
+        self, queue_capacity: int, delta: int = 1, queue_kind: str = "central"
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
+        self.delta = delta
+
+    def initial_packet_state(self, view: PacketView) -> tuple[int, int, None, int]:
+        return (self.delta, -1, None, 0)
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        chosen: dict[Direction, PacketView] = {}
+        preference = rotation_order(ctx.time)
+        for view in ctx.packets:
+            if not view.profitable:
+                continue
+            budget, scheduled_at, scheduled_node, refusals = view.state
+            if scheduled_at == ctx.time - 1 and scheduled_node == ctx.node:
+                refusals += 1  # still where it was scheduled: refused
+            elif scheduled_at == ctx.time - 1:
+                refusals = 0  # it moved: progress resets patience
+            placed = None
+            # Staggered patience (by packet identity) breaks head-on
+            # symmetry: one packet deflects a step before its counterpart,
+            # which then finds the path clear and never needs to deflect.
+            patience = self.PATIENCE + view.key % 2
+            if refusals < patience or budget == 0:
+                placed = self._pick_profitable(view, chosen)
+            else:
+                # Out of patience with the profitable outlinks: spend one
+                # deflection to route around the blockage.  Perpendicular
+                # deflections first -- stepping directly backward would just
+                # rebuild the same jam one node over.
+                # Per-packet rotation of the preference order breaks the
+                # symmetry of two head-on packets deflecting in lockstep
+                # (packet identity is destination-exchangeable information).
+                spin = view.key % 4
+                deflect_order = preference[spin:] + preference[:spin]
+                for backtrack_ok in (False, True):
+                    for d in deflect_order:
+                        if d in view.profitable or d not in ctx.out_directions:
+                            continue
+                        if d in chosen:
+                            continue
+                        if not backtrack_ok and d.opposite in view.profitable:
+                            continue
+                        placed = d
+                        break
+                    if placed is not None:
+                        break
+                if placed is not None:
+                    budget -= 1
+                    refusals = 0
+                else:  # no unprofitable outlink free: retry profitably
+                    placed = self._pick_profitable(view, chosen)
+            if placed is not None:
+                chosen[placed] = view
+                view.state = (budget, ctx.time, ctx.node, refusals)
+        return chosen
+
+    @staticmethod
+    def _pick_profitable(
+        view: PacketView, chosen: dict[Direction, PacketView]
+    ) -> Direction | None:
+        """Horizontal-first profitable preference: after a perpendicular
+        deflection this resumes cross-jam progress instead of undoing it."""
+        for d in (Direction.E, Direction.W, Direction.N, Direction.S):
+            if d in view.profitable and d not in chosen:
+                return d
+        return None
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        if self.queue_spec.kind == "central":
+            return accept_up_to_central_space(ctx, offers, self.queue_spec.capacity)
+        accepted = []
+        for off in offers:
+            if ctx.occupancy(off.came_from) < self.queue_spec.capacity:
+                accepted.append(off)
+        return accepted

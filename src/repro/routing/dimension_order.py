@@ -1,0 +1,60 @@
+"""The Section 2 example algorithm: dimension order, FIFO, rotating inqueue.
+
+"One example of a destination-exchangeable algorithm is the dimension order
+algorithm with FIFO queues and round-robin inqueue policy."
+
+Packets travel along their row first, then their column, waiting in a single
+central queue of size ``k`` per node.  The outqueue serves each outlink with
+the earliest-arrived packet that wants it; the inqueue accepts packets in
+rotating direction priority while space remains.
+
+Termination caveat (documented, deliberate): with a central queue and a
+conservative accept-if-space inqueue, head-on flows can exchange-deadlock
+(two full neighbours each refusing the other's packet forever).  This is a
+real property of the model -- avoiding it is exactly why Theorem 15 switches
+to four incoming queues (:class:`~repro.routing.bounded_dor.
+BoundedDimensionOrderRouter`).  Lower-bound experiments run this router for
+a bounded number of steps, which is all Theorem 13 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.mesh.directions import Direction
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.queues import QueueSpec
+from repro.mesh.visibility import Offer, PacketView
+from repro.routing.base import (
+    accept_up_to_central_space,
+    desired_dimension_order_direction,
+)
+
+
+class DimensionOrderRouter(RoutingAlgorithm):
+    """Dimension-order routing with a central queue (destination-exchangeable).
+
+    Args:
+        queue_capacity: The paper's ``k`` -- packets per node.
+    """
+
+    name = "dimension-order"
+    destination_exchangeable = True
+    minimal = True
+    dimension_ordered = True
+
+    def __init__(self, queue_capacity: int) -> None:
+        super().__init__(QueueSpec(queue_capacity, kind="central"))
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        chosen: dict[Direction, PacketView] = {}
+        for view in ctx.packets:  # arrival (FIFO) order
+            direction = desired_dimension_order_direction(view.profitable)
+            if direction is not None and direction not in chosen:
+                chosen[direction] = view
+            if len(chosen) == len(ctx.out_directions):
+                break
+        return chosen
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        return accept_up_to_central_space(ctx, offers, self.queue_spec.capacity)

@@ -1,0 +1,150 @@
+"""Dimension-order routing with the farthest-first outqueue policy.
+
+Farthest-first ("the next packet to be advanced in a dimension is the one
+that has the farthest to go in that dimension", Section 5) is the classic
+policy that routes any permutation in 2n-2 steps with unbounded queues
+(Leighton).  It inspects the packet's remaining distance, so it is *not*
+destination-exchangeable -- yet Section 5 extends the lower bound to it,
+showing Omega(n^2/k) with queues of size k.  This implementation is the
+victim for that experiment (E4).
+
+Queue organization.  With a single central queue and a one-shot
+accept-if-space inqueue, bounded-queue store-and-forward routing
+exchange-deadlocks on head-on flows (two full neighbours refusing each
+other forever) -- we observe this readily at k <= 3.  The default
+organization is therefore the Theorem 15 one: four incoming queues with
+straight-through priority, whose North/South queues provably always eject
+and hence may always accept.  Farthest-first only reorders choices *within*
+a priority class, so Theorem 15's termination argument carries over
+unchanged.  Pass ``queue_kind="central"`` for the pure central-queue model
+(bounded-step adversary runs only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, cast
+
+from repro.mesh.directions import Direction
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.queues import QueueSpec
+from repro.mesh.visibility import FullPacketView, Offer, PacketView
+from repro.routing.base import desired_dimension_order_direction
+
+
+def _remaining_in_dimension(view: FullPacketView, direction: Direction) -> int:
+    dx, dy = view.displacement
+    return abs(dx) if direction.is_horizontal else abs(dy)
+
+
+def _is_delivering(off: Offer) -> bool:
+    """True when accepting this offer delivers the packet (one hop left)."""
+    fview = cast(FullPacketView, off.view)
+    dx, dy = fview.displacement
+    return abs(dx) + abs(dy) == 1
+
+
+class FarthestFirstRouter(RoutingAlgorithm):
+    """Farthest-first dimension-order router with queues of size k.
+
+    Args:
+        queue_capacity: ``k``, packets per queue.
+        queue_kind: ``"incoming"`` (default; terminates on every permutation
+            by the Theorem 15 argument) or ``"central"`` (the bare model;
+            may exchange-deadlock, use only for bounded-step runs).
+    """
+
+    name = "farthest-first"
+    destination_exchangeable = False  # uses remaining distances
+    minimal = True
+    dimension_ordered = True
+
+    def __init__(self, queue_capacity: int, queue_kind: str = "incoming") -> None:
+        super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
+
+    # -- outqueue -----------------------------------------------------------
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        if self.queue_spec.kind == "central":
+            return self._outqueue_central(ctx)
+        return self._outqueue_incoming(ctx)
+
+    def _outqueue_central(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        best: dict[Direction, tuple[int, int, FullPacketView]] = {}
+        for index, view in enumerate(ctx.packets):
+            fview = cast(FullPacketView, view)
+            direction = desired_dimension_order_direction(fview.profitable)
+            if direction is None:
+                continue
+            distance = _remaining_in_dimension(fview, direction)
+            rank = (-distance, index)  # farthest wins, FIFO breaks ties
+            if direction not in best or rank < best[direction][:2]:
+                best[direction] = (rank[0], rank[1], fview)
+        return {d: entry[2] for d, entry in best.items()}
+
+    def _outqueue_incoming(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        # Straight-through priority per outlink (Theorem 15), with
+        # farthest-first replacing FIFO inside each priority class.
+        chosen: dict[Direction, PacketView] = {}
+        scheduled: set[int] = set()
+        for direction in ctx.out_directions:
+            pick = self._farthest(ctx.queue(direction.opposite), direction, scheduled)
+            if pick is None:
+                turners: list[PacketView] = []
+                for key in ctx.queue_keys:
+                    if key != direction.opposite:
+                        turners.extend(ctx.queue(key))
+                pick = self._farthest(turners, direction, scheduled)
+            if pick is not None:
+                chosen[direction] = pick
+                scheduled.add(pick.key)
+        return chosen
+
+    @staticmethod
+    def _farthest(
+        candidates: Sequence[PacketView], direction: Direction, scheduled: set[int]
+    ) -> FullPacketView | None:
+        best: tuple[int, int] | None = None
+        pick: FullPacketView | None = None
+        for index, view in enumerate(candidates):
+            fview = cast(FullPacketView, view)
+            if fview.key in scheduled:
+                continue
+            if desired_dimension_order_direction(fview.profitable) != direction:
+                continue
+            rank = (-_remaining_in_dimension(fview, direction), index)
+            if best is None or rank < best:
+                best = rank
+                pick = fview
+        return pick
+
+    # -- inqueue ------------------------------------------------------------
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        if self.queue_spec.kind == "central":
+            return self._inqueue_central(ctx, offers)
+        accepted: list[Offer] = []
+        for off in offers:
+            if _is_delivering(off):
+                accepted.append(off)  # consumes no queue space
+            elif off.came_from in (Direction.N, Direction.S):
+                accepted.append(off)  # N/S queues always eject, hence accept
+            elif ctx.occupancy(off.came_from) < self.queue_spec.capacity:
+                accepted.append(off)
+        return accepted
+
+    def _inqueue_central(self, ctx: NodeContext, offers: Sequence[Offer]) -> list[Offer]:
+        accepted: list[Offer] = []
+        transit: list[Offer] = []
+        for off in offers:
+            (accepted if _is_delivering(off) else transit).append(off)
+        free = self.queue_spec.capacity - ctx.total_occupancy
+        if free <= 0:
+            return accepted
+
+        def total_remaining(off: Offer) -> tuple[int, int]:
+            fview = cast(FullPacketView, off.view)
+            dx, dy = fview.displacement
+            return (-(abs(dx) + abs(dy)), int(off.came_from))
+
+        accepted.extend(sorted(transit, key=total_remaining)[:free])
+        return accepted

@@ -1,0 +1,85 @@
+"""Hot-potato (deflection) routing: the paper's nonminimal example.
+
+Section 2 names the O(n^{3/2}) hot-potato algorithm of Bar-Noy et al. as a
+*destination-exchangeable but nonminimal* algorithm, and Section 5's
+nonminimal extension explains why deflection escapes the Omega(n^2/k^2)
+bound: packets may be pushed arbitrarily far off their minimal rectangles.
+
+In hot-potato routing nodes have no buffers: every packet received in a
+step must leave in the next one.  Our model hosts this as a node of
+capacity 4 (one slot per inlink) whose outqueue policy schedules *all* of
+its packets on distinct outlinks and whose inqueue accepts everything --
+acceptance is always safe because sends equal receives.
+
+The deflection policy here is the classic age-based one: packets are
+processed in decreasing age (steps since injection, carried in packet
+state, which is destination-exchangeable information); each takes a free
+profitable outlink if one remains, else is deflected onto any free outlink.
+Age priority gives the oldest packet eventual precedence on profitable
+links, which empirically delivers low-to-moderate loads quickly; like all
+simple deflection schemes it has no worst-case delivery guarantee, so runs
+use a step cap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.mesh.directions import Direction
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.queues import QueueSpec
+from repro.mesh.visibility import Offer, PacketView
+from repro.routing.base import rotation_order
+
+
+class HotPotatoRouter(RoutingAlgorithm):
+    """Age-based deflection router (destination-exchangeable, nonminimal).
+
+    Nodes hold at most one packet per inlink and forward everything every
+    step.  Works on the mesh and the torus; on the mesh, boundary nodes
+    have fewer outlinks, and the policy keeps a packet only when every
+    outlink is already taken (possible only at boundaries, where arrivals
+    are correspondingly fewer).
+    """
+
+    name = "hot-potato"
+    destination_exchangeable = True
+    minimal = False  # deflections move packets away from their destinations
+
+    def __init__(self) -> None:
+        super().__init__(QueueSpec(4, kind="central"))
+
+    def initial_packet_state(self, view: PacketView) -> int:
+        return 0  # age
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        chosen: dict[Direction, PacketView] = {}
+        # Oldest first; ties by key for determinism.
+        ranked = sorted(ctx.packets, key=lambda v: (-v.state, v.key))
+        deflected: list[PacketView] = []
+        for view in ranked:
+            placed = False
+            for d in sorted(view.profitable):
+                if d in ctx.out_directions and d not in chosen:
+                    chosen[d] = view
+                    placed = True
+                    break
+            if not placed:
+                deflected.append(view)
+        preference = rotation_order(ctx.time)
+        for view in deflected:
+            for d in preference:
+                if d in ctx.out_directions and d not in chosen:
+                    chosen[d] = view
+                    break
+            # A boundary node may genuinely run out of outlinks; the packet
+            # stays (its slot frees an inlink's worth of capacity anyway).
+        return chosen
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        return list(offers)  # bufferless: everything is accepted
+
+    def after_step(self, ctx: NodeContext):
+        for view in ctx.packets:
+            view.state = view.state + 1  # everyone ages
+        return ctx.state

@@ -1,0 +1,71 @@
+"""A randomized minimal adaptive router -- the paper's third escape hatch.
+
+The conclusion of the paper: to beat Omega(n^2/k^2) one must (1) use full
+destination addresses, (2) route nonminimally, or (3) "incorporate
+randomness in routing decisions."  This router is the (3) ablation: it is
+exactly :class:`~repro.routing.adaptive.GreedyAdaptiveRouter` except that
+the outlink preference order is drawn from a seeded RNG each step, so it is
+*not deterministic* and the Section 3 construction (built against the
+deterministic victim) loses its grip on it.
+
+The randomness is destination-independent (the coin flips never see
+addresses), so this is the mildest possible deviation from the lower
+bound's model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.mesh.directions import Direction
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.queues import QueueSpec
+from repro.mesh.visibility import Offer, PacketView
+from repro.routing.base import accept_up_to_central_space
+
+
+class RandomizedAdaptiveRouter(RoutingAlgorithm):
+    """Greedy minimal adaptive routing with randomized tie-breaking.
+
+    Args:
+        queue_capacity: Packets per queue.
+        seed: RNG seed (runs are reproducible given the seed).
+        queue_kind: ``"central"`` or ``"incoming"``.
+    """
+
+    name = "randomized-adaptive"
+    destination_exchangeable = True  # decisions never read destinations...
+    minimal = True
+    deterministic = False  # ...but they are random: Theorem 14 does not apply
+
+    def __init__(
+        self, queue_capacity: int, seed: int = 0, queue_kind: str = "central"
+    ) -> None:
+        super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
+        self._rng = np.random.default_rng(seed)
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        chosen: dict[Direction, PacketView] = {}
+        order = list(ctx.packets)
+        self._rng.shuffle(order)  # random service order
+        for view in order:
+            dirs = sorted(view.profitable)
+            if not dirs:
+                continue
+            self._rng.shuffle(dirs)  # random direction preference
+            for d in dirs:
+                if d not in chosen:
+                    chosen[d] = view
+                    break
+        return chosen
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        if self.queue_spec.kind == "central":
+            return accept_up_to_central_space(ctx, offers, self.queue_spec.capacity)
+        accepted = []
+        for off in offers:
+            if ctx.occupancy(off.came_from) < self.queue_spec.capacity:
+                accepted.append(off)
+        return accepted

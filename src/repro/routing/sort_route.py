@@ -1,0 +1,179 @@
+"""Sort-then-route: the Section 1.2 baseline family, as a runnable engine.
+
+"Another approach to permutation routing is to sort blocks of packets by
+destination and then advance them to their destinations by the dimension
+order algorithm.  Packets in these algorithms may take paths that are
+nonminimal..."  (Kunde; Leighton-Makedon-Tollis; Rajasekaran-Overholt.)
+
+This module implements the family's simplest representative: **shearsort**
+by destination snake index, followed by greedy dimension-order routing.
+On a *full* permutation the sort alone delivers every packet (rank r ends
+at snake position r = its destination); on partial permutations the short
+second phase finishes the job.  Time is O(n log n) -- Kunde's refined block
+variant achieves 2n + O(n/k), but already this simplest member exhibits
+everything the paper says about the class:
+
+- it uses full destination addresses (sort keys), so it is far outside the
+  destination-exchangeable model;
+- it is nonminimal (sorting moves packets away from their destinations);
+- it relies on the *compare-exchange* primitive of the mesh-sorting
+  literature -- two neighbours swapping packets in one step -- which the
+  bounded-queue store-and-forward model of Section 2 does not even provide
+  (a conservative inqueue can never accept from a full neighbour).  That
+  mismatch is precisely why the paper calls these algorithms "too
+  complicated, and too specifically tailored to static permutations and
+  synchronous networks to be practical."
+
+Because of the swap primitive, the sort phase runs in its own engine; the
+route phase reuses the standard simulator with an unbounded-queue
+farthest-first router.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import Simulator
+from repro.mesh.topology import Mesh
+from repro.routing.farthest_first import FarthestFirstRouter
+
+
+@dataclass
+class SortRouteResult:
+    """Outcome of one sort-then-route run.
+
+    Attributes:
+        completed: Everything delivered.
+        sort_steps: Compare-exchange steps used by shearsort.
+        route_steps: Dimension-order steps used by the cleanup phase
+            (0 for full permutations -- the sort already delivers).
+        total_steps: Their sum.
+        max_node_load: Peak packets per node (1 during the sort; the
+            cleanup phase's queues are reported by the inner simulator).
+        swaps: Total compare-exchange swaps performed.
+    """
+
+    completed: bool
+    sort_steps: int
+    route_steps: int
+    max_node_load: int
+    swaps: int
+
+    @property
+    def total_steps(self) -> int:
+        return self.sort_steps + self.route_steps
+
+
+class ShearsortRouter:
+    """Shearsort-by-destination followed by dimension-order cleanup.
+
+    Args:
+        n: Mesh side.
+
+    The engine keeps at most one packet per node throughout the sort (the
+    defining property of sorting networks on meshes), so it accepts
+    (partial) permutations only.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.n = n
+
+    # -- snake order --------------------------------------------------------
+
+    def snake_index(self, node: tuple[int, int]) -> int:
+        """Boustrophedon order: row 0 west-to-east, row 1 east-to-west, ..."""
+        x, y = node
+        return y * self.n + (x if y % 2 == 0 else self.n - 1 - x)
+
+    def node_at_snake(self, index: int) -> tuple[int, int]:
+        y, r = divmod(index, self.n)
+        x = r if y % 2 == 0 else self.n - 1 - r
+        return (x, y)
+
+    # -- the run ---------------------------------------------------------------
+
+    def route(self, packets: list[Packet]) -> SortRouteResult:
+        n = self.n
+        grid: dict[tuple[int, int], Packet | None] = {}
+        for p in packets:
+            if p.source in grid:
+                raise ValueError("sort-then-route needs at most one packet per node")
+            p.pos = p.source
+            grid[p.source] = p
+
+        def key(node: tuple[int, int]) -> int:
+            p = grid.get(node)
+            # Empty cells sort last so packets compact to the snake prefix.
+            return self.snake_index(p.dest) if p is not None else n * n
+
+        swaps = 0
+        steps = 0
+
+        def compare_exchange(a: tuple[int, int], b: tuple[int, int], ascending: bool) -> None:
+            nonlocal swaps
+            ka, kb = key(a), key(b)
+            if (ka > kb) if ascending else (ka < kb):
+                grid[a], grid[b] = grid.get(b), grid.get(a)
+                for node in (a, b):
+                    p = grid.get(node)
+                    if p is not None:
+                        p.pos = node
+                swaps += 1
+
+        def odd_even_pass_rows() -> int:
+            """One full odd-even transposition sort of every row (snake
+            directions), n phases."""
+            nonlocal steps
+            for phase in range(n):
+                for y in range(n):
+                    ascending = y % 2 == 0
+                    for x in range(phase % 2, n - 1, 2):
+                        compare_exchange((x, y), (x + 1, y), ascending)
+                steps += 1
+            return n
+
+        def odd_even_pass_columns() -> int:
+            nonlocal steps
+            for phase in range(n):
+                for x in range(n):
+                    for y in range(phase % 2, n - 1, 2):
+                        compare_exchange((x, y), (x, y + 1), True)
+                steps += 1
+            return n
+
+        rounds = math.ceil(math.log2(n)) + 1
+        for _ in range(rounds):
+            odd_even_pass_rows()
+            odd_even_pass_columns()
+        odd_even_pass_rows()  # final row pass completes the snake order
+
+        # Cleanup phase: whatever is not yet home routes dimension-order.
+        remaining = [p for p in packets if p.pos != p.dest]
+        for p in remaining:
+            p.source = p.pos  # reroute from the sorted position
+        route_steps = 0
+        max_load = 1
+        if remaining:
+            sim = Simulator(
+                Mesh(n),
+                FarthestFirstRouter(n, "central"),
+                remaining,
+            )
+            inner = sim.run(max_steps=20 * n + 200)
+            route_steps = inner.steps
+            max_load = max(max_load, inner.max_node_load)
+            completed = inner.completed
+        else:
+            completed = True
+
+        return SortRouteResult(
+            completed=completed,
+            sort_steps=steps,
+            route_steps=route_steps,
+            max_node_load=max_load,
+            swaps=swaps,
+        )

@@ -1,0 +1,27 @@
+"""The Section 6 algorithm: O(n)-time, O(1)-queue minimal adaptive routing.
+
+The first minimal adaptive routing algorithm with both O(n) delivery time
+and constant-size queues.  It alternates Vertical and Horizontal Phases over
+three staggered tilings whose tiles shrink by 3x per iteration; each phase
+runs March, Sort-and-Smooth, and Balancing (the 2-rule), ending with a
+farthest-first dimension-order base case once tiles drop below 27 nodes.
+
+The algorithm uses each packet's remaining distances to classify it into
+strips, so it is *not* destination-exchangeable -- which is exactly the
+paper's point: it shows the lower bound's model restriction cannot be
+dropped.
+
+Public entry point: :class:`~repro.tiling.algorithm.Section6Router`.
+"""
+
+from repro.tiling.geometry import Tile, tilings_for_side, strip_of
+from repro.tiling.algorithm import Section6Router, Section6Result, PhaseStats
+
+__all__ = [
+    "Tile",
+    "tilings_for_side",
+    "strip_of",
+    "Section6Router",
+    "Section6Result",
+    "PhaseStats",
+]

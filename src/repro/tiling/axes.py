@@ -1,0 +1,59 @@
+"""Axis adapter: one implementation serves Vertical and Horizontal Phases.
+
+A phase moves packets along its *main* axis (north for the Vertical Phase,
+east for the Horizontal Phase) and balances along the *cross* axis.  The
+adapter translates between (main, cross) logical coordinates and canonical
+(x, y) nodes, and picks the matching strip/tile helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tiling.geometry import Tile
+from repro.tiling.state import ClassState
+
+
+@dataclass(frozen=True)
+class Axes:
+    """vertical=True: main axis is y (march north, balance east).
+    vertical=False: main axis is x (march east, balance north)."""
+
+    vertical: bool
+
+    def main(self, node: tuple[int, int]) -> int:
+        return node[1] if self.vertical else node[0]
+
+    def cross(self, node: tuple[int, int]) -> int:
+        return node[0] if self.vertical else node[1]
+
+    def node(self, main: int, cross: int) -> tuple[int, int]:
+        return (cross, main) if self.vertical else (main, cross)
+
+    def step_main(self, node: tuple[int, int]) -> tuple[int, int]:
+        """One hop along the main axis (toward the destination)."""
+        x, y = node
+        return (x, y + 1) if self.vertical else (x + 1, y)
+
+    def step_cross(self, node: tuple[int, int]) -> tuple[int, int]:
+        x, y = node
+        return (x + 1, y) if self.vertical else (x, y + 1)
+
+    def strip(self, tile: Tile, node: tuple[int, int]) -> int:
+        return tile.strip_of_y(node[1]) if self.vertical else tile.strip_of_x(node[0])
+
+    def strip_bounds(self, tile: Tile, strip: int) -> tuple[int, int]:
+        return (
+            tile.strip_bounds_y(strip) if self.vertical else tile.strip_bounds_x(strip)
+        )
+
+    def tile_cross_range(self, tile: Tile, n: int) -> range:
+        """Real cross coordinates of the tile (clipped to the mesh)."""
+        lo = tile.x0 if self.vertical else tile.y0
+        return range(max(lo, 0), min(lo + tile.side, n))
+
+    def main_to_go(self, state: ClassState, pid: int) -> int:
+        return state.north_to_go(pid) if self.vertical else state.east_to_go(pid)
+
+    def cross_to_go(self, state: ClassState, pid: int) -> int:
+        return state.east_to_go(pid) if self.vertical else state.north_to_go(pid)

@@ -1,0 +1,60 @@
+"""The Section 6 base case (Lemma 32).
+
+Once tiles would shrink below 27 nodes, every packet of the class is within
+two rows and two columns of its destination (Lemma 18 with d = 1).  A
+farthest-first dimension-order sweep then delivers everything in at most 14
+steps.  We verify the precondition and the step bound as executable
+assertions.
+"""
+
+from __future__ import annotations
+
+from repro.tiling.state import ClassState, Section6Violation
+
+#: Lemma 32's bound on the base case duration.
+BASE_CASE_BOUND = 14
+
+#: Lemma 18's guarantee entering the base case (d = 1: within 3d - 1 = 2).
+BASE_CASE_RADIUS = 2
+
+
+def run_base_case(state: ClassState) -> int:
+    """Deliver all remaining packets of the class; returns steps used."""
+    for pid, pos in state.pos.items():
+        dest = state.dest[pid]
+        if (
+            dest[0] - pos[0] > BASE_CASE_RADIUS
+            or dest[1] - pos[1] > BASE_CASE_RADIUS
+        ):
+            raise Section6Violation(
+                f"Lemma 18 violated entering the base case: packet {pid} at "
+                f"{pos} is more than {BASE_CASE_RADIUS} rows/columns from "
+                f"its destination {dest}"
+            )
+    steps = 0
+    while state.pos:
+        steps += 1
+        if steps > BASE_CASE_BOUND:
+            raise Section6Violation(
+                f"base case exceeded Lemma 32's bound of {BASE_CASE_BOUND} steps"
+            )
+        moves: list[tuple[int, tuple[int, int]]] = []
+        for node, pids in state.by_node.items():
+            east = [p for p in pids if state.east_to_go(p) > 0]
+            if east:
+                # Farthest-first on the horizontal dimension.
+                pid = max(east, key=lambda p: (state.east_to_go(p), -p))
+                moves.append((pid, (node[0] + 1, node[1])))
+            # Dimension order: only packets done with horizontal movement
+            # use the north outlink.
+            north = [p for p in pids if state.east_to_go(p) == 0]
+            if north:
+                pid = max(north, key=lambda p: (state.north_to_go(p), -p))
+                moves.append((pid, (node[0], node[1] + 1)))
+        if not moves:
+            raise Section6Violation(
+                f"base case stalled with {len(state.pos)} undelivered packets"
+            )
+        for pid, nxt in moves:
+            state.move(pid, nxt)
+    return steps

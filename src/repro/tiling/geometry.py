@@ -1,0 +1,99 @@
+"""Tiles, tilings (Lemma 19), and strips (Section 6.1) in canonical space.
+
+The engine routes each of the four direction classes in a *canonical*
+coordinate system in which every packet moves north/east; tiles and strips
+are computed in that space.  Tiles at iteration ``j`` have side
+``n / 3^j``; the three tilings of Lemma 19 are displaced by a third of the
+tile side in both axes, so any location/destination pair within a third of
+a tile of each other in both dimensions shares a tile in at least one
+tiling.  Edge tiles are "virtual": strip geometry is computed on the full
+(unclipped) square while only real mesh nodes hold packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of strips a tile is divided into (Section 6.1, step 1).
+STRIPS = 27
+
+#: Minimum tile side for the recursive phases; below this the base case runs.
+BASE_THRESHOLD = 27
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One (possibly virtual) tile: the square [x0, x0+side) x [y0, y0+side).
+
+    ``x0``/``y0`` may be negative or extend past the mesh for edge tiles;
+    clipping happens when the engine enumerates real nodes.
+    """
+
+    x0: int
+    y0: int
+    side: int
+
+    @property
+    def strip_height(self) -> int:
+        return self.side // STRIPS
+
+    def contains(self, node: tuple[int, int]) -> bool:
+        return (
+            self.x0 <= node[0] < self.x0 + self.side
+            and self.y0 <= node[1] < self.y0 + self.side
+        )
+
+    def strip_of_y(self, y: int) -> int:
+        """1-based strip index (south to north) of a row within the tile."""
+        return (y - self.y0) // self.strip_height + 1
+
+    def strip_of_x(self, x: int) -> int:
+        """1-based strip index (west to east) of a column within the tile."""
+        return (x - self.x0) // self.strip_height + 1
+
+    def strip_bounds_y(self, strip: int) -> tuple[int, int]:
+        """[lo, hi] rows (inclusive) of a 1-based horizontal strip."""
+        lo = self.y0 + (strip - 1) * self.strip_height
+        return lo, lo + self.strip_height - 1
+
+    def strip_bounds_x(self, strip: int) -> tuple[int, int]:
+        lo = self.x0 + (strip - 1) * self.strip_height
+        return lo, lo + self.strip_height - 1
+
+
+def strip_of(tile: Tile, node: tuple[int, int], vertical: bool) -> int:
+    """Strip index of a node for a vertical (row strips) or horizontal phase."""
+    return tile.strip_of_y(node[1]) if vertical else tile.strip_of_x(node[0])
+
+
+def tilings_for_side(n: int, side: int) -> list[list[Tile]]:
+    """The tilings used at tile size ``side`` on an n x n mesh.
+
+    Returns one tiling (a list of tiles covering the mesh) when
+    ``side == n`` (the j = 0 special case), else the three tilings of
+    Lemma 19, displaced by ``side/3`` in both dimensions.
+    """
+    if side == n:
+        return [[Tile(0, 0, n)]]
+    if side % 3 != 0:
+        raise ValueError(f"tile side {side} must be divisible by 3")
+    shift = side // 3
+    tilings = []
+    for t in range(3):
+        offset = -t * shift
+        tiles = []
+        for x0 in range(offset, n, side):
+            for y0 in range(offset, n, side):
+                tiles.append(Tile(x0, y0, side))
+        tilings.append(tiles)
+    return tilings
+
+
+def covering_tile_exists(n: int, side: int, a: tuple[int, int], b: tuple[int, int]) -> bool:
+    """Lemma 19's guarantee, checkable: nodes within side/3 of each other in
+    both dimensions share a tile in at least one tiling."""
+    for tiles in tilings_for_side(n, side):
+        for tile in tiles:
+            if tile.contains(a) and tile.contains(b):
+                return True
+    return False

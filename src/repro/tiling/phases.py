@@ -1,0 +1,268 @@
+"""The three steps of a Section 6 phase: March, Sort and Smooth, Balancing.
+
+All three run on one tile in canonical coordinates through an
+:class:`~repro.tiling.axes.Axes` adapter, so the same code serves Vertical
+and Horizontal Phases.  Every executor returns the number of synchronous
+steps it used and raises :class:`~repro.tiling.state.Section6Violation`
+when a lemma's time bound, the minimality requirement, or the sortedness
+invariant of Sort and Smooth fails -- making each paper lemma an executable
+assertion.
+"""
+
+from __future__ import annotations
+
+from repro.tiling.axes import Axes
+from repro.tiling.geometry import STRIPS, Tile
+from repro.tiling.state import ClassState, Section6Violation
+
+#: Lemma 21's refusal threshold: q = 17 * (27 - 3).
+Q_REFUSAL = 408
+
+
+def collect_actives(
+    state: ClassState, tile: Tile, axes: Axes
+) -> dict[int, int]:
+    """Active packets of this subphase: pid -> destination strip.
+
+    Active (Section 6.1, step 1): current location and destination both in
+    the tile, and the location lies in strips ``1..i-3`` where ``i`` is the
+    destination strip.
+    """
+    actives: dict[int, int] = {}
+    for node, pids in state.by_node.items():
+        if not tile.contains(node):
+            continue
+        pos_strip = axes.strip(tile, node)
+        for pid in pids:
+            dest = state.dest[pid]
+            if not tile.contains(dest):
+                continue
+            dest_strip = axes.strip(tile, dest)
+            if pos_strip <= dest_strip - 3:
+                actives[pid] = dest_strip
+    return actives
+
+
+def run_march(
+    state: ClassState,
+    tile: Tile,
+    axes: Axes,
+    actives: dict[int, int],
+    q: int = Q_REFUSAL,
+) -> int:
+    """Step 2, the March (Lemmas 21 and 29).
+
+    Each active packet moves along the main axis to strip ``i - 3``, as far
+    forward within that strip as possible; a strip ``i-3`` node holding
+    ``q`` packets destined for strip ``i`` refuses further ones.  Nodes
+    prefer forwarding the packet received from behind on the previous step
+    (Lemma 29's priority), so moving packets stream without gaps.
+    """
+    if not actives:
+        return 0
+    d = tile.strip_height
+    # Class census per (node, dest_strip), maintained incrementally.
+    census: dict[tuple[tuple[int, int], int], int] = {}
+    movers: set[int] = set()
+    for pid, dest_strip in actives.items():
+        node = state.pos[pid]
+        census[(node, dest_strip)] = census.get((node, dest_strip), 0) + 1
+        movers.add(pid)
+    moved_last: set[int] = set()
+    steps = 0
+    # Lemma 29: at most q d - 1 steps for the paper's q = 17 (27-3).  For
+    # smaller experimental q the lemma's premise fails, so fall back to the
+    # generic travel-plus-delay cap.
+    bound = max(q * d, 17 * STRIPS * d)
+
+    while movers:
+        moves: list[tuple[int, int, tuple[int, int], tuple[int, int]]] = []
+        sending_nodes: dict[tuple[int, int], tuple[int, int, int]] = {}
+        retired: list[int] = []
+        for pid in movers:
+            node = state.pos[pid]
+            dest_strip = actives[pid]
+            nxt = axes.step_main(node)
+            nxt_strip = axes.strip(tile, nxt)
+            if nxt_strip > dest_strip - 3:
+                retired.append(pid)  # at the forward edge: done for good
+                continue
+            if nxt_strip == dest_strip - 3:
+                if census.get((nxt, dest_strip), 0) >= q:
+                    # Stop-strip census never decreases during the March, so
+                    # this refusal is permanent: the packet has settled.
+                    retired.append(pid)
+                    continue
+            rank = (0 if pid in moved_last else 1, dest_strip, pid)
+            cur = sending_nodes.get(node)
+            if cur is None or rank < cur:
+                sending_nodes[node] = rank
+        movers.difference_update(retired)
+        chosen = {node: rank[2] for node, rank in sending_nodes.items()}
+        if not chosen:
+            break
+        steps += 1
+        if steps > bound:
+            raise Section6Violation(
+                f"March exceeded Lemma 29's bound of {bound} steps"
+            )
+        moved_last = set()
+        for node, pid in sorted(chosen.items(), key=lambda kv: -axes.main(kv[0])):
+            dest_strip = actives[pid]
+            nxt = axes.step_main(node)
+            census[(node, dest_strip)] -= 1
+            census[(nxt, dest_strip)] = census.get((nxt, dest_strip), 0) + 1
+            state.move(pid, nxt)
+            moved_last.add(pid)
+            # Settled movers (at the forward edge or behind a full node)
+            # stay in `movers`; they simply produce no further moves.
+    return steps
+
+
+def run_sort_and_smooth(
+    state: ClassState,
+    tile: Tile,
+    axes: Axes,
+    actives: dict[int, int],
+    parity: int,
+    q: int = Q_REFUSAL,
+) -> int:
+    """Step 3, one parity substep of Sort and Smooth (Lemmas 22 and 30).
+
+    Moves the active packets of every destination strip ``i`` with
+    ``i % 2 == parity`` from strip ``i-3`` to strip ``i-2``: strip ``i-3``'s
+    ``t``-th node (from the rear) starts forwarding its
+    farthest-cross-to-go packet at step ``t``; strip ``i-2``'s ``t``-th node
+    from the front holds every ``t``-th packet it receives, yielding the
+    layered, sorted arrangement of Figure 6.
+    """
+    flows: dict[int, set[int]] = {}
+    for pid, dest_strip in actives.items():
+        if dest_strip % 2 == parity:
+            flows.setdefault(dest_strip, set()).add(pid)
+    if not flows:
+        return 0
+    d = tile.strip_height
+    unsettled: set[int] = set().union(*flows.values())
+    recv: dict[tuple[int, int], int] = {}
+    transient: dict[tuple[int, int], list[int]] = {}
+    last_sent_value: dict[tuple[int, int], int] = {}
+    steps = 0
+    bound = (d - 1) + q * d + d  # Lemma 30 per substep, with the +d tail
+
+    while unsettled:
+        steps += 1
+        if steps > bound:
+            raise Section6Violation(
+                f"Sort and Smooth exceeded Lemma 30's bound of {bound} steps"
+            )
+        moves: list[tuple[int, tuple[int, int], bool]] = []
+        in_transit = _flatten(transient)
+        for dest_strip, pids in flows.items():
+            lo3, _ = axes.strip_bounds(tile, dest_strip - 3)
+            lo2, hi2 = axes.strip_bounds(tile, dest_strip - 2)
+            # Rear strip: staggered farthest-first forwarding.
+            by_node: dict[tuple[int, int], list[int]] = {}
+            for pid in pids:
+                if pid in unsettled and pid not in in_transit:
+                    node = state.pos[pid]
+                    if axes.strip(tile, node) == dest_strip - 3:
+                        by_node.setdefault(node, []).append(pid)
+            for node, candidates in by_node.items():
+                t = axes.main(node) - lo3 + 1
+                if steps < t:
+                    continue
+                pid = max(
+                    candidates, key=lambda p: (axes.cross_to_go(state, p), -p)
+                )
+                moves.append((pid, node, True))
+        # Front strip: transients continue forward, one per node per step.
+        for node, queue in list(transient.items()):
+            if queue:
+                moves.append((queue[0], node, False))
+
+        if not moves:
+            # All remaining unsettled packets are waiting on the stagger.
+            continue
+        for pid, node, _from_rear in moves:
+            queue = transient.get(node)
+            if queue and queue[0] == pid:
+                queue.pop(0)
+            nxt = axes.step_main(node)
+            state.move(pid, nxt)
+            dest_strip = actives[pid]
+            lo2, hi2 = axes.strip_bounds(tile, dest_strip - 2)
+            if axes.main(nxt) < lo2:
+                continue  # still inside strip i-3: remains a rear candidate
+            # Arrived at a front-strip node: count and hold-or-pass.
+            value = axes.cross_to_go(state, pid)
+            prev = last_sent_value.get((nxt, dest_strip))
+            if prev is not None and value > prev:
+                raise Section6Violation(
+                    "Sort and Smooth arrival stream not sorted: "
+                    f"{value} after {prev} at {nxt} (merge invariant broken)"
+                )
+            last_sent_value[(nxt, dest_strip)] = value
+            t_front = hi2 - axes.main(nxt) + 1
+            r = recv.get(nxt, 0) + 1
+            recv[nxt] = r
+            if r % t_front == 0:
+                unsettled.discard(pid)  # held: settles here
+            else:
+                transient.setdefault(nxt, []).append(pid)
+    return steps
+
+
+def _flatten(transient: dict[tuple[int, int], list[int]]) -> set[int]:
+    out: set[int] = set()
+    for queue in transient.values():
+        out.update(queue)
+    return out
+
+
+def run_balancing(
+    state: ClassState,
+    tile: Tile,
+    axes: Axes,
+    actives: dict[int, int],
+) -> int:
+    """Step 4, Balancing via the 2-rule (Lemmas 16, 17, 23, 24, 31).
+
+    Any node holding more than two active packets transmits the one with
+    the farthest cross-distance to go, one hop along the cross axis.  By
+    Lemma 17 this never overshoots a packet's destination line -- enforced
+    here: a forced unprofitable move raises Section6Violation.
+    """
+    if not actives:
+        return 0
+    side = tile.side
+    bound = max(3 * side - 4, 1)  # Lemma 31
+    count: dict[tuple[int, int], list[int]] = {}
+    for pid in actives:
+        count.setdefault(state.pos[pid], []).append(pid)
+    over = {node for node, pids in count.items() if len(pids) > 2}
+    steps = 0
+
+    while over:
+        steps += 1
+        if steps > bound:
+            raise Section6Violation(
+                f"Balancing exceeded Lemma 31's bound of {bound} steps"
+            )
+        moves: list[tuple[int, tuple[int, int]]] = []
+        for node in over:
+            pids = count[node]
+            pid = max(pids, key=lambda p: (axes.cross_to_go(state, p), -p))
+            if axes.cross_to_go(state, pid) <= 0:
+                raise Section6Violation(
+                    f"2-rule forced an overshoot at {node}: Lemma 16's "
+                    "density bound is violated"
+                )
+            moves.append((pid, node))
+        for pid, node in moves:
+            nxt = axes.step_cross(node)
+            count[node].remove(pid)
+            state.move(pid, nxt)
+            count.setdefault(nxt, []).append(pid)
+        over = {node for node, pids in count.items() if len(pids) > 2}
+    return steps

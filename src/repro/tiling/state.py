@@ -1,0 +1,146 @@
+"""Shared state for one Section 6 run.
+
+The engine routes one direction class at a time.  Each class is handled in
+*canonical* coordinates, mirrored so every packet moves north/east; node
+occupancy (the queue-size claim of Theorem 34) is tracked in physical
+coordinates across all classes, including packets of other classes parked
+at their sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mesh.packet import Packet
+
+
+class Section6Violation(AssertionError):
+    """A Section 6 lemma failed during execution (minimality, queue or
+    phase-time bound)."""
+
+
+@dataclass
+class Occupancy:
+    """Physical per-node packet counts with a running maximum."""
+
+    counts: dict[tuple[int, int], int] = field(default_factory=dict)
+    max_load: int = 0
+
+    def add(self, node: tuple[int, int]) -> None:
+        c = self.counts.get(node, 0) + 1
+        self.counts[node] = c
+        if c > self.max_load:
+            self.max_load = c
+
+    def remove(self, node: tuple[int, int]) -> None:
+        c = self.counts[node] - 1
+        if c:
+            self.counts[node] = c
+        else:
+            del self.counts[node]
+
+
+class ClassState:
+    """Positions and destinations of one direction class, canonical space.
+
+    Args:
+        n: Mesh side.
+        mirror_x / mirror_y: Whether the class's physical coordinates are
+            mirrored into canonical space (so canonical movement is
+            north/east for every packet).
+        packets: The class's packets (physical coordinates).
+        occupancy: Shared physical occupancy tracker.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        mirror_x: bool,
+        mirror_y: bool,
+        packets: list[Packet],
+        occupancy: Occupancy,
+    ) -> None:
+        self.n = n
+        self.mirror_x = mirror_x
+        self.mirror_y = mirror_y
+        self.occupancy = occupancy
+        self.pos: dict[int, tuple[int, int]] = {}
+        self.dest: dict[int, tuple[int, int]] = {}
+        self.delivered: set[int] = set()
+        self.by_node: dict[tuple[int, int], set[int]] = {}
+        for p in packets:
+            cpos = self.to_canonical(p.pos)
+            cdest = self.to_canonical(p.dest)
+            if cpos == cdest:
+                self.delivered.add(p.pid)
+                continue
+            self.pos[p.pid] = cpos
+            self.dest[p.pid] = cdest
+            self.by_node.setdefault(cpos, set()).add(p.pid)
+
+    # -- coordinates ------------------------------------------------------------
+
+    def to_canonical(self, node: tuple[int, int]) -> tuple[int, int]:
+        x, y = node
+        if self.mirror_x:
+            x = self.n - 1 - x
+        if self.mirror_y:
+            y = self.n - 1 - y
+        return (x, y)
+
+    def to_physical(self, node: tuple[int, int]) -> tuple[int, int]:
+        return self.to_canonical(node)  # mirroring is an involution
+
+    # -- movement -----------------------------------------------------------------
+
+    def move(self, pid: int, new_pos: tuple[int, int]) -> None:
+        """One-hop move; asserts minimality (Theorem 20) and maintains
+        occupancy.  Delivers the packet when it reaches its destination."""
+        old = self.pos[pid]
+        dest = self.dest[pid]
+        # Minimality: the new position must be exactly one hop closer.
+        dx_old = abs(dest[0] - old[0]) + abs(dest[1] - old[1])
+        dx_new = abs(dest[0] - new_pos[0]) + abs(dest[1] - new_pos[1])
+        if dx_new != dx_old - 1:
+            raise Section6Violation(
+                f"nonminimal move: packet {pid} {old} -> {new_pos} "
+                f"(dest {dest}): the algorithm must be minimal adaptive"
+            )
+        old_bucket = self.by_node[old]
+        old_bucket.discard(pid)
+        if not old_bucket:
+            del self.by_node[old]
+        # Inlined to_physical (hot path: one call per packet-hop).
+        n1 = self.n - 1
+        ox = n1 - old[0] if self.mirror_x else old[0]
+        oy = n1 - old[1] if self.mirror_y else old[1]
+        self.occupancy.remove((ox, oy))
+        if new_pos == dest:
+            self.delivered.add(pid)
+            del self.pos[pid]
+            del self.dest[pid]
+            return
+        self.pos[pid] = new_pos
+        bucket = self.by_node.get(new_pos)
+        if bucket is None:
+            self.by_node[new_pos] = {pid}
+        else:
+            bucket.add(pid)
+        nx = n1 - new_pos[0] if self.mirror_x else new_pos[0]
+        ny = n1 - new_pos[1] if self.mirror_y else new_pos[1]
+        self.occupancy.add((nx, ny))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def packets_at(self, node: tuple[int, int]) -> set[int]:
+        return self.by_node.get(node, set())
+
+    @property
+    def undelivered(self) -> int:
+        return len(self.pos)
+
+    def east_to_go(self, pid: int) -> int:
+        return self.dest[pid][0] - self.pos[pid][0]
+
+    def north_to_go(self, pid: int) -> int:
+        return self.dest[pid][1] - self.pos[pid][1]

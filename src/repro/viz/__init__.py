@@ -1,0 +1,30 @@
+"""ASCII renderers for the paper's figures, drawn from live objects.
+
+Each function reproduces one figure of the paper as text, computed from the
+actual geometry/construction data structures rather than hard-coded -- so
+the figures double as visual regression checks on the implementation.
+"""
+
+from repro.viz.figures import (
+    render_construction_geometry,
+    render_box_invariant,
+    render_dor_construction,
+    render_ff_construction,
+    render_strips,
+    render_sort_smooth,
+    render_subphase_schedule,
+    render_occupancy_heatmap,
+    render_lemma12_diagram,
+)
+
+__all__ = [
+    "render_construction_geometry",
+    "render_box_invariant",
+    "render_dor_construction",
+    "render_ff_construction",
+    "render_strips",
+    "render_sort_smooth",
+    "render_subphase_schedule",
+    "render_occupancy_heatmap",
+    "render_lemma12_diagram",
+]

@@ -1,0 +1,33 @@
+"""Routing problem generators.
+
+Static permutations (Section 1's benchmark problem), partial permutations,
+h-h problems and dynamic injections (Section 5), and the adversarially
+constructed permutations of Sections 3-5 (via :mod:`repro.core`).
+"""
+
+from repro.workloads.permutations import (
+    bit_reversal_permutation,
+    identity_permutation,
+    packets_from_mapping,
+    random_partial_permutation,
+    random_permutation,
+    rotation_permutation,
+    transpose_permutation,
+)
+from repro.workloads.hh import dynamic_hh_problem, random_hh_problem
+from repro.workloads.average_case import random_destinations
+from repro.workloads.dynamic import bernoulli_traffic
+
+__all__ = [
+    "bit_reversal_permutation",
+    "identity_permutation",
+    "packets_from_mapping",
+    "random_partial_permutation",
+    "random_permutation",
+    "rotation_permutation",
+    "transpose_permutation",
+    "dynamic_hh_problem",
+    "random_hh_problem",
+    "random_destinations",
+    "bernoulli_traffic",
+]

@@ -1,0 +1,38 @@
+"""Average-case routing problems (Section 1.1).
+
+The paper quotes Leighton's average-case result: with each packet given a
+*random destination* (not a permutation), greedy dimension-order routing
+delivers everything in ``2n + O(log n)`` steps with high probability and no
+queue ever holds more than four packets.  This generator produces that
+setting; benchmark E12 reproduces the claim's shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.packet import Packet
+from repro.mesh.topology import Topology
+
+
+def random_destinations(
+    topology: Topology,
+    load: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> list[Packet]:
+    """One packet per node (thinned by ``load``), each with an independent
+    uniformly random destination.  Destinations may repeat -- this is not a
+    permutation, which is exactly the point of the average-case setting."""
+    if not 0.0 < load <= 1.0:
+        raise ValueError(f"load must be in (0, 1], got {load}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    nodes = list(topology.nodes())
+    packets: list[Packet] = []
+    pid = 0
+    for node in nodes:
+        if load < 1.0 and rng.random() >= load:
+            continue
+        dest = nodes[int(rng.integers(len(nodes)))]
+        packets.append(Packet(pid, node, dest))
+        pid += 1
+    return packets

@@ -1,0 +1,122 @@
+"""Permutation routing problems (the paper's benchmark, Section 1).
+
+A (partial) permutation sends at most one packet from each node and at most
+one packet to each node.  Generators return fresh :class:`Packet` lists;
+all randomness flows through an explicit seed or ``numpy`` generator so
+every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.mesh.packet import Packet
+from repro.mesh.topology import Topology
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def packets_from_mapping(
+    mapping: Mapping[tuple[int, int], tuple[int, int]]
+    | Iterable[tuple[tuple[int, int], tuple[int, int]]],
+    *,
+    check_permutation: bool = True,
+) -> list[Packet]:
+    """Build packets from explicit (source -> destination) pairs.
+
+    Args:
+        mapping: Source/destination pairs.  Sources are sorted before id
+            assignment so packet ids are independent of input ordering.
+        check_permutation: Verify at most one packet per source and per
+            destination (the partial-permutation condition).
+    """
+    pairs = sorted(mapping.items()) if isinstance(mapping, Mapping) else sorted(mapping)
+    if check_permutation:
+        sources = [s for s, _ in pairs]
+        dests = [d for _, d in pairs]
+        if len(set(sources)) != len(sources):
+            raise ValueError("not a partial permutation: duplicate source")
+        if len(set(dests)) != len(dests):
+            raise ValueError("not a partial permutation: duplicate destination")
+    return [Packet(pid, src, dst) for pid, (src, dst) in enumerate(pairs)]
+
+
+def identity_permutation(topology: Topology) -> list[Packet]:
+    """Every node sends to itself (all packets delivered at step 0)."""
+    return packets_from_mapping({node: node for node in topology.nodes()})
+
+
+def random_permutation(
+    topology: Topology, seed: int | np.random.Generator | None = None
+) -> list[Packet]:
+    """A uniformly random full permutation of the nodes."""
+    rng = _rng(seed)
+    nodes = list(topology.nodes())
+    order = rng.permutation(len(nodes))
+    return packets_from_mapping({nodes[i]: nodes[order[i]] for i in range(len(nodes))})
+
+
+def random_partial_permutation(
+    topology: Topology,
+    fraction: float,
+    seed: int | np.random.Generator | None = None,
+) -> list[Packet]:
+    """A random partial permutation using roughly ``fraction`` of the nodes."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = _rng(seed)
+    nodes = list(topology.nodes())
+    m = int(round(fraction * len(nodes)))
+    sources = rng.choice(len(nodes), size=m, replace=False)
+    dests = rng.choice(len(nodes), size=m, replace=False)
+    return packets_from_mapping(
+        {nodes[s]: nodes[d] for s, d in zip(sources, dests)}
+    )
+
+
+def transpose_permutation(topology: Topology) -> list[Packet]:
+    """The matrix-transpose permutation: (x, y) -> (y, x).
+
+    A classic stress pattern for dimension-order routing: all traffic
+    crosses the main diagonal.
+    """
+    if topology.width != topology.height:
+        raise ValueError("transpose needs a square topology")
+    return packets_from_mapping({(x, y): (y, x) for x, y in topology.nodes()})
+
+
+def bit_reversal_permutation(topology: Topology) -> list[Packet]:
+    """(x, y) -> (rev(x), rev(y)) where rev reverses the coordinate's bits.
+
+    Defined for power-of-two side lengths.
+    """
+    w, h = topology.width, topology.height
+    if w & (w - 1) or h & (h - 1):
+        raise ValueError("bit reversal needs power-of-two dimensions")
+    wbits = w.bit_length() - 1
+    hbits = h.bit_length() - 1
+
+    def rev(v: int, bits: int) -> int:
+        out = 0
+        for _ in range(bits):
+            out = (out << 1) | (v & 1)
+            v >>= 1
+        return out
+
+    return packets_from_mapping(
+        {(x, y): (rev(x, wbits), rev(y, hbits)) for x, y in topology.nodes()}
+    )
+
+
+def rotation_permutation(topology: Topology, dx: int, dy: int) -> list[Packet]:
+    """Cyclic shift: (x, y) -> ((x+dx) mod w, (y+dy) mod h)."""
+    w, h = topology.width, topology.height
+    return packets_from_mapping(
+        {(x, y): ((x + dx) % w, (y + dy) % h) for x, y in topology.nodes()}
+    )

@@ -1,0 +1,50 @@
+"""Tests for measurements, comparisons, and report formatting."""
+
+from repro.analysis import compare_algorithms, format_series, format_table, measure_routing
+from repro.mesh import Mesh
+from repro.routing import BoundedDimensionOrderRouter, GreedyAdaptiveRouter
+from repro.workloads import random_permutation
+
+
+class TestMeasureRouting:
+    def test_basic_measurement(self):
+        mesh = Mesh(8)
+        m = measure_routing(
+            mesh, BoundedDimensionOrderRouter(2), random_permutation(mesh, seed=0)
+        )
+        assert m.completed
+        assert m.algorithm == "bounded-dimension-order"
+        assert m.steps >= mesh.diameter // 2
+        assert m.avg_delivery_time > 0
+        assert m.max_queue_len <= 2
+
+    def test_compare_same_workload(self):
+        mesh = Mesh(8)
+        rows = compare_algorithms(
+            mesh,
+            [
+                ("dor", lambda: BoundedDimensionOrderRouter(2)),
+                ("adaptive", lambda: GreedyAdaptiveRouter(2, "incoming")),
+            ],
+            lambda: random_permutation(mesh, seed=1),
+        )
+        assert len(rows) == 2
+        assert all(r.completed for r in rows)
+        # Same instance, minimal routers: identical total moves.
+        assert rows[0].total_moves == rows[1].total_moves
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all same width
+
+    def test_format_table_floats(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_format_series(self):
+        out = format_series("time", [27, 81], [244, 1015])
+        assert out == "time: 27=244, 81=1015"

@@ -1,0 +1,63 @@
+"""Tests for power-law fitting and crossover detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import crossover_point, fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_exact_linear(self):
+        xs = [27, 81, 243]
+        ys = [900 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_noisy_data_close(self):
+        rng = np.random.default_rng(0)
+        xs = [16, 32, 64, 128, 256]
+        ys = [2 * x**1.5 * float(rng.uniform(0.9, 1.1)) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert 1.3 <= fit.exponent <= 1.7
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [5, 20, 80])
+        assert fit.predict(8) == pytest.approx(320, rel=1e-6)
+
+    def test_rejects_short_or_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, 2, 3])
+
+
+class TestCrossover:
+    def test_simple_crossing(self):
+        xs = [1, 2, 3, 4]
+        a = [1, 2, 3, 4]  # linear
+        b = [3, 3, 3, 3]  # constant
+        x = crossover_point(xs, a, b)
+        assert x == pytest.approx(3.0)
+
+    def test_no_crossing(self):
+        xs = [1, 2, 3]
+        assert crossover_point(xs, [5, 6, 7], [1, 1, 1]) is None
+
+    def test_interpolated(self):
+        xs = [0, 10]
+        x = crossover_point(xs, [0, 10], [5, 5])
+        assert x == pytest.approx(5.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_point([1, 2], [1], [1, 2])

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_route_defaults(self):
+        args = build_parser().parse_args(["route"])
+        assert args.algorithm == "bounded-dor"
+        assert args.n == 32 and args.k == 2
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--algorithm", "psychic"])
+
+
+class TestCommands:
+    def test_route_success_exit_code(self, capsys):
+        rc = main(["route", "--n", "12", "--k", "2", "--workload", "random"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    def test_route_stall_exit_code(self, capsys):
+        # Full permutation on k=1 central dimension order: gridlocked.
+        rc = main(
+            ["route", "--algorithm", "dor", "--n", "8", "--k", "1",
+             "--workload", "rotation", "--max-steps", "50"]
+        )
+        assert rc == 1
+        assert "STALLED" in capsys.readouterr().out
+
+    def test_route_torus(self, capsys):
+        rc = main(["route", "--n", "8", "--torus", "--workload", "random"])
+        assert rc == 0
+
+    def test_route_hot_potato(self, capsys):
+        rc = main(["route", "--algorithm", "hot-potato", "--n", "8"])
+        assert rc == 0
+
+    def test_lower_bound_adaptive(self, capsys):
+        rc = main(
+            ["lower-bound", "--construction", "adaptive", "--n", "60",
+             "--k", "1", "--check-invariants"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "configuration match = True" in out
+
+    def test_lower_bound_dor(self, capsys):
+        rc = main(
+            ["lower-bound", "--construction", "dor", "--n", "60", "--k", "1",
+             "--no-completion"]
+        )
+        assert rc == 0
+
+    def test_lower_bound_hh(self, capsys):
+        rc = main(
+            ["lower-bound", "--construction", "hh", "--n", "60", "--k", "2",
+             "--h", "2", "--no-completion"]
+        )
+        assert rc == 0
+
+    def test_section6(self, capsys):
+        rc = main(["section6", "--n", "27", "--workload", "transpose"])
+        assert rc == 0
+        assert "delivered 729/729" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        rc = main(["bounds", "--n", "216", "--k", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Theorem 13 certified" in out
+        assert "972n" in out
+
+    def test_route_with_flaky_links(self, capsys):
+        rc = main(
+            ["route", "--algorithm", "greedy-adaptive", "--queues", "incoming",
+             "--n", "10", "--availability", "0.8", "--workload", "random"]
+        )
+        assert rc == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_lower_bound_ff(self, capsys):
+        rc = main(
+            ["lower-bound", "--construction", "ff", "--n", "60", "--k", "1",
+             "--no-completion"]
+        )
+        assert rc == 0
+        assert "configuration match = True" in capsys.readouterr().out
+
+    def test_lower_bound_torus(self, capsys):
+        rc = main(
+            ["lower-bound", "--construction", "torus", "--n", "120", "--k", "1",
+             "--no-completion"]
+        )
+        assert rc == 0
+        assert "configuration match = True" in capsys.readouterr().out
+
+    def test_section6_improved(self, capsys):
+        rc = main(["section6", "--n", "27", "--improved"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"bound {564 * 27}" in out

@@ -1,0 +1,83 @@
+"""Unit tests for the closed-form bound formulas."""
+
+import pytest
+
+from repro.core import bounds
+
+
+class TestLowerBoundFormulas:
+    def test_adaptive_lower_bound_matches_constants(self):
+        from repro.core.constants import AdaptiveConstants
+
+        for n, k in ((60, 1), (216, 2)):
+            assert bounds.adaptive_lower_bound(n, k) == AdaptiveConstants.choose(
+                n, k
+            ).bound_steps
+
+    def test_theorem14_cases(self):
+        # Case 1: asymptotic regime.
+        n, k = 24 * 9, 1
+        assert bounds.theorem14_closed_form(n, k) == (n // (12 * 9) - 1) * n // 3
+        # Case 2: small n falls back to the diameter.
+        assert bounds.theorem14_closed_form(50, 1) == 98
+
+    def test_theorem14_nonnegative(self):
+        for n in range(24, 4000, 37):
+            for k in (1, 2, 3):
+                assert bounds.theorem14_closed_form(n, k) >= 0
+
+    def test_diameter(self):
+        assert bounds.diameter_bound(32) == 62
+
+    def test_torus_matches_half_mesh(self):
+        assert bounds.torus_lower_bound(240, 1) == bounds.adaptive_lower_bound(120, 1)
+        with pytest.raises(ValueError):
+            bounds.torus_lower_bound(241, 1)
+
+    def test_hh_reduces_to_permutation_scale(self):
+        """h = 1 gives the same order as the adaptive closed form."""
+        n, k = 20_000, 1
+        hh1 = bounds.hh_lower_bound_closed_form(n, k, 1)
+        adaptive = bounds.theorem14_closed_form(n, k)
+        assert 0.05 <= hh1 / adaptive <= 20
+
+    def test_dimension_order_closed_form_values(self):
+        # floor(3*60/(8*3)) * floor(2*60/5) = 7 * 24
+        assert bounds.dimension_order_closed_form(60, 1) == 7 * 24
+
+    def test_farthest_first_closed_form_values(self):
+        # floor(2*60/(9*2)) * 24 = 6 * 24
+        assert bounds.farthest_first_closed_form(60, 1) == 6 * 24
+
+    def test_hh_dimension_order_growth(self):
+        n, k = 10_000, 4
+        b2 = bounds.hh_dimension_order_closed_form(n, k, 2)
+        b4 = bounds.hh_dimension_order_closed_form(n, k, 4)
+        # Omega(h^2 n^2/(k+h)): h doubling roughly triples-to-quadruples it.
+        assert 2.0 <= b4 / b2 <= 6.0
+
+
+class TestUpperBoundFormulas:
+    def test_theorem15_budget_shape(self):
+        assert bounds.theorem15_upper_bound(100, 1) == 8 * (10_000 + 100)
+        assert bounds.theorem15_upper_bound(100, 4) == 8 * (2_500 + 100)
+        assert bounds.theorem15_upper_bound(100, 1, constant=3) == 3 * 10_100
+
+    def test_section6_phase_budgets(self):
+        assert bounds.section6_march_bound(408, 1) == 407
+        assert bounds.section6_sort_smooth_bound(408, 3) == 2 * (2 + 1224)
+        assert bounds.section6_balancing_bound(81) == 239
+        assert bounds.section6_base_case_bound() == 14
+
+    def test_section6_headline_numbers(self):
+        assert bounds.section6_time_bound(243) == 972 * 243
+        assert bounds.section6_improved_time_bound(243) == 564 * 243
+        assert bounds.section6_queue_bound() == 834
+        assert bounds.section6_queue_bound(102) == 222
+
+    def test_hierarchy_at_moderate_n(self):
+        """diameter <= Thm13 certified << dim-order lower <= Thm15 budget."""
+        n, k = 2000, 1
+        assert bounds.diameter_bound(n) < bounds.adaptive_lower_bound(n, k)
+        assert bounds.adaptive_lower_bound(n, k) < bounds.dimension_order_lower_bound(n, k)
+        assert bounds.dimension_order_lower_bound(n, k) <= bounds.theorem15_upper_bound(n, k)

@@ -1,0 +1,136 @@
+"""Tests for the Section 4.3 / Section 5 constants."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.constants import (
+    AdaptiveConstants,
+    DimensionOrderConstants,
+    FarthestFirstConstants,
+    InfeasibleConstructionError,
+)
+
+
+class TestAdaptiveConstants:
+    def test_paper_regime_always_feasible(self):
+        """Section 4.3 proves feasibility for n >= 24 (k+2)^2."""
+        for k in (1, 2, 3):
+            n = 24 * (k + 2) ** 2
+            consts = AdaptiveConstants.choose(n, k)
+            assert consts.l_floor >= 1
+            assert consts.bound_steps >= 1
+
+    def test_c_and_d_within_paper_ranges(self):
+        """For n >= 24 (k+2)^2: 2/(5(k+2)) <= c <= 1/(2(k+2)), 1/3 <= d <= 2/5."""
+        for k in (1, 2):
+            n = 24 * (k + 2) ** 2
+            consts = AdaptiveConstants.choose(n, k)
+            assert Fraction(2, 5 * (k + 2)) <= consts.c <= Fraction(1, 2 * (k + 2))
+            assert Fraction(1, 3) <= consts.d <= Fraction(2, 5)
+
+    def test_p_formula(self):
+        consts = AdaptiveConstants.choose(216, 1)
+        c = consts.c
+        expected = int((consts.k + 1) * (consts.cn + c * c * 216) + consts.dn)
+        assert consts.p == expected
+
+    def test_l_formula(self):
+        consts = AdaptiveConstants.choose(216, 1)
+        assert consts.l == Fraction(consts.cn**2, 2 * consts.p)
+        assert consts.l_floor == int(consts.l)
+
+    def test_bound_grows_quadratically_in_n(self):
+        """bound(2n) / bound(n) -> ~4 for fixed k (the Omega(n^2) shape)."""
+        b1 = AdaptiveConstants.choose(500, 1).bound_steps
+        b2 = AdaptiveConstants.choose(1000, 1).bound_steps
+        assert 3.0 <= b2 / b1 <= 5.0
+
+    def test_bound_shrinks_with_k(self):
+        n = 2000
+        bounds = [AdaptiveConstants.choose(n, k).bound_steps for k in (1, 2, 4)]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_bound_k_scaling_roughly_inverse_square(self):
+        """Theorem 14: bound ~ n^2 / k^2; doubling k shrinks it ~4x."""
+        n = 20000
+        b1 = AdaptiveConstants.choose(n, 2).bound_steps
+        b2 = AdaptiveConstants.choose(n, 4).bound_steps
+        assert 2.0 <= b1 / b2 <= 6.0
+
+    def test_infeasible_small_n(self):
+        with pytest.raises(InfeasibleConstructionError):
+            AdaptiveConstants.choose(10, 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            AdaptiveConstants.choose(216, 0)
+
+    def test_minimum_feasible_n(self):
+        n = AdaptiveConstants.minimum_feasible_n(1)
+        AdaptiveConstants.choose(n, 1)  # must not raise
+        with pytest.raises(InfeasibleConstructionError):
+            AdaptiveConstants.choose(n - 1, 1)
+
+    def test_total_packets_fit_one_box(self):
+        for n, k in [(60, 1), (120, 1), (216, 2)]:
+            consts = AdaptiveConstants.choose(n, k)
+            assert consts.total_construction_packets <= consts.cn**2
+
+    def test_theorem14_closed_form_is_lower_bound(self):
+        """The Theorem 14 Case 1 closed form never exceeds bound_steps."""
+        for k in (1, 2):
+            n = 24 * (k + 2) ** 2
+            consts = AdaptiveConstants.choose(n, k)
+            closed = (n // (12 * (k + 2) ** 2) - 1) * n // 3
+            assert consts.bound_steps >= closed
+
+
+class TestDimensionOrderConstants:
+    def test_feasible_moderate_n(self):
+        consts = DimensionOrderConstants.choose(60, 1)
+        assert consts.bound_steps >= 1
+
+    def test_levels_fit_destination_columns(self):
+        for n in (60, 120, 216):
+            consts = DimensionOrderConstants.choose(n, 1)
+            assert consts.l_floor <= consts.cn
+
+    def test_bound_linear_in_inverse_k(self):
+        """Omega(n^2/k): doubling k roughly halves the bound."""
+        n = 20000
+        b1 = DimensionOrderConstants.choose(n, 2).bound_steps
+        b2 = DimensionOrderConstants.choose(n, 4).bound_steps
+        assert 1.5 <= b1 / b2 <= 3.0
+
+    def test_bound_exceeds_diameter_at_moderate_n(self):
+        """Unlike the adaptive bound, Omega(n^2/k) beats 2n-2 early."""
+        consts = DimensionOrderConstants.choose(216, 1)
+        assert consts.bound_steps > 2 * 216 - 2
+
+    def test_paper_closed_form(self):
+        """Paper: l dn >= floor(3n/(8(k+2))) * (2n/5)."""
+        for k in (1, 2):
+            n = 40 * (k + 2)
+            consts = DimensionOrderConstants.choose(n, k)
+            closed = (3 * n // (8 * (k + 2))) * (2 * n // 5)
+            assert consts.bound_steps >= closed // 2  # same order
+
+
+class TestFarthestFirstConstants:
+    def test_feasible(self):
+        consts = FarthestFirstConstants.choose(60, 1)
+        assert consts.bound_steps >= 1
+
+    def test_quadratic_in_n(self):
+        b1 = FarthestFirstConstants.choose(500, 1).bound_steps
+        b2 = FarthestFirstConstants.choose(1000, 1).bound_steps
+        assert 3.0 <= b2 / b1 <= 5.0
+
+    def test_paper_closed_form(self):
+        """Paper: l dn >= floor(2n/(9(k+1))) * (2n/5)."""
+        for k in (1, 2):
+            n = 45 * (k + 1)
+            consts = FarthestFirstConstants.choose(n, k)
+            closed = (2 * n // (9 * (k + 1))) * (2 * n // 5)
+            assert consts.bound_steps >= closed // 2

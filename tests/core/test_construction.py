@@ -1,0 +1,150 @@
+"""Integration tests: the full adversary construction and its replay.
+
+These are executable versions of the paper's main results:
+Lemmas 1-8 (invariant checking during the construction), Corollary 9
+(undelivered packets at the horizon), Lemma 12 (replay configuration
+equality), and Theorem 13 (the certified lower bound).
+"""
+
+import pytest
+
+from repro.core import (
+    AdaptiveLowerBoundConstruction,
+    replay_constructed_permutation,
+)
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+from repro.core.replay import packets_from_permutation
+from repro.mesh import Mesh, Simulator
+from repro.routing import (
+    AlternatingAdaptiveRouter,
+    DimensionOrderRouter,
+    GreedyAdaptiveRouter,
+)
+
+# (name, n, factory): n is the smallest comfortable feasible mesh for the
+# victim's node capacity (k=2 needs n >= 104).
+VICTIMS = [
+    ("greedy-adaptive-k1", 60, lambda: GreedyAdaptiveRouter(1)),
+    ("alternating-adaptive-k1", 60, lambda: AlternatingAdaptiveRouter(1)),
+    ("dimension-order-k1", 60, lambda: DimensionOrderRouter(1)),
+    ("greedy-adaptive-k2", 104, lambda: GreedyAdaptiveRouter(2)),
+]
+
+
+@pytest.mark.parametrize("name,n,factory", VICTIMS, ids=[v[0] for v in VICTIMS])
+class TestConstructionAgainstVictims:
+
+    def test_lemmas_hold_throughout(self, name, n, factory):
+        """check_invariants verifies Lemmas 1-2 and 5-8 after every step."""
+        con = AdaptiveLowerBoundConstruction(
+            n, factory, check_invariants=True
+        )
+        result = con.run()  # raises InvariantViolation on any lemma failure
+        assert result.bound_steps == con.constants.bound_steps
+
+    def test_corollary9_undelivered_at_horizon(self, name, n, factory):
+        con = AdaptiveLowerBoundConstruction(n, factory)
+        result = con.run()
+        assert result.undelivered_at_bound >= 1
+        # Quantitative form: p - dn packets of each top-level class remain.
+        consts = con.constants
+        expected_remaining = consts.p - consts.dn
+        if expected_remaining > 0:
+            assert result.undelivered_at_bound >= 2 * expected_remaining
+
+    def test_lemma12_replay_configuration_equality(self, name, n, factory):
+        con = AdaptiveLowerBoundConstruction(n, factory)
+        result = con.run()
+        report = replay_constructed_permutation(result, factory)
+        assert report.configuration_matches
+        assert report.delivery_times_match
+
+    def test_theorem13_certified_bound(self, name, n, factory):
+        con = AdaptiveLowerBoundConstruction(n, factory)
+        result = con.run()
+        report = replay_constructed_permutation(result, factory)
+        assert report.undelivered_at_bound >= 1  # Theorem 13
+
+
+class TestConstructionDetails:
+    def test_constructed_permutation_is_partial_permutation(self):
+        con = AdaptiveLowerBoundConstruction(60, lambda: GreedyAdaptiveRouter(1))
+        result = con.run()
+        sources = [s for s, _ in result.permutation]
+        dests = [d for _, d in result.permutation]
+        assert len(set(sources)) == len(sources)
+        assert len(set(dests)) == len(dests)
+
+    def test_exchanges_preserve_destination_multiset(self):
+        con = AdaptiveLowerBoundConstruction(60, lambda: GreedyAdaptiveRouter(1))
+        initial = con.build_packets()
+        result = con.run()
+        assert sorted(d for _, d in result.permutation) == sorted(
+            p.dest for p in initial
+        )
+
+    def test_exchange_log(self):
+        con = AdaptiveLowerBoundConstruction(
+            60, lambda: GreedyAdaptiveRouter(1), log_exchanges=True
+        )
+        result = con.run()
+        assert len(result.records) == result.exchange_count
+        for rec in result.records:
+            assert rec.rule in ("EX1", "EX2", "EX3", "EX4")
+            assert 1 <= rec.level <= con.constants.l_floor
+            assert 1 <= rec.time <= rec.level * con.constants.dn
+
+    def test_top_level_classes_remain_in_top_box(self):
+        """Corollary 9's geometry: the surviving packets sit in the l-box."""
+        factory = lambda: GreedyAdaptiveRouter(1)
+        con = AdaptiveLowerBoundConstruction(60, factory)
+        result = con.run()
+        geo = con.geometry
+        top = geo.levels
+        # Re-run the replay to inspect live packet positions at the horizon.
+        sim = Simulator(
+            Mesh(con.constants.n),
+            factory(),
+            packets_from_permutation(result.permutation),
+        )
+        sim.run_steps(result.bound_steps)
+        in_box = {(N_CLASS, top): 0, (E_CLASS, top): 0}
+        escaped = {(N_CLASS, top): 0, (E_CLASS, top): 0}
+        for p in sim.iter_packets():
+            cls = geo.classify(p.dest)
+            if cls in in_box:
+                if geo.in_box(p.pos, top):
+                    in_box[cls] += 1
+                else:
+                    escaped[cls] += 1
+        # Lemma 2: at most one escape per step during the dn-step window of
+        # the top level, so at least p - dn of each class are still penned.
+        expected = con.constants.p - con.constants.dn
+        assert in_box[(N_CLASS, top)] >= max(expected, 1)
+        assert in_box[(E_CLASS, top)] >= max(expected, 1)
+        assert escaped[(N_CLASS, top)] <= con.constants.dn
+        assert escaped[(E_CLASS, top)] <= con.constants.dn
+
+    def test_rejects_non_destination_exchangeable_victim(self):
+        from repro.routing import FarthestFirstRouter
+
+        with pytest.raises(TypeError, match="destination-exchangeable"):
+            AdaptiveLowerBoundConstruction(60, lambda: FarthestFirstRouter(1))
+
+    def test_full_fill_construction_runs(self):
+        con = AdaptiveLowerBoundConstruction(
+            60, lambda: GreedyAdaptiveRouter(1), fill="full", check_invariants=True
+        )
+        result = con.run()
+        assert result.undelivered_at_bound >= 1
+        assert len(result.permutation) == 3600
+
+    def test_replay_to_completion_exceeds_bound(self):
+        factory = lambda: GreedyAdaptiveRouter(1)
+        con = AdaptiveLowerBoundConstruction(60, factory)
+        result = con.run()
+        report = replay_constructed_permutation(
+            result, factory, run_to_completion=True, max_steps=100_000
+        )
+        assert report.completed
+        assert report.total_steps > result.bound_steps

@@ -1,0 +1,88 @@
+"""Tests for i-box geometry and packet classification."""
+
+import pytest
+
+from repro.core.constants import AdaptiveConstants
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+
+
+@pytest.fixture
+def geo() -> BoxGeometry:
+    return BoxGeometry.from_constants(AdaptiveConstants.choose(216, 1))
+
+
+class TestLandmarks:
+    def test_n1_column_is_east_edge_of_submesh(self, geo):
+        # Paper: N_1-column is the cn-th column (1-indexed) = cn-1 (0-indexed).
+        assert geo.n_column(1) == geo.cn - 1
+        assert geo.e_row(1) == geo.cn - 1
+
+    def test_boxes_nest(self, geo):
+        for i in range(1, geo.levels):
+            assert geo.n_column(i) < geo.n_column(i + 1)
+
+    def test_zero_box_strictly_inside_one_box(self, geo):
+        assert geo.in_box((geo.cn - 2, geo.cn - 2), 0)
+        assert not geo.in_box((geo.cn - 1, 0), 0)
+        assert geo.in_box((geo.cn - 1, 0), 1)
+
+    def test_one_box_equals_submesh(self, geo):
+        for node in [(0, 0), (geo.cn - 1, geo.cn - 1), (geo.cn - 1, 0)]:
+            assert geo.in_box(node, 1) == geo.in_one_box_submesh(node)
+        assert not geo.in_one_box_submesh((geo.cn, 0))
+
+    def test_corner(self, geo):
+        assert geo.corner(2) == (geo.n_column(2), geo.e_row(2))
+
+    def test_region_predicates_exclude_corner(self, geo):
+        corner = geo.corner(3)
+        assert not geo.on_n_column_south(corner, 3)
+        assert not geo.on_e_row_west(corner, 3)
+        assert geo.on_n_column_south((corner[0], corner[1] - 1), 3)
+        assert geo.on_e_row_west((corner[0] - 1, corner[1]), 3)
+
+
+class TestClassification:
+    def test_classify_inverts_n_destination(self, geo):
+        for i in (1, geo.levels):
+            for j in (0, geo.p - 1):
+                assert geo.classify(geo.n_destination(i, j)) == (N_CLASS, i)
+
+    def test_classify_inverts_e_destination(self, geo):
+        for i in (1, geo.levels):
+            for j in (0, geo.p - 1):
+                assert geo.classify(geo.e_destination(i, j)) == (E_CLASS, i)
+
+    def test_family_destinations_unique(self, geo):
+        dests = set()
+        for i in range(1, geo.levels + 1):
+            for j in range(geo.p):
+                dests.add(geo.n_destination(i, j))
+                dests.add(geo.e_destination(i, j))
+        assert len(dests) == 2 * geo.levels * geo.p
+
+    def test_family_destinations_outside_own_box(self, geo):
+        for i in range(1, geo.levels + 1):
+            assert not geo.in_box(geo.n_destination(i, 0), i)
+            assert not geo.in_box(geo.e_destination(i, 0), i)
+
+    def test_nonfamily_destinations_classless(self, geo):
+        assert geo.classify((0, 0)) is None
+        assert geo.classify((geo.n - 1, geo.n - 1)) is None
+        # Just beyond the family index range in the N_1-column:
+        beyond = (geo.n_column(1), geo.e_row(1) + 1 + geo.p)
+        assert geo.classify(beyond) is None
+        # On the column but below the E_1-row:
+        assert geo.classify((geo.n_column(1), 0)) is None
+
+    def test_n_destinations_in_column_north_of_row(self, geo):
+        for i in (1, 2):
+            d = geo.n_destination(i, 5)
+            assert d[0] == geo.n_column(i)
+            assert d[1] > geo.e_row(i)
+
+    def test_destinations_inside_mesh(self, geo):
+        for i in range(1, geo.levels + 1):
+            for j in (0, geo.p - 1):
+                for d in (geo.n_destination(i, j), geo.e_destination(i, j)):
+                    assert 0 <= d[0] < geo.n and 0 <= d[1] < geo.n

@@ -1,0 +1,105 @@
+"""Tests for the construction's initial arrangement (Section 3, step 1)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.constants import AdaptiveConstants
+from repro.core.geometry import E_CLASS, N_CLASS, BoxGeometry
+from repro.core.placement import build_construction_packets
+
+
+@pytest.fixture(params=[(60, 1), (120, 1), (216, 2)])
+def setup(request):
+    n, k = request.param
+    consts = AdaptiveConstants.choose(n, k)
+    geo = BoxGeometry.from_constants(consts)
+    packets = build_construction_packets(consts, geo)
+    return consts, geo, packets
+
+
+class TestPlacement:
+    def test_is_partial_permutation(self, setup):
+        _, _, packets = setup
+        sources = [p.source for p in packets]
+        dests = [p.dest for p in packets]
+        assert len(set(sources)) == len(sources)
+        assert len(set(dests)) == len(dests)
+
+    def test_packet_count(self, setup):
+        consts, _, packets = setup
+        assert len(packets) == consts.total_construction_packets
+
+    def test_one_packet_per_node(self, setup):
+        _, _, packets = setup
+        assert max(Counter(p.source for p in packets).values()) == 1
+
+    def test_all_sources_in_one_box(self, setup):
+        _, geo, packets = setup
+        assert all(geo.in_one_box_submesh(p.source) for p in packets)
+
+    def test_class_counts(self, setup):
+        consts, geo, packets = setup
+        counts = Counter(geo.classify(p.dest) for p in packets)
+        for i in range(1, consts.l_floor + 1):
+            assert counts[(N_CLASS, i)] == consts.p
+            assert counts[(E_CLASS, i)] == consts.p
+        assert counts.get(None, 0) == 0
+
+    def test_n1_column_holds_only_n1_packets(self, setup):
+        consts, geo, packets = setup
+        for p in packets:
+            if p.source[0] == geo.n_column(1) and p.source[1] <= geo.e_row(1):
+                assert geo.classify(p.dest) == (N_CLASS, 1)
+
+    def test_e1_row_west_holds_only_e1_packets(self, setup):
+        consts, geo, packets = setup
+        for p in packets:
+            if p.source[1] == geo.e_row(1) and p.source[0] < geo.n_column(1):
+                assert geo.classify(p.dest) == (E_CLASS, 1)
+
+    def test_n1_and_e1_present_in_zero_box(self, setup):
+        """Paper note: 'there must be N_1- and E_1-packets in the 0-box'."""
+        _, geo, packets = setup
+        classes_in_zero_box = {
+            geo.classify(p.dest) for p in packets if geo.in_box(p.source, 0)
+        }
+        assert (N_CLASS, 1) in classes_in_zero_box
+        assert (E_CLASS, 1) in classes_in_zero_box
+
+    def test_higher_levels_confined_to_zero_box(self, setup):
+        """Initial arrangement satisfies Lemmas 5/6 at t=0."""
+        consts, geo, packets = setup
+        for p in packets:
+            tag, i = geo.classify(p.dest)
+            if i >= 2:
+                assert geo.in_box(p.source, 0)
+
+    def test_all_packets_northeast_bound(self, setup):
+        _, _, packets = setup
+        for p in packets:
+            assert p.dest[0] >= p.source[0]
+            assert p.dest[1] >= p.source[1]
+
+
+class TestFullFill:
+    def test_full_fill_is_full_permutation(self):
+        consts = AdaptiveConstants.choose(60, 1)
+        packets = build_construction_packets(consts, fill="full")
+        assert len(packets) == 60 * 60
+        assert len({p.source for p in packets}) == 3600
+        assert len({p.dest for p in packets}) == 3600
+
+    def test_fillers_are_classless(self):
+        consts = AdaptiveConstants.choose(60, 1)
+        geo = BoxGeometry.from_constants(consts)
+        partial = {p.source for p in build_construction_packets(consts, geo)}
+        full = build_construction_packets(consts, geo, fill="full")
+        for p in full:
+            if p.source not in partial:
+                assert geo.classify(p.dest) is None
+
+    def test_bad_fill_value(self):
+        consts = AdaptiveConstants.choose(60, 1)
+        with pytest.raises(ValueError):
+            build_construction_packets(consts, fill="half")

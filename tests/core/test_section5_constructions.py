@@ -1,0 +1,259 @@
+"""Tests for the Section 5 constructions: dimension-order, farthest-first,
+torus, and h-h."""
+
+import pytest
+
+from repro.core.dor_adversary import DimensionOrderAdversary, DorGeometry, DorLowerBoundConstruction
+from repro.core.extensions import (
+    HhConstants,
+    HhLowerBoundConstruction,
+    TorusLowerBoundConstruction,
+)
+from repro.core.ff_adversary import FfGeometry, FfLowerBoundConstruction
+from repro.core.replay import replay_constructed_permutation
+from repro.core import bounds
+from repro.routing import (
+    BoundedDimensionOrderRouter,
+    DimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+)
+
+
+class TestDorConstruction:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: DimensionOrderRouter(1), lambda: BoundedDimensionOrderRouter(1)],
+        ids=["central", "bounded"],
+    )
+    def test_invariants_and_replay(self, factory):
+        con = DorLowerBoundConstruction(60, factory, check_invariants=True)
+        result = con.run()
+        assert result.undelivered_at_bound >= 1
+        report = replay_constructed_permutation(result, factory)
+        assert report.configuration_matches
+        assert report.delivery_times_match
+        assert report.undelivered_at_bound >= 1
+
+    def test_bound_superlinear_even_at_n60(self):
+        """Omega(n^2/k) beats the diameter at small n already."""
+        con = DorLowerBoundConstruction(60, lambda: DimensionOrderRouter(1))
+        assert con.constants.bound_steps > bounds.diameter_bound(60)
+
+    def test_replay_time_exceeds_certified_bound(self):
+        factory = lambda: BoundedDimensionOrderRouter(1)
+        con = DorLowerBoundConstruction(60, factory)
+        result = con.run()
+        report = replay_constructed_permutation(
+            result, factory, run_to_completion=True, max_steps=200_000
+        )
+        assert report.completed
+        assert report.total_steps >= result.bound_steps
+
+    def test_rejects_adaptive_victim(self):
+        with pytest.raises(TypeError, match="dimension-order"):
+            DorLowerBoundConstruction(60, lambda: GreedyAdaptiveRouter(1))
+
+    def test_rejects_full_view_victim(self):
+        with pytest.raises(TypeError, match="destination-"):
+            DorLowerBoundConstruction(60, lambda: FarthestFirstRouter(1))
+
+    def test_instance_is_permutation(self):
+        con = DorLowerBoundConstruction(60, lambda: DimensionOrderRouter(1))
+        packets = con.build_packets()
+        assert len({p.source for p in packets}) == len(packets)
+        assert len({p.dest for p in packets}) == len(packets)
+
+    def test_adversary_trigger_unit(self):
+        """A class-2 packet scheduled into the N_1-column must be exchanged."""
+        from repro.mesh import Mesh, Packet, Simulator
+        from repro.core.constants import DimensionOrderConstants
+
+        consts = DimensionOrderConstants.choose(60, 1)
+        geo = DorGeometry(n=60, cn=consts.cn, levels=consts.l_floor)
+        adv = DimensionOrderAdversary(consts, geo, log=True)
+        col1 = geo.column(1)
+        # One class-2 packet right next to the N_1-column; one eligible
+        # class-1 partner deep in the 0-box.
+        intruder = Packet(0, (col1 - 1, 0), geo.destination(2, 0))
+        partner = Packet(1, (0, 0), geo.destination(1, 0))
+        sim = Simulator(
+            Mesh(60), DimensionOrderRouter(1), [intruder, partner], interceptor=adv
+        )
+        sim.step()
+        assert adv.exchange_count == 1
+        assert geo.classify(intruder.dest) == 1  # became the N_1-packet
+        assert geo.classify(partner.dest) == 2
+
+
+class TestFfConstruction:
+    def test_invariants_and_replay(self):
+        factory = lambda: FarthestFirstRouter(1, "central")
+        con = FfLowerBoundConstruction(60, factory, check_invariants=True)
+        result = con.run()
+        assert result.undelivered_at_bound >= 1
+        report = replay_constructed_permutation(result, factory)
+        assert report.configuration_matches
+
+    def test_incoming_queue_victim(self):
+        factory = lambda: FarthestFirstRouter(1)
+        con = FfLowerBoundConstruction(60, factory, check_invariants=True)
+        result = con.run()
+        report = replay_constructed_permutation(
+            result, factory, run_to_completion=True, max_steps=200_000
+        )
+        assert report.completed
+        assert report.total_steps >= result.bound_steps
+
+    def test_initial_arrangement_invariants(self):
+        con = FfLowerBoundConstruction(60, lambda: FarthestFirstRouter(1))
+        geo = con.geometry
+        packets = con.build_packets()
+        # No packet starts in its own column (classes >= 2).
+        for p in packets:
+            j = geo.classify(p.dest)
+            assert j is not None
+            if j >= 2:
+                assert p.source[0] != geo.column(j)
+        # Per-row classes non-increasing eastward.
+        rows: dict[int, list[tuple[int, int]]] = {}
+        for p in packets:
+            rows.setdefault(p.source[1], []).append(
+                (p.source[0], geo.classify(p.dest))
+            )
+        for entries in rows.values():
+            entries.sort()
+            for (x1, j1), (x2, j2) in zip(entries, entries[1:]):
+                assert j1 >= j2
+
+    def test_adversary_trigger_unit(self):
+        """A class-2 packet about to turn into its own column early gets its
+        destination pushed one column east."""
+        from repro.mesh import Mesh, Packet, Simulator
+        from repro.core.constants import FarthestFirstConstants
+        from repro.core.ff_adversary import FarthestFirstAdversary
+
+        consts = FarthestFirstConstants.choose(60, 1)
+        geo = FfGeometry(n=60, cn=consts.cn, levels=consts.l_floor, num_classes=10)
+        adv = FarthestFirstAdversary(consts, geo, log=True)
+        turner = Packet(0, (geo.column(2) - 1, 0), geo.destination(2, 0))
+        partner = Packet(1, (0, 0), geo.destination(1, 0))
+        sim = Simulator(
+            Mesh(60),
+            FarthestFirstRouter(1, "central"),
+            [turner, partner],
+            interceptor=adv,
+        )
+        sim.step()
+        assert adv.exchange_count == 1
+        assert geo.classify(turner.dest) == 1
+        assert geo.classify(partner.dest) == 2
+
+
+class TestTorusConstruction:
+    def test_construction_and_replay_on_torus(self):
+        factory = lambda: GreedyAdaptiveRouter(1)
+        con = TorusLowerBoundConstruction(120, factory, check_invariants=True)
+        result = con.run()
+        assert result.undelivered_at_bound >= 1
+        report = replay_constructed_permutation(
+            result, factory, topology=con.topology, run_to_completion=True,
+            max_steps=200_000,
+        )
+        assert report.configuration_matches
+        assert report.completed
+
+    def test_requires_even_n(self):
+        with pytest.raises(ValueError, match="even"):
+            TorusLowerBoundConstruction(121, lambda: GreedyAdaptiveRouter(1))
+
+    def test_paths_never_wrap(self):
+        """All construction traffic stays inside the m x m submesh."""
+        factory = lambda: GreedyAdaptiveRouter(1)
+        con = TorusLowerBoundConstruction(120, factory)
+        m = con.constants.n
+        from repro.mesh import Simulator
+        from repro.core.adversary import AdaptiveAdversary
+
+        packets = con.build_packets()
+        adv = AdaptiveAdversary(con.constants, con.geometry)
+        sim = Simulator(con.topology, factory(), packets, interceptor=adv)
+        for _ in range(con.constants.bound_steps):
+            sim.step()
+            for p in sim.iter_packets():
+                assert p.pos[0] < m and p.pos[1] < m
+
+
+class TestHhConstruction:
+    def test_static_requires_h_le_k(self):
+        from repro.core.constants import InfeasibleConstructionError
+
+        with pytest.raises(InfeasibleConstructionError, match="h <= k"):
+            HhConstants.choose(60, 1, 2)
+
+    def test_construction_and_replay(self):
+        factory = lambda: GreedyAdaptiveRouter(2)
+        con = HhLowerBoundConstruction(60, 2, factory, check_invariants=True)
+        result = con.run()
+        assert result.undelivered_at_bound >= 1
+        report = replay_constructed_permutation(
+            result, factory, run_to_completion=True, max_steps=200_000
+        )
+        assert report.configuration_matches
+        assert report.delivery_times_match
+        assert report.completed
+
+    def test_placement_h_per_node(self):
+        from collections import Counter
+
+        con = HhLowerBoundConstruction(60, 2, lambda: GreedyAdaptiveRouter(2))
+        packets = con.build_packets()
+        per_node = Counter(p.source for p in packets)
+        assert max(per_node.values()) <= 2
+        per_dest = Counter(p.dest for p in packets)
+        assert max(per_dest.values()) <= 2
+
+    def test_hh_bound_grows_with_h(self):
+        b1 = HhConstants.choose(240, 4, 2).bound_steps
+        b2 = HhConstants.choose(240, 4, 4).bound_steps
+        assert b2 > b1
+        # Omega(h^3/(k+h)^2): h 2 -> 4 with k=4 should grow ~ 8 * (7/9)^2 ~ 4.8x.
+        assert 2.0 <= b2 / b1 <= 8.0
+
+
+class TestBoundFormulas:
+    def test_nonminimal_decreases_with_delta(self):
+        n, k = 24 * 9, 1
+        b0 = bounds.nonminimal_lower_bound(n, k, 0)
+        b1 = bounds.nonminimal_lower_bound(n, k, 1)
+        b2 = bounds.nonminimal_lower_bound(n, k, 3)
+        assert b0 > b1 > b2
+        assert b0 == bounds.theorem14_closed_form(n, k)
+
+    def test_nonminimal_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            bounds.nonminimal_lower_bound(216, 1, -1)
+
+    def test_torus_bound_matches_submesh(self):
+        assert bounds.torus_lower_bound(120, 1) == bounds.adaptive_lower_bound(60, 1)
+
+    def test_hh_closed_form_h_cubed(self):
+        n, k = 10_000, 8
+        b1 = bounds.hh_lower_bound_closed_form(n, k, 2)
+        b2 = bounds.hh_lower_bound_closed_form(n, k, 4)
+        # Omega(h^3 n^2/(k+h)^2): quadrupling-ish growth when h doubles.
+        assert 3.0 <= b2 / b1 <= 16.0
+
+    def test_section6_bounds(self):
+        assert bounds.section6_queue_bound() == 834
+        assert bounds.section6_queue_bound(102) == 222
+        assert bounds.section6_time_bound(81) == 972 * 81
+        assert bounds.section6_march_bound(408, 3) == 1223
+        assert bounds.section6_balancing_bound(27) == 77
+        assert bounds.section6_base_case_bound() == 14
+
+    def test_theorem15_upper_dominates_dor_lower(self):
+        """Sanity: the Thm 15 upper bound sits above the Omega(n^2/k) lower
+        bound for matching parameters (they differ by constants only)."""
+        for n in (60, 120, 216):
+            assert bounds.theorem15_upper_bound(n, 1) >= bounds.dimension_order_lower_bound(n, 1)

@@ -1,0 +1,50 @@
+"""Unit tests for compass directions."""
+
+from repro.mesh.directions import DIRECTIONS, HORIZONTAL, VERTICAL, Direction
+
+
+def test_direction_vectors():
+    assert (Direction.N.dx, Direction.N.dy) == (0, 1)
+    assert (Direction.S.dx, Direction.S.dy) == (0, -1)
+    assert (Direction.E.dx, Direction.E.dy) == (1, 0)
+    assert (Direction.W.dx, Direction.W.dy) == (-1, 0)
+
+
+def test_opposites_are_involutive():
+    for d in DIRECTIONS:
+        assert d.opposite.opposite is d
+        assert d.opposite is not d
+
+
+def test_opposite_pairs():
+    assert Direction.N.opposite is Direction.S
+    assert Direction.E.opposite is Direction.W
+
+
+def test_horizontal_vertical_partition():
+    assert set(HORIZONTAL) | set(VERTICAL) == set(DIRECTIONS)
+    assert not set(HORIZONTAL) & set(VERTICAL)
+    for d in HORIZONTAL:
+        assert d.is_horizontal and not d.is_vertical
+    for d in VERTICAL:
+        assert d.is_vertical and not d.is_horizontal
+
+
+def test_step_arithmetic():
+    assert Direction.N.step((3, 4)) == (3, 5)
+    assert Direction.W.step((3, 4)) == (2, 4)
+
+
+def test_step_then_opposite_returns():
+    node = (5, 7)
+    for d in DIRECTIONS:
+        assert d.opposite.step(d.step(node)) == node
+
+
+def test_deterministic_sort_order():
+    assert sorted(reversed(DIRECTIONS)) == [
+        Direction.N,
+        Direction.E,
+        Direction.S,
+        Direction.W,
+    ]

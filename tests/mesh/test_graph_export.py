@@ -1,0 +1,54 @@
+"""Cross-validation of topology geometry against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.mesh.graph_export import bisection_width, to_networkx
+from repro.mesh.topology import Mesh, Torus
+
+
+class TestToNetworkx:
+    def test_mesh_edge_count(self):
+        g = to_networkx(Mesh(5))
+        assert g.number_of_nodes() == 25
+        assert g.number_of_edges() == 2 * 5 * 4  # 2 n (n-1)
+
+    def test_torus_edge_count(self):
+        g = to_networkx(Torus(5))
+        assert g.number_of_edges() == 2 * 25  # 2 n^2
+
+    @pytest.mark.parametrize("topo_cls", [Mesh, Torus])
+    def test_distances_match_reference(self, topo_cls):
+        """Our closed-form distance equals networkx shortest paths."""
+        topo = topo_cls(6)
+        g = to_networkx(topo)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for a in topo.nodes():
+            for b in topo.nodes():
+                assert topo.distance(a, b) == lengths[a][b], (a, b)
+
+    @pytest.mark.parametrize("topo_cls,n", [(Mesh, 7), (Torus, 7), (Torus, 8)])
+    def test_diameter_matches_reference(self, topo_cls, n):
+        topo = topo_cls(n)
+        g = to_networkx(topo)
+        assert topo.diameter == nx.diameter(g)
+
+    def test_mesh_connected(self):
+        assert nx.is_connected(to_networkx(Mesh(4, 9)))
+
+
+class TestBisection:
+    def test_mesh_bisection(self):
+        assert bisection_width(Mesh(8)) == 8
+
+    def test_torus_bisection_doubles(self):
+        assert bisection_width(Torus(8)) == 16
+
+    def test_matches_min_cut_reference(self):
+        """The midline crossing count is a valid (and for the mesh, the
+        minimum) balanced cut -- cross-check the edge count via networkx."""
+        topo = Mesh(6)
+        g = to_networkx(topo)
+        left = {(x, y) for x, y in topo.nodes() if x < 3}
+        cut = nx.cut_size(g, left)
+        assert cut == bisection_width(topo)

@@ -1,0 +1,57 @@
+"""Tests for per-link load recording."""
+
+from repro.mesh import Mesh, Packet, Simulator
+from repro.mesh.directions import Direction
+from repro.routing import BoundedDimensionOrderRouter
+from repro.workloads import random_permutation
+
+
+class TestLinkLoads:
+    def test_disabled_by_default(self):
+        mesh = Mesh(8)
+        sim = Simulator(
+            mesh, BoundedDimensionOrderRouter(2), [Packet(0, (0, 0), (4, 0))]
+        )
+        sim.run(100)
+        assert sim.link_loads == {}
+
+    def test_single_packet_path_recorded(self):
+        mesh = Mesh(8)
+        sim = Simulator(
+            mesh,
+            BoundedDimensionOrderRouter(2),
+            [Packet(0, (0, 0), (3, 2))],
+            record_link_loads=True,
+        )
+        sim.run(100)
+        assert sim.link_loads == {
+            ((0, 0), Direction.E): 1,
+            ((1, 0), Direction.E): 1,
+            ((2, 0), Direction.E): 1,
+            ((3, 0), Direction.N): 1,
+            ((3, 1), Direction.N): 1,
+        }
+
+    def test_total_equals_total_moves(self):
+        mesh = Mesh(10)
+        sim = Simulator(
+            mesh,
+            BoundedDimensionOrderRouter(2),
+            random_permutation(mesh, seed=0),
+            record_link_loads=True,
+        )
+        result = sim.run(10_000)
+        assert result.completed
+        assert sum(sim.link_loads.values()) == result.total_moves
+
+    def test_utilization_bounded_by_steps(self):
+        """No link carries more than one packet per step."""
+        mesh = Mesh(10)
+        sim = Simulator(
+            mesh,
+            BoundedDimensionOrderRouter(2),
+            random_permutation(mesh, seed=1),
+            record_link_loads=True,
+        )
+        result = sim.run(10_000)
+        assert max(sim.link_loads.values()) <= result.steps

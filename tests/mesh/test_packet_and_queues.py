@@ -1,0 +1,70 @@
+"""Unit tests for packets, destination exchange, and queue specs."""
+
+import pytest
+
+from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.packet import Packet
+from repro.mesh.queues import CENTRAL, QueueSpec, default_incoming_initial_key
+
+
+class TestPacket:
+    def test_exchange_swaps_only_destinations(self):
+        a = Packet(1, (0, 0), (5, 5), state=("a",))
+        b = Packet(2, (1, 1), (6, 6), state=("b",))
+        a.exchange_destinations(b)
+        assert a.dest == (6, 6) and b.dest == (5, 5)
+        assert a.source == (0, 0) and b.source == (1, 1)
+        assert a.state == ("a",) and b.state == ("b",)
+        assert a.pid == 1 and b.pid == 2
+
+    def test_exchange_twice_restores(self):
+        a = Packet(1, (0, 0), (5, 5))
+        b = Packet(2, (1, 1), (6, 6))
+        a.exchange_destinations(b)
+        a.exchange_destinations(b)
+        assert a.dest == (5, 5) and b.dest == (6, 6)
+
+    def test_copy_is_independent(self):
+        a = Packet(1, (0, 0), (5, 5), state=(1, 2))
+        c = a.copy()
+        c.dest = (9, 9)
+        c.state = (3,)
+        assert a.dest == (5, 5) and a.state == (1, 2)
+
+    def test_pos_starts_at_source(self):
+        assert Packet(0, (2, 3), (4, 4)).pos == (2, 3)
+
+
+class TestQueueSpec:
+    def test_central_single_key(self):
+        spec = QueueSpec(3)
+        assert spec.keys == (CENTRAL,)
+        assert spec.node_capacity == 3
+        assert spec.arrival_key(Direction.N) == CENTRAL
+        assert spec.initial_key(frozenset({Direction.E})) == CENTRAL
+
+    def test_incoming_four_keys(self):
+        spec = QueueSpec(2, kind="incoming")
+        assert spec.keys == DIRECTIONS
+        assert spec.node_capacity == 8
+        for d in DIRECTIONS:
+            assert spec.arrival_key(d) == d
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            QueueSpec(0)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            QueueSpec(1, kind="sideways")
+
+    def test_default_initial_key_horizontal_first(self):
+        # An east-bound packet waits in the West queue (as if arriving
+        # mid-row), matching the Theorem 15 organization.
+        assert default_incoming_initial_key(frozenset({Direction.E})) == Direction.W
+        assert default_incoming_initial_key(
+            frozenset({Direction.E, Direction.N})
+        ) == Direction.W
+        assert default_incoming_initial_key(frozenset({Direction.W})) == Direction.E
+        assert default_incoming_initial_key(frozenset({Direction.N})) == Direction.S
+        assert default_incoming_initial_key(frozenset({Direction.S})) == Direction.N

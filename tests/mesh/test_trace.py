@@ -1,0 +1,63 @@
+"""Tests for the packet path tracer."""
+
+from repro.mesh import Mesh, Packet, PathTracer, Simulator
+from repro.routing import DimensionOrderRouter, GreedyAdaptiveRouter
+
+
+class TestPathTracer:
+    def test_records_full_dimension_order_path(self):
+        mesh = Mesh(8)
+        p = Packet(0, (0, 0), (3, 2))
+        tracer = PathTracer()
+        sim = Simulator(mesh, DimensionOrderRouter(2), [p], interceptor=tracer)
+        sim.run(100)
+        tracer.finalize(sim)
+        assert tracer.paths[0] == [
+            (0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2),
+        ]
+        assert tracer.hops(0) == mesh.distance((0, 0), (3, 2))
+
+    def test_filter_restricts_tracing(self):
+        mesh = Mesh(8)
+        packets = [Packet(0, (0, 0), (4, 0)), Packet(1, (0, 1), (4, 1))]
+        tracer = PathTracer(pids=[1])
+        sim = Simulator(mesh, DimensionOrderRouter(2), packets, interceptor=tracer)
+        sim.run(100)
+        assert 0 not in tracer.paths
+        assert 1 in tracer.paths
+
+    def test_paths_are_minimal_for_minimal_router(self):
+        mesh = Mesh(10)
+        from repro.workloads import random_partial_permutation
+
+        packets = random_partial_permutation(mesh, 0.3, seed=4)
+        tracer = PathTracer()
+        sim = Simulator(
+            mesh, GreedyAdaptiveRouter(2, "incoming"), packets, interceptor=tracer
+        )
+        result = sim.run(20_000)
+        tracer.finalize(sim)
+        assert result.completed
+        dests = {p.pid: p.dest for p in packets}
+        for pid, path in tracer.paths.items():
+            assert tracer.hops(pid) == mesh.distance(path[0], dests[pid])
+            for a, b in zip(path, path[1:]):
+                assert mesh.distance(a, b) == 1
+                assert mesh.distance(b, dests[pid]) == mesh.distance(a, dests[pid]) - 1
+
+    def test_chain_observes_adversary_retargets(self):
+        from repro.core import AdaptiveLowerBoundConstruction
+        from repro.core.adversary import AdaptiveAdversary
+
+        factory = lambda: GreedyAdaptiveRouter(1)
+        con = AdaptiveLowerBoundConstruction(60, factory)
+        packets = con.build_packets()
+        adversary = AdaptiveAdversary(con.constants, con.geometry)
+        tracer = PathTracer(chain=adversary)
+        sim = Simulator(Mesh(60), factory(), packets, interceptor=tracer)
+        sim.run_steps(con.constants.bound_steps)
+        # The adversary performed exchanges, and the tracer saw the
+        # corresponding destination changes.
+        assert adversary.exchange_count > 0
+        total_retargets = sum(len(v) for v in tracer.retargets.values())
+        assert total_retargets >= adversary.exchange_count

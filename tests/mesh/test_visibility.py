@@ -1,0 +1,89 @@
+"""Tests for the destination-exchangeability enforcement (Lemma 10 in code).
+
+The central design claim: a destination-exchangeable policy receives views
+that are *identical* for two packets whose destinations were exchanged, as
+long as their profitable-outlink sets agree.  These tests pin that down.
+"""
+
+import pytest
+
+from repro.mesh.directions import Direction
+from repro.mesh.packet import Packet
+from repro.mesh.topology import Mesh
+from repro.mesh.visibility import FullPacketView, Offer, PacketView
+
+
+def view_fingerprint(v: PacketView) -> tuple:
+    """Everything a destination-exchangeable policy can observe of a view."""
+    return (v.key, v.source, v.state, v.profitable)
+
+
+class TestPacketView:
+    def test_exposes_no_destination_attribute(self):
+        p = Packet(1, (0, 0), (5, 5))
+        v = PacketView(p, frozenset({Direction.N, Direction.E}))
+        assert not hasattr(v, "dest")
+        assert not hasattr(v, "destination")
+        assert not hasattr(v, "displacement")
+
+    def test_slots_prevent_leak_via_dict(self):
+        p = Packet(1, (0, 0), (5, 5))
+        v = PacketView(p, frozenset())
+        assert not hasattr(v, "__dict__")
+
+    def test_state_writes_through(self):
+        p = Packet(1, (0, 0), (5, 5), state=(0,))
+        v = PacketView(p, frozenset())
+        v.state = (1, 2)
+        assert p.state == (1, 2)
+
+    def test_lemma10_indistinguishability(self):
+        """Exchanging destinations of two NE-bound packets in the (i-1)-box
+        leaves every observable of their views unchanged (Lemma 10)."""
+        mesh = Mesh(16)
+        # Both in the 1-box region with destinations to the NE of it.
+        x = Packet(7, (2, 3), (10, 12), state=("s", 0))
+        xp = Packet(9, (4, 1), (14, 9), state=("t", 1))
+
+        def views():
+            return (
+                view_fingerprint(
+                    PacketView(x, mesh.profitable_directions(x.pos, x.dest))
+                ),
+                view_fingerprint(
+                    PacketView(xp, mesh.profitable_directions(xp.pos, xp.dest))
+                ),
+            )
+
+        before = views()
+        x.exchange_destinations(xp)
+        after = views()
+        assert before == after
+
+    def test_exchange_visible_through_full_view(self):
+        """A full view (non-destination-exchangeable algorithm) does see it."""
+        mesh = Mesh(16)
+        x = Packet(7, (2, 3), (10, 12))
+        xp = Packet(9, (2, 3), (14, 9))
+
+        def full(p):
+            return FullPacketView(
+                p,
+                mesh.profitable_directions(p.pos, p.dest),
+                mesh.displacement(p.pos, p.dest),
+            )
+
+        before = (full(x).dest, full(x).displacement)
+        x.exchange_destinations(xp)
+        after = (full(x).dest, full(x).displacement)
+        assert before != after
+
+
+class TestOffer:
+    def test_offer_fields(self):
+        p = Packet(3, (1, 1), (5, 1))
+        v = PacketView(p, frozenset({Direction.E}))
+        off = Offer(v, Direction.W, (1, 1))
+        assert off.view is v
+        assert off.came_from is Direction.W
+        assert off.sender == (1, 1)

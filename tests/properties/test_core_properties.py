@@ -1,0 +1,109 @@
+"""Property-based tests for the lower-bound machinery."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import (
+    AdaptiveConstants,
+    DimensionOrderConstants,
+    InfeasibleConstructionError,
+)
+from repro.core.geometry import BoxGeometry
+from repro.mesh.packet import Packet
+from repro.mesh.topology import Mesh
+from repro.mesh.visibility import PacketView
+
+
+@given(st.integers(40, 2000), st.integers(1, 4))
+@settings(max_examples=150, deadline=None)
+def test_constants_feasible_or_explicit(n, k):
+    """choose() either returns verified constants or raises the typed error."""
+    try:
+        consts = AdaptiveConstants.choose(n, k)
+    except InfeasibleConstructionError:
+        return
+    assert consts.cn >= 1 and consts.dn >= 1 and consts.l_floor >= 1
+    assert consts.c <= Fraction(1, 2 * (k + 2))
+    assert consts.d <= Fraction(2, 5)
+    # Constraint 1 verified exactly.
+    assert consts.p + consts.l <= (1 - consts.c) * n
+    # The placement always fits the 1-box.
+    assert consts.total_construction_packets <= consts.cn**2
+
+
+@given(st.integers(40, 2000), st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_dor_constants_levels_fit(n, k):
+    try:
+        consts = DimensionOrderConstants.choose(n, k)
+    except InfeasibleConstructionError:
+        return
+    assert 1 <= consts.l_floor <= consts.cn
+    assert consts.p <= n - consts.cn
+
+
+@st.composite
+def geometry_and_dest(draw):
+    n = draw(st.sampled_from([60, 120, 216]))
+    k = draw(st.integers(1, 2))
+    try:
+        consts = AdaptiveConstants.choose(n, k)
+    except InfeasibleConstructionError:
+        consts = AdaptiveConstants.choose(216, k)
+    geo = BoxGeometry.from_constants(consts)
+    i = draw(st.integers(1, geo.levels))
+    j = draw(st.integers(0, geo.p - 1))
+    tag = draw(st.sampled_from(["N", "E"]))
+    return geo, tag, i, j
+
+
+@given(geometry_and_dest())
+@settings(max_examples=150)
+def test_classify_inverts_destinations(case):
+    geo, tag, i, j = case
+    dest = geo.n_destination(i, j) if tag == "N" else geo.e_destination(i, j)
+    assert geo.classify(dest) == (tag, i)
+
+
+@given(geometry_and_dest(), st.integers(0, 59), st.integers(0, 59))
+@settings(max_examples=150)
+def test_lemma10_view_equality_under_exchange(case, ax, ay):
+    """For any two packets in the (i-1)-box with destinations northeast of
+    the i-box, exchanging destinations leaves their destination-exchangeable
+    views identical (Lemma 10 as a property)."""
+    geo, tag, i, j = case
+    mesh = Mesh(geo.n)
+    limit = geo.n_column(i - 1)
+    pa = (ax % (limit + 1), ay % (limit + 1))
+    pb = ((ax * 7 + 3) % (limit + 1), (ay * 5 + 1) % (limit + 1))
+    x = Packet(1, pa, geo.n_destination(i, j))
+    xp = Packet(2, pb, geo.e_destination(i, j))
+    x.pos, xp.pos = pa, pb
+
+    def fingerprints():
+        out = []
+        for p in (x, xp):
+            view = PacketView(p, mesh.profitable_directions(p.pos, p.dest))
+            out.append((view.key, view.source, view.state, view.profitable))
+        return out
+
+    before = fingerprints()
+    x.exchange_destinations(xp)
+    assert fingerprints() == before
+
+
+@given(st.lists(st.integers(0, 1000), min_size=2, max_size=8, unique=True))
+@settings(max_examples=100)
+def test_exchange_sequence_involution(pids):
+    """Applying any exchange sequence twice restores all destinations."""
+    packets = [Packet(pid, (0, pid % 7), (pid % 13, pid % 11)) for pid in pids]
+    import itertools
+
+    seq = list(itertools.combinations(range(len(packets)), 2))[:6]
+    original = [p.dest for p in packets]
+    for a, b in seq + seq[::-1]:
+        packets[a].exchange_destinations(packets[b])
+    # seq followed by reversed seq undoes every swap.
+    assert [p.dest for p in packets] == original

@@ -1,0 +1,72 @@
+"""Property-based tests for hot-potato (deflection) routing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh, Packet, Simulator, Torus
+from repro.routing import HotPotatoRouter
+
+
+@st.composite
+def light_instance(draw, max_side=10):
+    n = draw(st.integers(4, max_side))
+    seed = draw(st.integers(0, 2**31 - 1))
+    count = draw(st.integers(1, n * n // 2))
+    rng = np.random.default_rng(seed)
+    cells = [(x, y) for x in range(n) for y in range(n)]
+    src = rng.choice(len(cells), size=count, replace=False)
+    dst = rng.choice(len(cells), size=count, replace=False)
+    return n, [Packet(i, cells[s], cells[d]) for i, (s, d) in enumerate(zip(src, dst))]
+
+
+@given(light_instance())
+@settings(max_examples=40, deadline=None)
+def test_hot_potato_delivers_light_loads(case):
+    n, packets = case
+    result = Simulator(Mesh(n), HotPotatoRouter(), packets).run(max_steps=50 * n)
+    assert result.completed
+
+
+@given(light_instance())
+@settings(max_examples=30, deadline=None)
+def test_bufferless_invariant(case):
+    """Node load never exceeds the inlink count (no buffering)."""
+    n, packets = case
+    sim = Simulator(Mesh(n), HotPotatoRouter(), packets)
+    while not sim.done and sim.time < 50 * n:
+        sim.step()
+        for node, queues in sim.queues.items():
+            load = sum(len(q) for q in queues.values())
+            degree = len(sim.topology.out_directions(node))
+            assert load <= degree, (node, load)
+    assert sim.done
+
+
+@given(light_instance())
+@settings(max_examples=30, deadline=None)
+def test_ages_increase_monotonically(case):
+    """Every undelivered packet's age grows by one per step."""
+    n, packets = case
+    sim = Simulator(Mesh(n), HotPotatoRouter(), packets)
+    for expected_age in range(1, 12):
+        if sim.done:
+            break
+        sim.step()
+        for p in sim.iter_packets():
+            assert p.state == expected_age
+
+
+@given(st.integers(4, 8), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_torus_light_loads(n, seed):
+    torus = Torus(n)
+    rng = np.random.default_rng(seed)
+    cells = [(x, y) for x in range(n) for y in range(n)]
+    idx = rng.choice(len(cells), size=max(1, n), replace=False)
+    packets = [
+        Packet(i, cells[s], cells[int(rng.integers(len(cells)))])
+        for i, s in enumerate(idx)
+    ]
+    result = Simulator(torus, HotPotatoRouter(), packets).run(max_steps=100 * n)
+    assert result.completed

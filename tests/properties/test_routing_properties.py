@@ -1,0 +1,108 @@
+"""Property-based tests for routing algorithms and the simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh, Packet, Simulator
+from repro.routing import (
+    BoundedDimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+)
+from repro.workloads import random_permutation
+
+
+@st.composite
+def partial_permutation(draw, max_side=12, max_packets=20):
+    import numpy as np
+
+    n = draw(st.integers(4, max_side))
+    count = draw(st.integers(1, min(max_packets, n * n)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    cells = [(x, y) for x in range(n) for y in range(n)]
+    src_idx = rng.choice(len(cells), size=count, replace=False)
+    dst_idx = rng.choice(len(cells), size=count, replace=False)
+    return n, [
+        Packet(i, cells[s], cells[d])
+        for i, (s, d) in enumerate(zip(src_idx, dst_idx))
+    ]
+
+
+@given(partial_permutation(), st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_bounded_dor_always_delivers(case, k):
+    n, packets = case
+    result = Simulator(Mesh(n), BoundedDimensionOrderRouter(k), packets).run(
+        max_steps=50_000
+    )
+    assert result.completed
+    assert result.max_queue_len <= k
+
+
+@given(partial_permutation(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_farthest_first_always_delivers(case, k):
+    n, packets = case
+    result = Simulator(Mesh(n), FarthestFirstRouter(k), packets).run(
+        max_steps=50_000
+    )
+    assert result.completed
+    assert result.max_queue_len <= k
+
+
+@given(partial_permutation())
+@settings(max_examples=40, deadline=None)
+def test_conservation_every_step(case):
+    """delivered + in-flight is invariant across steps."""
+    n, packets = case
+    sim = Simulator(Mesh(n), BoundedDimensionOrderRouter(2), packets)
+    total = sim.total_packets
+    while not sim.done and sim.time < 10_000:
+        assert len(sim.delivery_times) + sim.in_flight == total
+        sim.step()
+    assert sim.done
+
+
+@given(partial_permutation())
+@settings(max_examples=30, deadline=None)
+def test_delivery_time_at_least_distance(case):
+    """No packet beats its shortest-path distance (minimality)."""
+    n, packets = case
+    mesh = Mesh(n)
+    distances = {p.pid: mesh.distance(p.source, p.dest) for p in packets}
+    result = Simulator(mesh, GreedyAdaptiveRouter(3, "incoming"), packets).run(
+        max_steps=50_000
+    )
+    assert result.completed
+    for pid, t in result.delivery_times.items():
+        assert t >= distances[pid]
+
+
+@given(partial_permutation())
+@settings(max_examples=30, deadline=None)
+def test_total_moves_equal_distances_for_minimal_routers(case):
+    """A minimal router's total link transmissions equal the sum of
+    shortest-path distances: every move makes progress."""
+    n, packets = case
+    mesh = Mesh(n)
+    expected = sum(mesh.distance(p.source, p.dest) for p in packets)
+    result = Simulator(mesh, BoundedDimensionOrderRouter(2), packets).run(
+        max_steps=50_000
+    )
+    assert result.completed
+    assert result.total_moves == expected
+
+
+@given(st.integers(0, 10_000), st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_determinism_across_runs(seed, k):
+    mesh = Mesh(8)
+    results = [
+        Simulator(
+            mesh, BoundedDimensionOrderRouter(k), random_permutation(mesh, seed=seed)
+        ).run(max_steps=20_000)
+        for _ in range(2)
+    ]
+    assert results[0].delivery_times == results[1].delivery_times
+    assert results[0].max_queue_len == results[1].max_queue_len

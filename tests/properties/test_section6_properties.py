@@ -1,0 +1,73 @@
+"""Property-based tests for the Section 6 algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh, Packet
+from repro.tiling import Section6Router
+from repro.tiling.geometry import covering_tile_exists, tilings_for_side
+
+
+@st.composite
+def partial_permutation_27(draw, max_packets=40):
+    import numpy as np
+
+    seed = draw(st.integers(0, 2**31 - 1))
+    count = draw(st.integers(1, max_packets))
+    rng = np.random.default_rng(seed)
+    cells = [(x, y) for x in range(27) for y in range(27)]
+    src_idx = rng.choice(len(cells), size=count, replace=False)
+    dst_idx = rng.choice(len(cells), size=count, replace=False)
+    return [
+        Packet(i, cells[s], cells[d])
+        for i, (s, d) in enumerate(zip(src_idx, dst_idx))
+    ]
+
+
+@given(partial_permutation_27())
+@settings(max_examples=40, deadline=None)
+def test_section6_delivers_any_partial_permutation(packets):
+    result = Section6Router(27).route(packets)
+    assert result.completed
+    assert result.delivered == result.total_packets
+    assert result.scheduled_steps <= 972 * 27
+    assert result.max_node_load <= 834
+
+
+@given(partial_permutation_27())
+@settings(max_examples=20, deadline=None)
+def test_section6_improved_schedule(packets):
+    result = Section6Router(27, improved=True).route(packets)
+    assert result.completed
+    assert result.scheduled_steps <= 564 * 27
+
+
+@given(
+    st.integers(0, 80),
+    st.integers(0, 80),
+    st.integers(-9, 9),
+    st.integers(-9, 9),
+)
+@settings(max_examples=200)
+def test_lemma19_covering_property(x, y, dx, dy):
+    """Any two nodes within side/3 of each other in both dimensions share a
+    tile in at least one of the three tilings (Lemma 19)."""
+    n, side = 81, 27
+    a = (x, y)
+    b = (min(max(x + dx, 0), n - 1), min(max(y + dy, 0), n - 1))
+    if abs(b[0] - a[0]) <= side // 3 and abs(b[1] - a[1]) <= side // 3:
+        assert covering_tile_exists(n, side, a, b)
+
+
+@given(st.sampled_from([27, 81]))
+@settings(max_examples=10, deadline=None)
+def test_tilings_partition(n):
+    for side in (27,) if n == 27 else (81, 27):
+        for tiles in tilings_for_side(n, side):
+            seen = set()
+            for tile in tiles:
+                for xx in range(max(tile.x0, 0), min(tile.x0 + tile.side, n)):
+                    for yy in range(max(tile.y0, 0), min(tile.y0 + tile.side, n)):
+                        assert (xx, yy) not in seen
+                        seen.add((xx, yy))
+            assert len(seen) == n * n

@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for topology invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.directions import DIRECTIONS
+from repro.mesh.topology import Mesh, Torus
+
+sides = st.integers(min_value=2, max_value=24)
+
+
+@st.composite
+def mesh_and_two_nodes(draw):
+    n = draw(sides)
+    m = draw(sides)
+    topo_cls = draw(st.sampled_from([Mesh, Torus]))
+    topo = topo_cls(n, m)
+    a = (draw(st.integers(0, n - 1)), draw(st.integers(0, m - 1)))
+    b = (draw(st.integers(0, n - 1)), draw(st.integers(0, m - 1)))
+    return topo, a, b
+
+
+@given(mesh_and_two_nodes())
+@settings(max_examples=200)
+def test_profitable_moves_reduce_distance_by_one(case):
+    topo, a, b = case
+    for d in topo.profitable_directions(a, b):
+        nb = topo.neighbor(a, d)
+        assert nb is not None
+        assert topo.distance(nb, b) == topo.distance(a, b) - 1
+
+
+@given(mesh_and_two_nodes())
+@settings(max_examples=200)
+def test_unprofitable_moves_do_not_reduce_distance(case):
+    topo, a, b = case
+    profitable = topo.profitable_directions(a, b)
+    for d in DIRECTIONS:
+        if d in profitable:
+            continue
+        nb = topo.neighbor(a, d)
+        if nb is not None:
+            assert topo.distance(nb, b) >= topo.distance(a, b)
+
+
+@given(mesh_and_two_nodes())
+@settings(max_examples=200)
+def test_distance_symmetric_and_triangle(case):
+    topo, a, b = case
+    assert topo.distance(a, b) == topo.distance(b, a)
+    assert topo.distance(a, b) <= topo.diameter
+    assert (topo.distance(a, b) == 0) == (a == b)
+
+
+@given(mesh_and_two_nodes())
+@settings(max_examples=200)
+def test_profitable_empty_iff_at_destination(case):
+    topo, a, b = case
+    assert (not topo.profitable_directions(a, b)) == (a == b)
+
+
+@given(mesh_and_two_nodes())
+@settings(max_examples=200)
+def test_displacement_consistent_with_distance(case):
+    topo, a, b = case
+    dx, dy = topo.displacement(a, b)
+    assert abs(dx) + abs(dy) == topo.distance(a, b)
+
+
+@given(mesh_and_two_nodes())
+@settings(max_examples=100)
+def test_greedy_profitable_walk_reaches_destination(case):
+    """Following any profitable direction repeatedly always arrives."""
+    topo, a, b = case
+    pos = a
+    for _ in range(topo.distance(a, b)):
+        dirs = sorted(topo.profitable_directions(pos, b))
+        assert dirs
+        pos = topo.neighbor(pos, dirs[0])
+    assert pos == b

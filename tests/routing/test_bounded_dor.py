@@ -1,0 +1,96 @@
+"""Tests for the Theorem 15 router: termination, queue bounds, invariants."""
+
+import pytest
+
+from repro.mesh import Mesh, Packet, Simulator
+from repro.mesh.directions import Direction
+from repro.routing import BoundedDimensionOrderRouter
+from repro.workloads import (
+    bit_reversal_permutation,
+    random_permutation,
+    transpose_permutation,
+)
+
+
+class TestTheorem15Router:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_routes_every_permutation_family(self, k):
+        mesh = Mesh(16)
+        for packets in (
+            random_permutation(mesh, seed=0),
+            transpose_permutation(mesh),
+            bit_reversal_permutation(mesh),
+        ):
+            result = Simulator(mesh, BoundedDimensionOrderRouter(k), packets).run(
+                50_000
+            )
+            assert result.completed
+            assert result.max_queue_len <= k
+
+    def test_north_south_queues_always_eject(self):
+        """Thm 15's key invariant: a nonempty N/S queue ejects every step."""
+        mesh = Mesh(12)
+        sim = Simulator(
+            mesh,
+            BoundedDimensionOrderRouter(2),
+            random_permutation(mesh, seed=7),
+        )
+        while not sim.done and sim.time < 5000:
+            before = {
+                (node, key): [p.pid for p in q]
+                for node, qs in sim.queues.items()
+                for key, q in qs.items()
+                if key in (Direction.N, Direction.S) and q
+            }
+            sim.step()
+            for (node, key), pids in before.items():
+                after = {p.pid for p in sim.queues.get(node, {}).get(key, [])}
+                # At least one of the packets that was present has left.
+                assert any(pid not in after for pid in pids), (
+                    f"nonempty {key.name} queue at {node} ejected nothing"
+                )
+        assert sim.done
+
+    def test_horizontal_before_vertical(self):
+        """A packet never sits in an N/S queue while horizontal moves remain."""
+        mesh = Mesh(10)
+        sim = Simulator(
+            mesh,
+            BoundedDimensionOrderRouter(2),
+            random_permutation(mesh, seed=2),
+        )
+        while not sim.done and sim.time < 5000:
+            sim.step()
+            for node, qs in sim.queues.items():
+                for key in (Direction.N, Direction.S):
+                    for p in qs.get(key, []):
+                        assert p.pos[0] == p.dest[0], (
+                            f"packet {p.pid} in a vertical queue at {node} "
+                            f"but not yet in its destination column"
+                        )
+        assert sim.done
+
+    def test_time_bound_shape_theorem15(self):
+        """Measured time stays within a small multiple of n^2/k + n."""
+        for n in (8, 16, 24):
+            mesh = Mesh(n)
+            for k in (1, 2):
+                worst = 0
+                for seed in range(2):
+                    result = Simulator(
+                        mesh,
+                        BoundedDimensionOrderRouter(k),
+                        random_permutation(mesh, seed=seed),
+                    ).run(200_000)
+                    assert result.completed
+                    worst = max(worst, result.steps)
+                bound = (n * n) // k + 2 * n
+                assert worst <= 4 * bound
+
+    def test_torus_not_required(self):
+        """Router works on rectangular meshes too."""
+        mesh = Mesh(6, 12)
+        result = Simulator(
+            mesh, BoundedDimensionOrderRouter(2), random_permutation(mesh, seed=1)
+        ).run(10_000)
+        assert result.completed

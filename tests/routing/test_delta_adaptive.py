@@ -1,0 +1,86 @@
+"""Tests for the bounded-excursion (delta) router."""
+
+import pytest
+
+from repro.mesh import Mesh, Packet, PathTracer, Simulator
+from repro.routing import BoundedExcursionRouter, GreedyAdaptiveRouter
+from repro.workloads import random_partial_permutation, random_permutation
+
+
+def head_on_pair():
+    """Two interior packets facing each other through full k=1 queues."""
+    return [Packet(0, (1, 1), (3, 1)), Packet(1, (2, 1), (0, 1))]
+
+
+class TestBoundedExcursion:
+    def test_flags(self):
+        r = BoundedExcursionRouter(1, delta=2)
+        assert r.destination_exchangeable
+        assert not r.minimal
+        assert r.delta == 2
+
+    def test_delta_zero_equals_minimal_behaviour(self):
+        """With no budget the router is purely minimal: the head-on pair
+        deadlocks exactly like the minimal adaptive router."""
+        mesh = Mesh(4)
+        r0 = Simulator(mesh, BoundedExcursionRouter(1, delta=0), head_on_pair()).run(100)
+        rm = Simulator(mesh, GreedyAdaptiveRouter(1), head_on_pair()).run(100)
+        assert not r0.completed and not rm.completed
+
+    def test_delta_one_dissolves_head_on_deadlock(self):
+        mesh = Mesh(4)
+        result = Simulator(
+            mesh, BoundedExcursionRouter(1, delta=1), head_on_pair()
+        ).run(100)
+        assert result.completed
+        assert result.steps <= 12
+
+    def test_excursion_respects_delta(self):
+        """No packet ever strays more than delta beyond its source-dest
+        rectangle (the defining property of the Section 5 class)."""
+        mesh = Mesh(10)
+        delta = 2
+        packets = random_partial_permutation(mesh, 0.15, seed=1)
+        rects = {
+            p.pid: (
+                min(p.source[0], p.dest[0]), max(p.source[0], p.dest[0]),
+                min(p.source[1], p.dest[1]), max(p.source[1], p.dest[1]),
+            )
+            for p in packets
+        }
+        tracer = PathTracer()
+        sim = Simulator(
+            mesh, BoundedExcursionRouter(2, delta=delta), packets, interceptor=tracer
+        )
+        sim.run(5_000)
+        for pid, path in tracer.paths.items():
+            x0, x1, y0, y1 = rects[pid]
+            for x, y in path:
+                assert x0 - delta <= x <= x1 + delta
+                assert y0 - delta <= y <= y1 + delta
+
+    def test_deflections_count_against_moves(self):
+        """Completed runs may exceed the shortest-path move total by at most
+        2*delta per packet (each deflection costs one move out and one back)."""
+        mesh = Mesh(4)
+        packets = head_on_pair()
+        minimal_moves = sum(mesh.distance(p.source, p.dest) for p in packets)
+        result = Simulator(mesh, BoundedExcursionRouter(1, delta=1), packets).run(100)
+        assert result.completed
+        assert minimal_moves < result.total_moves <= minimal_moves + 2 * 1 * len(packets)
+
+    def test_dense_knots_exhaust_fixed_budgets(self):
+        """The documented limitation: on dense central-queue instances a
+        fixed delta does not restore progress -- consistent with Section 5's
+        bound remaining Omega(n^2/((delta+1)^3 k^2)) for every fixed delta."""
+        mesh = Mesh(12)
+        result = Simulator(
+            mesh,
+            BoundedExcursionRouter(1, delta=2),
+            random_permutation(mesh, seed=0),
+        ).run(3_000)
+        assert not result.completed
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            BoundedExcursionRouter(1, delta=-1)

@@ -1,0 +1,113 @@
+"""Tests for the Section 2 example router (dimension order, central queue)."""
+
+import pytest
+
+from repro.mesh import Mesh, Packet, Simulator
+from repro.routing import DimensionOrderRouter
+from repro.routing.base import desired_dimension_order_direction
+from repro.mesh.directions import Direction
+from repro.workloads import (
+    packets_from_mapping,
+    random_permutation,
+    rotation_permutation,
+)
+
+
+class TestDesiredDirection:
+    def test_horizontal_takes_precedence(self):
+        assert (
+            desired_dimension_order_direction(frozenset({Direction.N, Direction.E}))
+            == Direction.E
+        )
+        assert (
+            desired_dimension_order_direction(frozenset({Direction.S, Direction.W}))
+            == Direction.W
+        )
+
+    def test_vertical_when_no_horizontal(self):
+        assert desired_dimension_order_direction(frozenset({Direction.N})) == Direction.N
+        assert desired_dimension_order_direction(frozenset({Direction.S})) == Direction.S
+
+    def test_empty_gives_none(self):
+        assert desired_dimension_order_direction(frozenset()) is None
+
+
+class TestDimensionOrderRouter:
+    def test_is_destination_exchangeable_and_minimal(self):
+        r = DimensionOrderRouter(2)
+        assert r.destination_exchangeable
+        assert r.minimal
+
+    def test_packets_never_leave_bounding_box(self):
+        mesh = Mesh(8)
+        packets = random_permutation(mesh, seed=3)
+        boxes = {
+            p.pid: (
+                min(p.source[0], p.dest[0]),
+                max(p.source[0], p.dest[0]),
+                min(p.source[1], p.dest[1]),
+                max(p.source[1], p.dest[1]),
+            )
+            for p in packets
+        }
+        sim = Simulator(mesh, DimensionOrderRouter(4), packets)
+        while not sim.done and sim.time < 1000:
+            sim.step()
+            for p in sim.iter_packets():
+                x0, x1, y0, y1 = boxes[p.pid]
+                assert x0 <= p.pos[0] <= x1 and y0 <= p.pos[1] <= y1
+        assert sim.done
+
+    def test_monotone_distance_decrease(self):
+        """Minimal routing: remaining distance never increases."""
+        mesh = Mesh(8)
+        packets = random_permutation(mesh, seed=5)
+        sim = Simulator(mesh, DimensionOrderRouter(4), packets)
+        last = {p.pid: mesh.distance(p.pos, p.dest) for p in packets}
+        while not sim.done and sim.time < 1000:
+            sim.step()
+            for p in sim.iter_packets():
+                d = mesh.distance(p.pos, p.dest)
+                assert d <= last[p.pid]
+                last[p.pid] = d
+        assert sim.done
+
+    def test_eastward_shift_pipelines_without_contention(self):
+        """A one-directional shift never exceeds one packet per node."""
+        mesh = Mesh(8)
+        packets = packets_from_mapping(
+            {(x, y): (x + 3, y) for x in range(5) for y in range(8)}
+        )
+        result = Simulator(mesh, DimensionOrderRouter(1), packets).run(100)
+        assert result.completed
+        assert result.max_node_load == 1
+
+    def test_full_permutation_with_k1_is_gridlocked(self):
+        """Model reality: a full permutation fills every k=1 central queue,
+        and a conservative accept-if-space inqueue then admits nothing --
+        the network is gridlocked from step 0.  (Theorem 15's incoming-queue
+        organization exists to avoid precisely this.)"""
+        mesh = Mesh(6)
+        packets = rotation_permutation(mesh, dx=3, dy=0)
+        result = Simulator(mesh, DimensionOrderRouter(1), packets).run(50)
+        assert not result.completed
+        assert result.total_moves == 0
+
+    def test_random_permutations_complete_with_slack(self):
+        mesh = Mesh(12)
+        for seed in range(3):
+            result = Simulator(
+                mesh, DimensionOrderRouter(4), random_permutation(mesh, seed=seed)
+            ).run(5000)
+            assert result.completed
+            assert result.max_queue_len <= 4
+
+    def test_deterministic_replay(self):
+        mesh = Mesh(10)
+        r1 = Simulator(
+            mesh, DimensionOrderRouter(3), random_permutation(mesh, seed=11)
+        ).run(5000)
+        r2 = Simulator(
+            mesh, DimensionOrderRouter(3), random_permutation(mesh, seed=11)
+        ).run(5000)
+        assert r1.delivery_times == r2.delivery_times

@@ -1,0 +1,77 @@
+"""Tests for the farthest-first dimension-order router."""
+
+import pytest
+
+from repro.mesh import Mesh, Packet, Simulator
+from repro.routing import FarthestFirstRouter
+from repro.workloads import random_permutation, transpose_permutation
+
+
+class TestFarthestFirst:
+    def test_not_destination_exchangeable(self):
+        assert not FarthestFirstRouter(2).destination_exchangeable
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_incoming_model_terminates(self, k):
+        mesh = Mesh(12)
+        for seed in range(3):
+            result = Simulator(
+                mesh, FarthestFirstRouter(k), random_permutation(mesh, seed=seed)
+            ).run(20_000)
+            assert result.completed, f"k={k} seed={seed} stalled"
+            assert result.max_queue_len <= k
+
+    def test_farthest_packet_moves_first(self):
+        """Two packets contending for the same outlink: farther one wins."""
+        mesh = Mesh(10)
+        near = Packet(0, (2, 0), (4, 0))  # 2 to go
+        far = Packet(1, (2, 1), (9, 1))  # 7 to go -- different rows so no
+        # contention; instead put both in one node via same source row:
+        near = Packet(0, (2, 0), (4, 0))
+        far = Packet(1, (2, 0), (9, 0))
+        sim = Simulator(mesh, FarthestFirstRouter(2, "central"), [near, far])
+        moves = sim.step()
+        moved_pids = {mv.packet.pid for mv in moves}
+        assert moved_pids == {1}  # only the farther packet advanced east
+
+    def test_transpose_completes_quickly(self):
+        mesh = Mesh(16)
+        result = Simulator(
+            mesh, FarthestFirstRouter(2), transpose_permutation(mesh)
+        ).run(5000)
+        assert result.completed
+        # Farthest-first is near-optimal on benign instances.
+        assert result.steps <= 4 * mesh.diameter
+
+    def test_delivering_packets_always_accepted_central(self):
+        """One-hop packets bypass a full central queue (consumption)."""
+        mesh = Mesh(6)
+        # (1,0) holds k=1 packet that is stuck eastbound behind (2,0).
+        stuck = Packet(0, (1, 0), (3, 0))
+        plug = Packet(1, (2, 0), (4, 0))
+        arriving = Packet(2, (0, 0), (1, 0))  # delivered into full (1,0)
+        sim = Simulator(
+            mesh, FarthestFirstRouter(1, "central"), [stuck, plug, arriving]
+        )
+        sim.step()
+        assert 2 in sim.delivery_times  # delivered despite the full queue
+
+
+class TestCentralModelDocumentedDeadlock:
+    def test_head_on_exchange_deadlock_exists(self):
+        """The documented central-queue pathology: two full neighbours
+        refusing each other's transit packets forever."""
+        mesh = Mesh(4)
+        a = Packet(0, (1, 0), (3, 0))  # eastbound transit
+        b = Packet(1, (2, 0), (0, 0))  # westbound transit
+        sim = Simulator(mesh, FarthestFirstRouter(1, "central"), [a, b])
+        result = sim.run(max_steps=50)
+        assert not result.completed  # deadlock is real
+        assert a.pos == (1, 0) and b.pos == (2, 0)
+
+    def test_incoming_model_resolves_same_instance(self):
+        mesh = Mesh(4)
+        a = Packet(0, (1, 0), (3, 0))
+        b = Packet(1, (2, 0), (0, 0))
+        result = Simulator(mesh, FarthestFirstRouter(1), [a, b]).run(50)
+        assert result.completed

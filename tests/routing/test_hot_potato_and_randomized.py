@@ -1,0 +1,120 @@
+"""Tests for the hot-potato (deflection) and randomized adaptive routers."""
+
+import pytest
+
+from repro.mesh import Mesh, Packet, Simulator, Torus
+from repro.routing import HotPotatoRouter, RandomizedAdaptiveRouter
+from repro.workloads import random_partial_permutation, random_permutation
+
+
+class TestHotPotato:
+    def test_is_nonminimal_and_destination_exchangeable(self):
+        r = HotPotatoRouter()
+        assert not r.minimal
+        assert r.destination_exchangeable
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_full_permutation_delivered(self, seed):
+        mesh = Mesh(12)
+        result = Simulator(mesh, HotPotatoRouter(), random_permutation(mesh, seed=seed)).run(
+            5000
+        )
+        assert result.completed
+        assert result.max_node_load <= 4  # bufferless: one slot per inlink
+
+    def test_deflections_cause_extra_moves(self):
+        """Nonminimal routing shows up as total moves above the distance sum."""
+        mesh = Mesh(12)
+        packets = random_permutation(mesh, seed=1)
+        minimal_moves = sum(mesh.distance(p.source, p.dest) for p in packets)
+        result = Simulator(mesh, HotPotatoRouter(), packets).run(5000)
+        assert result.completed
+        assert result.total_moves > minimal_moves
+
+    def test_everything_received_leaves_next_step(self):
+        """The bufferless invariant: no packet rests two steps in a row in
+        an interior node (it is always scheduled somewhere)."""
+        mesh = Mesh(8)
+        packets = random_permutation(mesh, seed=2)
+        sim = Simulator(mesh, HotPotatoRouter(), packets)
+        last_pos: dict[int, tuple[int, int]] = {}
+        stalls = 0
+        while not sim.done and sim.time < 500:
+            sim.step()
+            for p in sim.iter_packets():
+                if last_pos.get(p.pid) == p.pos:
+                    stalls += 1
+                last_pos[p.pid] = p.pos
+        assert sim.done
+        assert stalls == 0  # full outlink assignment never left one behind
+
+    def test_works_on_torus(self):
+        torus = Torus(8)
+        result = Simulator(torus, HotPotatoRouter(), random_permutation(torus, seed=3)).run(
+            5000
+        )
+        assert result.completed
+
+    def test_age_priority_delivers_head_on_pair(self):
+        """The k=1 central-queue killer instance is trivial for deflection."""
+        mesh = Mesh(4)
+        a = Packet(0, (1, 0), (3, 0))
+        b = Packet(1, (2, 0), (0, 0))
+        result = Simulator(mesh, HotPotatoRouter(), [a, b]).run(50)
+        assert result.completed
+
+
+class TestRandomizedAdaptive:
+    def test_flags(self):
+        r = RandomizedAdaptiveRouter(2)
+        assert r.minimal
+        assert r.destination_exchangeable  # decisions never read destinations
+        assert r.deterministic is False  # but Theorem 14 needs determinism
+
+    def test_incoming_model_routes_permutations(self):
+        mesh = Mesh(12)
+        for seed in range(3):
+            result = Simulator(
+                mesh,
+                RandomizedAdaptiveRouter(2, seed=seed, queue_kind="incoming"),
+                random_permutation(mesh, seed=seed),
+            ).run(20_000)
+            assert result.completed
+            assert result.max_queue_len <= 2
+
+    def test_seed_reproducibility(self):
+        mesh = Mesh(10)
+        runs = [
+            Simulator(
+                mesh,
+                RandomizedAdaptiveRouter(2, seed=7, queue_kind="incoming"),
+                random_permutation(mesh, seed=1),
+            ).run(20_000)
+            for _ in range(2)
+        ]
+        assert runs[0].delivery_times == runs[1].delivery_times
+
+    def test_different_seeds_differ(self):
+        mesh = Mesh(10)
+        times = set()
+        for seed in range(6):
+            r = Simulator(
+                mesh,
+                RandomizedAdaptiveRouter(2, seed=seed, queue_kind="incoming"),
+                random_permutation(mesh, seed=1),
+            ).run(20_000)
+            times.add(tuple(sorted(r.delivery_times.items())))
+        assert len(times) > 1  # the coin flips matter
+
+    def test_minimality_still_enforced(self):
+        """Randomized, but still minimal: moves validated by the simulator."""
+        mesh = Mesh(10)
+        packets = random_partial_permutation(mesh, 0.2, seed=3)
+        expected = sum(mesh.distance(p.source, p.dest) for p in packets)
+        result = Simulator(
+            mesh,
+            RandomizedAdaptiveRouter(3, seed=1, queue_kind="incoming"),
+            packets,
+        ).run(20_000)
+        assert result.completed
+        assert result.total_moves == expected

@@ -1,0 +1,52 @@
+"""End-to-end routing on the torus (the Section 5 topology extension)."""
+
+import pytest
+
+from repro.mesh import Simulator, Torus
+from repro.routing import (
+    BoundedDimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+    HotPotatoRouter,
+)
+from repro.workloads import random_permutation, rotation_permutation
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: BoundedDimensionOrderRouter(2),
+        lambda: GreedyAdaptiveRouter(2, "incoming"),
+        lambda: FarthestFirstRouter(2),
+        HotPotatoRouter,
+    ],
+    ids=["bounded-dor", "greedy-adaptive", "farthest-first", "hot-potato"],
+)
+class TestTorusRouting:
+    def test_random_permutations_complete(self, factory):
+        torus = Torus(10)
+        for seed in range(2):
+            result = Simulator(
+                torus, factory(), random_permutation(torus, seed=seed)
+            ).run(20_000)
+            assert result.completed
+
+    def test_wraparound_rotation_uses_short_way(self, factory):
+        """A rotation by more than half the side routes through the wrap:
+        completion near the wrap distance, far under the unwrapped one."""
+        torus = Torus(12)
+        packets = rotation_permutation(torus, dx=9, dy=0)  # short way: 3 west
+        result = Simulator(torus, factory(), packets).run(20_000)
+        assert result.completed
+        assert result.steps <= 3 * torus.diameter
+
+    def test_minimality_on_torus(self, factory):
+        algorithm = factory()
+        if not algorithm.minimal:
+            pytest.skip("nonminimal router")
+        torus = Torus(8)
+        packets = random_permutation(torus, seed=4)
+        expected = sum(torus.distance(p.source, p.dest) for p in packets)
+        result = Simulator(torus, algorithm, packets).run(20_000)
+        assert result.completed
+        assert result.total_moves == expected

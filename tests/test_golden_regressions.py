@@ -1,0 +1,100 @@
+"""Golden regression tests: pinned end-to-end numbers.
+
+Every algorithm here is deterministic, so exact step counts and bound
+values are stable release artifacts.  If a refactor changes any of these
+numbers, that is a *behavioural* change and must be deliberate (update the
+pin in the same change that explains why).
+"""
+
+from repro.core import AdaptiveLowerBoundConstruction, replay_constructed_permutation
+from repro.core.constants import (
+    AdaptiveConstants,
+    DimensionOrderConstants,
+    FarthestFirstConstants,
+)
+from repro.core.dor_adversary import DorLowerBoundConstruction
+from repro.mesh import Mesh, Simulator
+from repro.routing import (
+    BoundedDimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+    HotPotatoRouter,
+)
+from repro.tiling import Section6Router
+from repro.workloads import random_permutation, transpose_permutation
+
+
+class TestGoldenConstants:
+    def test_adaptive_constants_n216_k1(self):
+        c = AdaptiveConstants.choose(216, 1)
+        assert (c.cn, c.dn, c.p, c.l_floor, c.bound_steps) == (36, 86, 170, 3, 258)
+
+    def test_adaptive_constants_n120_k1(self):
+        c = AdaptiveConstants.choose(120, 1)
+        assert (c.cn, c.dn, c.p, c.l_floor, c.bound_steps) == (20, 48, 94, 2, 96)
+
+    def test_dor_constants_n60_k4(self):
+        c = DimensionOrderConstants.choose(60, 4)
+        assert (c.cn, c.dn, c.p, c.l_floor) == (5, 24, 49, 5)
+
+    def test_ff_constants_n60_k1(self):
+        c = FarthestFirstConstants.choose(60, 1)
+        assert (c.cn, c.dn, c.p, c.l_floor) == (7, 24, 45, 9)
+
+
+class TestGoldenRuns:
+    def test_bounded_dor_transpose_16(self):
+        mesh = Mesh(16)
+        result = Simulator(
+            mesh, BoundedDimensionOrderRouter(1), transpose_permutation(mesh)
+        ).run(10_000)
+        assert (result.completed, result.steps) == (True, 44)
+
+    def test_farthest_first_random_16(self):
+        mesh = Mesh(16)
+        result = Simulator(
+            mesh, FarthestFirstRouter(2), random_permutation(mesh, seed=0)
+        ).run(10_000)
+        assert (result.completed, result.steps) == (True, 28)
+
+    def test_hot_potato_random_16(self):
+        mesh = Mesh(16)
+        result = Simulator(
+            mesh, HotPotatoRouter(), random_permutation(mesh, seed=1)
+        ).run(10_000)
+        assert result.completed
+        assert result.steps == 27
+
+    def test_section6_random_27(self):
+        mesh = Mesh(27)
+        result = Section6Router(27).route(random_permutation(mesh, seed=0))
+        assert (result.completed, result.actual_steps, result.scheduled_steps) == (
+            True,
+            244,
+            10456,
+        )
+        assert result.max_node_load == 6
+
+    def test_adaptive_construction_n60(self):
+        factory = lambda: GreedyAdaptiveRouter(1)
+        con = AdaptiveLowerBoundConstruction(60, factory)
+        result = con.run()
+        assert result.bound_steps == 24
+        assert result.exchange_count == 15
+        assert result.undelivered_at_bound == 84
+        report = replay_constructed_permutation(
+            result, factory, run_to_completion=True, max_steps=100_000
+        )
+        assert report.configuration_matches
+        assert report.total_steps == 209
+
+    def test_dor_construction_n60(self):
+        factory = lambda: BoundedDimensionOrderRouter(1)
+        con = DorLowerBoundConstruction(60, factory)
+        result = con.run()
+        assert result.bound_steps == 120
+        report = replay_constructed_permutation(
+            result, factory, run_to_completion=True, max_steps=200_000
+        )
+        assert report.configuration_matches
+        assert report.total_steps == 212

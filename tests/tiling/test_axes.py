@@ -1,0 +1,59 @@
+"""Unit tests for the vertical/horizontal axis adapter."""
+
+from repro.mesh.packet import Packet
+from repro.tiling.axes import Axes
+from repro.tiling.geometry import Tile
+from repro.tiling.state import ClassState, Occupancy
+
+
+def make_state(packets, n=27):
+    occ = Occupancy()
+    for p in packets:
+        occ.add(p.source)
+    return ClassState(n, False, False, packets, occ)
+
+
+class TestAxes:
+    def test_vertical_main_is_y(self):
+        v = Axes(vertical=True)
+        assert v.main((3, 7)) == 7
+        assert v.cross((3, 7)) == 3
+        assert v.node(7, 3) == (3, 7)
+
+    def test_horizontal_main_is_x(self):
+        h = Axes(vertical=False)
+        assert h.main((3, 7)) == 3
+        assert h.cross((3, 7)) == 7
+        assert h.node(3, 7) == (3, 7)
+
+    def test_step_directions(self):
+        assert Axes(True).step_main((2, 2)) == (2, 3)   # north
+        assert Axes(True).step_cross((2, 2)) == (3, 2)  # east
+        assert Axes(False).step_main((2, 2)) == (3, 2)  # east
+        assert Axes(False).step_cross((2, 2)) == (2, 3) # north
+
+    def test_node_main_cross_roundtrip(self):
+        for vertical in (True, False):
+            ax = Axes(vertical)
+            for node in [(0, 0), (5, 9), (26, 13)]:
+                assert ax.node(ax.main(node), ax.cross(node)) == node
+
+    def test_strip_dispatch(self):
+        tile = Tile(0, 0, 27)
+        assert Axes(True).strip(tile, (5, 9)) == 10   # row strip
+        assert Axes(False).strip(tile, (5, 9)) == 6   # column strip
+        assert Axes(True).strip_bounds(tile, 10) == (9, 9)
+        assert Axes(False).strip_bounds(tile, 6) == (5, 5)
+
+    def test_to_go_dispatch(self):
+        state = make_state([Packet(0, (2, 3), (7, 11))])
+        assert Axes(True).main_to_go(state, 0) == 8    # north distance
+        assert Axes(True).cross_to_go(state, 0) == 5   # east distance
+        assert Axes(False).main_to_go(state, 0) == 5
+        assert Axes(False).cross_to_go(state, 0) == 8
+
+    def test_tile_cross_range_clips_to_mesh(self):
+        tile = Tile(-9, 0, 27)
+        assert list(Axes(True).tile_cross_range(tile, 27)) == list(range(0, 18))
+        tile2 = Tile(18, 0, 27)
+        assert list(Axes(True).tile_cross_range(tile2, 27)) == list(range(18, 27))

@@ -1,0 +1,93 @@
+"""Tests for tiles, tilings (Lemma 19), and strips."""
+
+import pytest
+
+from repro.tiling.geometry import (
+    BASE_THRESHOLD,
+    STRIPS,
+    Tile,
+    covering_tile_exists,
+    strip_of,
+    tilings_for_side,
+)
+
+
+class TestTile:
+    def test_strip_height(self):
+        assert Tile(0, 0, 27).strip_height == 1
+        assert Tile(0, 0, 81).strip_height == 3
+
+    def test_contains(self):
+        t = Tile(0, 0, 27)
+        assert t.contains((0, 0)) and t.contains((26, 26))
+        assert not t.contains((27, 0))
+
+    def test_virtual_tile_contains_negative(self):
+        t = Tile(-9, -9, 27)
+        assert t.contains((0, 0))
+        assert t.contains((-1, -1))  # virtual area
+        assert not t.contains((18, 18))
+
+    def test_strip_indexing(self):
+        t = Tile(0, 0, 81)  # strip height 3
+        assert t.strip_of_y(0) == 1
+        assert t.strip_of_y(2) == 1
+        assert t.strip_of_y(3) == 2
+        assert t.strip_of_y(80) == STRIPS
+
+    def test_strip_bounds_roundtrip(self):
+        t = Tile(-27, 0, 81)
+        for s in (1, 13, 27):
+            lo, hi = t.strip_bounds_y(s)
+            assert hi - lo + 1 == t.strip_height
+            assert t.strip_of_y(lo) == s and t.strip_of_y(hi) == s
+
+    def test_strip_of_helper(self):
+        t = Tile(0, 0, 27)
+        assert strip_of(t, (5, 9), vertical=True) == 10
+        assert strip_of(t, (5, 9), vertical=False) == 6
+
+
+class TestTilings:
+    def test_single_tiling_at_full_size(self):
+        tilings = tilings_for_side(81, 81)
+        assert len(tilings) == 1
+        assert tilings[0] == [Tile(0, 0, 81)]
+
+    def test_three_tilings_below_full_size(self):
+        tilings = tilings_for_side(81, 27)
+        assert len(tilings) == 3
+
+    def test_tilings_partition_mesh(self):
+        n = 81
+        for tiles in tilings_for_side(n, 27):
+            covered = {}
+            for tile in tiles:
+                for x in range(max(tile.x0, 0), min(tile.x0 + tile.side, n)):
+                    for y in range(max(tile.y0, 0), min(tile.y0 + tile.side, n)):
+                        assert (x, y) not in covered, "tiles overlap"
+                        covered[(x, y)] = tile
+            assert len(covered) == n * n, "tiling does not cover the mesh"
+
+    def test_lemma19_covering_property(self):
+        """Any two nodes within side/3 in both dims share a tile somewhere."""
+        n, side = 81, 27
+        probes = [
+            ((0, 0), (8, 8)),
+            ((26, 26), (34, 34)),  # straddles tiling-0 boundary
+            ((40, 13), (48, 21)),
+            ((72, 72), (80, 80)),
+            ((9, 53), (17, 61)),
+        ]
+        for a, b in probes:
+            assert covering_tile_exists(n, side, a, b), (a, b)
+
+    def test_displacements_are_thirds(self):
+        tilings = tilings_for_side(243, 81)
+        origins = [sorted({t.x0 for t in tiles})[:2] for tiles in tilings]
+        assert origins[0][0] - origins[1][0] == 27
+        assert origins[1][0] - origins[2][0] == 27
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            tilings_for_side(81, 26)

@@ -1,0 +1,183 @@
+"""Unit tests for March, Sort-and-Smooth, and Balancing on small tiles."""
+
+import pytest
+
+from repro.mesh.packet import Packet
+from repro.tiling.axes import Axes
+from repro.tiling.geometry import Tile
+from repro.tiling.phases import (
+    collect_actives,
+    run_balancing,
+    run_march,
+    run_sort_and_smooth,
+)
+from repro.tiling.state import ClassState, Occupancy, Section6Violation
+
+N = 27
+TILE = Tile(0, 0, 27)  # strip height 1
+V = Axes(vertical=True)
+
+
+def make_state(packets):
+    occ = Occupancy()
+    for p in packets:
+        occ.add(p.source)
+    return ClassState(N, False, False, packets, occ)
+
+
+class TestCollectActives:
+    def test_three_strips_away_is_active(self):
+        state = make_state([Packet(0, (5, 0), (5, 3))])
+        actives = collect_actives(state, TILE, V)
+        assert actives == {0: 4}  # dest strip 4 (1-based)
+
+    def test_two_strips_away_is_inactive(self):
+        state = make_state([Packet(0, (5, 1), (5, 3))])
+        assert collect_actives(state, TILE, V) == {}
+
+    def test_destination_outside_tile_is_inactive(self):
+        tile = Tile(0, 0, 27)
+        state = make_state([Packet(0, (5, 0), (5, 30))])
+        # dest outside the mesh-sized tile -> no participation
+        state27 = ClassState(31, False, False, [Packet(0, (5, 0), (5, 30))], Occupancy())
+        assert collect_actives(state27, tile, V) == {}
+
+    def test_horizontal_axis(self):
+        state = make_state([Packet(0, (0, 5), (9, 5))])
+        actives = collect_actives(state, TILE, Axes(vertical=False))
+        assert actives == {0: 10}
+
+
+class TestMarch:
+    def test_single_packet_marches_to_stop_strip(self):
+        state = make_state([Packet(0, (5, 0), (5, 10))])  # dest strip 11
+        actives = collect_actives(state, TILE, V)
+        steps = run_march(state, TILE, V, actives)
+        # strip height 1: stop strip is row 7 (strip 8 = 11 - 3).
+        assert state.pos[0] == (5, 7)
+        assert steps == 7
+
+    def test_column_pipeline(self):
+        """Packets destined for the same strip pile at the strip front."""
+        packets = [Packet(i, (3, i), (3, 20)) for i in range(5)]  # dest strip 21
+        state = make_state(packets)
+        actives = collect_actives(state, TILE, V)
+        run_march(state, TILE, V, actives)
+        # All five stack in strip 18 (row 17) up to q, which is >> 5, so all
+        # sit at row 17.
+        assert all(state.pos[i] == (3, 17) for i in range(5))
+
+    def test_refusal_caps_node_at_q(self):
+        packets = [Packet(i, (3, i), (3, 20)) for i in range(6)]
+        state = make_state(packets)
+        actives = collect_actives(state, TILE, V)
+        run_march(state, TILE, V, actives, q=4)
+        rows = sorted(state.pos[i][1] for i in range(6))
+        # Four fit at row 17; the remaining two stop at row 16 (refused).
+        assert rows == [16, 16, 17, 17, 17, 17]
+
+    def test_march_does_not_touch_inactive(self):
+        state = make_state(
+            [Packet(0, (3, 0), (3, 20)), Packet(1, (3, 5), (3, 6))]
+        )
+        actives = collect_actives(state, TILE, V)
+        assert 1 not in actives
+        run_march(state, TILE, V, actives)
+        assert state.pos[1] == (3, 5)
+
+    def test_lemma29_time_bound(self):
+        """March duration stays under q*d for a dense instance."""
+        packets = [Packet(i, (3, i), (3, 26)) for i in range(17)]
+        state = make_state(packets)
+        actives = collect_actives(state, TILE, V)
+        steps = run_march(state, TILE, V, actives)
+        assert steps <= 408 * TILE.strip_height
+
+
+class TestSortAndSmooth:
+    def test_layered_fill_figure6(self):
+        """The counting rule reproduces Figure 6's layered arrangement."""
+        tile = Tile(0, 0, 108)  # strip height 4
+        state = ClassState(108, False, False, [], Occupancy())
+        # Eight class-20 packets (dest strip 20) pre-marched into strip 17
+        # (rows 64..67), piled at the strip front, with distinct horizontal
+        # distances 1..8.
+        packets = []
+        for j in range(8):
+            p = Packet(j, (10, 67), (10 + j + 1, 78))  # dest strip 20
+            packets.append(p)
+        occ = Occupancy()
+        for p in packets:
+            occ.add(p.source)
+        state = ClassState(108, False, False, packets, occ)
+        actives = {p.pid: 20 for p in packets}
+        run_sort_and_smooth(state, tile, Axes(True), actives, parity=0)
+        # Strip 18 is rows 68..71; t-th node from the north (row 71) holds
+        # every t-th arrival.  Arrivals come sorted descending by east-to-go
+        # (packets 7,6,5,...), so layer 1 = pids 7,6,5,4 top-down and
+        # layer 2 = pids 3,2,1,0.
+        rows = {pid: state.pos[pid][1] for pid in range(8)}
+        assert rows[7] == 71 and rows[3] == 71
+        assert rows[6] == 70 and rows[2] == 70
+        assert rows[5] == 69 and rows[1] == 69
+        assert rows[4] == 68 and rows[0] == 68
+
+    def test_parity_split(self):
+        """Odd-destination classes do not move in the even substep."""
+        state = make_state([Packet(0, (5, 0), (5, 10))])  # dest strip 11 (odd)
+        actives = collect_actives(state, TILE, V)
+        run_march(state, TILE, V, actives)
+        before = dict(state.pos)
+        run_sort_and_smooth(state, TILE, V, actives, parity=0)
+        assert state.pos == before
+        run_sort_and_smooth(state, TILE, V, actives, parity=1)
+        assert state.pos[0] == (5, 8)  # moved from strip 8 to strip 9
+
+    def test_ends_in_strip_i_minus_2(self):
+        packets = [Packet(i, (3, i), (3, 20)) for i in range(5)]
+        state = make_state(packets)
+        actives = collect_actives(state, TILE, V)
+        run_march(state, TILE, V, actives)
+        run_sort_and_smooth(state, TILE, V, actives, parity=(21 % 2))
+        # dest strip 21 -> strip 19 (row 18) with strip height 1; all five
+        # papers pile at the single node of the strip in this degenerate
+        # d=1 case... the top node holds every packet.
+        assert all(state.pos[i][1] == 18 for i in range(5))
+
+
+class TestBalancing:
+    def test_two_rule_spreads_overfull_node(self):
+        # Three actives at one node, all wanting to go east.
+        packets = [Packet(i, (2, 5), (10 + i, 8)) for i in range(3)]
+        state = make_state(packets)
+        actives = {p.pid: 9 for p in packets}
+        steps = run_balancing(state, TILE, V, actives)
+        assert steps >= 1
+        from collections import Counter
+
+        load = Counter(state.pos.values())
+        assert max(load.values()) <= 2
+
+    def test_farthest_moves_first(self):
+        packets = [Packet(i, (2, 5), (4 + 3 * i, 8)) for i in range(3)]
+        state = make_state(packets)
+        actives = {p.pid: 9 for p in packets}
+        run_balancing(state, TILE, V, actives)
+        # pid 2 had farthest east to go; it is the one that moved.
+        assert state.pos[2] == (3, 5)
+        assert state.pos[0] == (2, 5) and state.pos[1] == (2, 5)
+
+    def test_no_move_when_at_most_two(self):
+        packets = [Packet(i, (2, 5), (10, 8 + i)) for i in range(2)]
+        state = make_state(packets)
+        actives = {p.pid: 9 for p in packets}
+        assert run_balancing(state, TILE, V, actives) == 0
+
+    def test_overshoot_raises(self):
+        """Three actives with zero cross-distance would force an overshoot
+        (impossible under Lemma 16; we synthesize it to check enforcement)."""
+        packets = [Packet(i, (2, 5), (2, 8 + i)) for i in range(3)]
+        state = make_state(packets)
+        actives = {p.pid: 9 + i for i, p in enumerate(packets)}
+        with pytest.raises(Section6Violation, match="overshoot"):
+            run_balancing(state, TILE, V, actives)

@@ -1,0 +1,64 @@
+"""Heavier Sort-and-Smooth checks: layering at strip height 3 and the
+merge sortedness under piled (post-March) starting states."""
+
+from repro.mesh.packet import Packet
+from repro.tiling.axes import Axes
+from repro.tiling.geometry import Tile
+from repro.tiling.phases import collect_actives, run_march, run_sort_and_smooth
+from repro.tiling.state import ClassState, Occupancy
+
+
+def make_state(packets, n=81):
+    occ = Occupancy()
+    for p in packets:
+        occ.add(p.source)
+    return ClassState(n, False, False, packets, occ)
+
+
+class TestSortSmoothAtStripHeight3:
+    def test_march_then_smooth_layers_balanced(self):
+        """d = 3: pack 18 packets of one class into a column, march, then
+        verify strip i-2 ends with a balanced (layered) distribution."""
+        tile = Tile(0, 0, 81)  # strips of height 3
+        dest_strip = 20  # rows 57..59
+        # 18 active packets in column 10, distinct east-to-go distances.
+        packets = [
+            Packet(j, (10, j), (11 + j, 57 + j % 3)) for j in range(18)
+        ]
+        state = make_state(packets)
+        actives = collect_actives(state, tile, Axes(True))
+        assert len(actives) == 18
+        run_march(state, tile, Axes(True), actives)
+        # All marched into strip 17 (rows 48..50).
+        for pid in actives:
+            assert 48 <= state.pos[pid][1] <= 50
+        run_sort_and_smooth(state, tile, Axes(True), actives, parity=0)
+        # All now in strip 18 (rows 51..53), 6 per node (18 / 3 rows).
+        from collections import Counter
+
+        rows = Counter(state.pos[pid][1] for pid in actives)
+        assert rows == {51: 6, 52: 6, 53: 6}
+
+    def test_layering_sorted_by_cross_distance(self):
+        """Within the smoothed strip, each node's packets are a stride-d
+        slice of the descending east-to-go order (Figure 6's layers)."""
+        tile = Tile(0, 0, 81)
+        packets = [Packet(j, (10, j), (12 + j, 57)) for j in range(12)]
+        state = make_state(packets)
+        actives = collect_actives(state, tile, Axes(True))
+        run_march(state, tile, Axes(True), actives)
+        run_sort_and_smooth(state, tile, Axes(True), actives, parity=0)
+        by_row: dict[int, list[int]] = {}
+        for pid in actives:
+            by_row.setdefault(state.pos[pid][1], []).append(
+                state.east_to_go(pid)
+            )
+        # Descending global order 13..2 dealt top-down in layers of 3:
+        # top row (53) gets ranks 1,4,7,10; next 2,5,8,11; next 3,6,9,12.
+        ordered = sorted(
+            (eg for values in by_row.values() for eg in values), reverse=True
+        )
+        for row, values in by_row.items():
+            t = 53 - row + 1  # 1-based offset from the strip front
+            expected = ordered[t - 1 :: 3]
+            assert sorted(values, reverse=True) == expected, (row, values)

@@ -1,0 +1,89 @@
+"""Tests for ClassState: mirroring, minimality enforcement, occupancy."""
+
+import pytest
+
+from repro.mesh.packet import Packet
+from repro.tiling.state import ClassState, Occupancy, Section6Violation
+
+
+def make_state(packets, mirror_x=False, mirror_y=False, n=27):
+    occ = Occupancy()
+    for p in packets:
+        if p.source != p.dest:
+            occ.add(p.source)
+    return ClassState(n, mirror_x, mirror_y, packets, occ), occ
+
+
+class TestMirroring:
+    def test_identity_for_ne(self):
+        state, _ = make_state([Packet(0, (1, 2), (5, 9))])
+        assert state.pos[0] == (1, 2)
+        assert state.dest[0] == (5, 9)
+
+    def test_nw_mirrors_x(self):
+        # NW packet: moving west physically -> east canonically.
+        state, _ = make_state([Packet(0, (20, 2), (5, 9))], mirror_x=True)
+        assert state.pos[0] == (6, 2)
+        assert state.dest[0] == (21, 9)
+        assert state.east_to_go(0) == 15
+        assert state.north_to_go(0) == 7
+
+    def test_sw_mirrors_both(self):
+        state, _ = make_state(
+            [Packet(0, (20, 22), (5, 9))], mirror_x=True, mirror_y=True
+        )
+        assert state.east_to_go(0) == 15
+        assert state.north_to_go(0) == 13
+
+    def test_mirror_involution(self):
+        state, _ = make_state([Packet(0, (0, 0), (1, 1))], mirror_x=True, mirror_y=True)
+        for node in [(0, 0), (13, 5), (26, 26)]:
+            assert state.to_physical(state.to_canonical(node)) == node
+
+
+class TestMovement:
+    def test_move_decrements_distance(self):
+        state, _ = make_state([Packet(0, (1, 1), (4, 4))])
+        state.move(0, (2, 1))
+        assert state.pos[0] == (2, 1)
+
+    def test_nonminimal_move_raises(self):
+        state, _ = make_state([Packet(0, (1, 1), (4, 4))])
+        with pytest.raises(Section6Violation, match="nonminimal"):
+            state.move(0, (0, 1))
+
+    def test_two_hop_move_raises(self):
+        state, _ = make_state([Packet(0, (1, 1), (4, 4))])
+        with pytest.raises(Section6Violation):
+            state.move(0, (3, 1))
+
+    def test_delivery_removes_packet(self):
+        state, occ = make_state([Packet(0, (3, 4), (4, 4))])
+        state.move(0, (4, 4))
+        assert 0 in state.delivered
+        assert state.undelivered == 0
+        assert occ.counts == {}
+
+    def test_delivered_at_source_never_enters(self):
+        state, _ = make_state([Packet(0, (3, 3), (3, 3))])
+        assert 0 in state.delivered
+        assert not state.pos
+
+
+class TestOccupancy:
+    def test_max_load_tracks_peak(self):
+        occ = Occupancy()
+        occ.add((0, 0))
+        occ.add((0, 0))
+        occ.add((0, 0))
+        occ.remove((0, 0))
+        assert occ.max_load == 3
+        assert occ.counts[(0, 0)] == 2
+
+    def test_move_updates_physical_occupancy_under_mirror(self):
+        occ = Occupancy()
+        occ.add((26, 0))
+        state = ClassState(27, True, False, [Packet(0, (26, 0), (0, 5))], occ)
+        assert state.pos[0] == (0, 0)  # canonical
+        state.move(0, (1, 0))  # canonical east = physical west
+        assert occ.counts == {(25, 0): 1}

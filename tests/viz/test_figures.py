@@ -1,0 +1,114 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.core.constants import (
+    AdaptiveConstants,
+    DimensionOrderConstants,
+    FarthestFirstConstants,
+)
+from repro.core.dor_adversary import DorGeometry
+from repro.core.ff_adversary import FfGeometry
+from repro.core.geometry import BoxGeometry
+from repro.mesh.packet import Packet
+from repro.tiling.geometry import Tile
+from repro.viz import (
+    render_box_invariant,
+    render_construction_geometry,
+    render_dor_construction,
+    render_ff_construction,
+    render_sort_smooth,
+    render_strips,
+    render_subphase_schedule,
+)
+
+
+def geo60():
+    return BoxGeometry.from_constants(AdaptiveConstants.choose(60, 1))
+
+
+class TestFigureRenderers:
+    def test_figure1_shape_and_content(self):
+        geo = geo60()
+        out = render_construction_geometry(geo)
+        lines = out.splitlines()
+        assert len(lines) == 61  # title + 60 rows
+        assert all(len(l) == 60 for l in lines[1:])
+        assert "#" in out and "N" in out and "E" in out
+        # The 1-box occupies the bottom-left cn x cn corner.
+        bottom = lines[-1]
+        assert bottom[: geo.cn] == "#" * geo.cn
+
+    def test_figure2_live_packets(self):
+        geo = geo60()
+        packets = [
+            Packet(0, (2, 2), geo.n_destination(1, 0)),
+            Packet(1, (3, 3), geo.e_destination(1, 0)),
+        ]
+        out = render_box_invariant(geo, packets, i=1)
+        assert "n" in out and "e" in out and "+" in out
+
+    def test_figure4_left(self):
+        c = DimensionOrderConstants.choose(60, 1)
+        out = render_dor_construction(DorGeometry(n=60, cn=c.cn, levels=c.l_floor))
+        assert "#" in out and "N" in out
+
+    def test_figure4_right(self):
+        c = FarthestFirstConstants.choose(60, 1)
+        out = render_ff_construction(
+            FfGeometry(n=60, cn=c.cn, levels=c.l_floor, num_classes=10)
+        )
+        assert "#" in out and "N" in out
+
+    def test_figure5_marks_key_strips(self):
+        out = render_strips(Tile(0, 0, 81), dest_strip=20)
+        assert "destination strip i" in out
+        assert "March target" in out
+        assert out.count("strip") >= 27
+
+    def test_figure6_blocks(self):
+        out = render_sort_smooth({(0, 0): [3, 1]}, {(0, 1): [3], (0, 0): [1]}, d=2)
+        assert "before" in out and "after" in out
+
+    def test_figure7(self):
+        out = render_subphase_schedule()
+        assert "V1 V2 V3 H1 H2 H3" in out
+
+
+class TestOccupancyHeatmap:
+    def test_heatmap_renders_counts(self):
+        from repro.viz import render_occupancy_heatmap
+
+        occ = {(0, 0): 1, (1, 1): 12, (2, 0): 0}
+        out = render_occupancy_heatmap(occ, 3, title="load")
+        lines = out.splitlines()
+        assert lines[0] == "load (peak 12)"
+        assert lines[-1][0] == "1"  # (0,0)
+        assert lines[-2][1] == "c"  # 12 -> letter scale
+        assert lines[-1][2] == "."  # zero renders empty
+
+    def test_heatmap_from_live_simulator(self):
+        from repro.mesh import Mesh, Simulator
+        from repro.routing import BoundedDimensionOrderRouter
+        from repro.viz import render_occupancy_heatmap
+        from repro.workloads import random_permutation
+
+        mesh = Mesh(8)
+        sim = Simulator(
+            mesh, BoundedDimensionOrderRouter(2), random_permutation(mesh, seed=0)
+        )
+        sim.run_steps(5)
+        occ = {
+            node: sum(len(q) for q in qs.values())
+            for node, qs in sim.queues.items()
+        }
+        out = render_occupancy_heatmap(occ, 8)
+        assert len(out.splitlines()) == 9
+
+
+class TestLemma12Diagram:
+    def test_figure3_structure(self):
+        from repro.viz import render_lemma12_diagram
+
+        out = render_lemma12_diagram(24, 15)
+        assert "Figure 3" in out
+        assert "S*_{t-1}" in out
+        assert "24 steps and 15 exchanges" in out

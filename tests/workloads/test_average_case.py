@@ -1,0 +1,48 @@
+"""Tests for the average-case (random destinations) workload."""
+
+import pytest
+
+from repro.mesh import Mesh, Simulator
+from repro.routing import DimensionOrderRouter
+from repro.workloads import random_destinations
+
+
+class TestRandomDestinations:
+    def test_one_packet_per_node_at_full_load(self):
+        mesh = Mesh(8)
+        packets = random_destinations(mesh, seed=0)
+        assert len(packets) == 64
+        assert len({p.source for p in packets}) == 64
+
+    def test_destinations_may_repeat(self):
+        mesh = Mesh(16)
+        packets = random_destinations(mesh, seed=1)
+        # 256 draws from 256 cells: collisions are essentially certain.
+        assert len({p.dest for p in packets}) < len(packets)
+
+    def test_load_thins_sources(self):
+        mesh = Mesh(16)
+        packets = random_destinations(mesh, load=0.25, seed=2)
+        assert 20 <= len(packets) <= 110
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            random_destinations(Mesh(4), load=0.0)
+        with pytest.raises(ValueError):
+            random_destinations(Mesh(4), load=1.5)
+
+    def test_reproducible(self):
+        mesh = Mesh(8)
+        a = random_destinations(mesh, seed=9)
+        b = random_destinations(mesh, seed=9)
+        assert [(p.source, p.dest) for p in a] == [(p.source, p.dest) for p in b]
+
+    def test_average_case_routes_near_diameter_with_small_queues(self):
+        """Section 1.1 (Leighton): ~2n steps, queues stay tiny."""
+        mesh = Mesh(24)
+        result = Simulator(
+            mesh, DimensionOrderRouter(16), random_destinations(mesh, seed=3)
+        ).run(10_000)
+        assert result.completed
+        assert result.steps <= 2 * 24 + 40
+        assert result.max_queue_len <= 6

@@ -1,0 +1,50 @@
+"""Tests for h-h routing problem generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.mesh import Mesh, Simulator
+from repro.routing import BoundedDimensionOrderRouter
+from repro.workloads import dynamic_hh_problem, random_hh_problem
+
+
+class TestRandomHH:
+    def test_each_node_sends_and_receives_h(self):
+        mesh = Mesh(6)
+        h = 3
+        packets = random_hh_problem(mesh, h, seed=0)
+        assert len(packets) == h * mesh.num_nodes
+        sends = Counter(p.source for p in packets)
+        recvs = Counter(p.dest for p in packets)
+        assert all(c == h for c in sends.values())
+        assert all(c == h for c in recvs.values())
+
+    def test_h_must_be_positive(self):
+        with pytest.raises(ValueError):
+            random_hh_problem(Mesh(4), 0)
+
+    def test_static_hh_routable_when_h_le_k(self):
+        mesh = Mesh(8)
+        h = 2
+        packets = random_hh_problem(mesh, h, seed=1)
+        result = Simulator(mesh, BoundedDimensionOrderRouter(h), packets).run(50_000)
+        assert result.completed
+
+
+class TestDynamicHH:
+    def test_rounds_staggered(self):
+        mesh = Mesh(4)
+        packets = dynamic_hh_problem(mesh, 3, spacing=5, seed=0)
+        times = {p.injection_time for p in packets}
+        assert times == {0, 5, 10}
+
+    def test_dynamic_handles_h_greater_than_k(self):
+        """The paper: with h > k, the dynamic setting is necessary -- and
+        sufficient, since injection waits for queue space."""
+        mesh = Mesh(6)
+        h, k = 4, 1
+        packets = dynamic_hh_problem(mesh, h, spacing=2, seed=2)
+        result = Simulator(mesh, BoundedDimensionOrderRouter(k), packets).run(100_000)
+        assert result.completed
+        assert result.max_queue_len <= k
