@@ -25,6 +25,8 @@ outputs:
 	python -m pytest tests/ 2>&1 | tee test_output.txt
 	python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
+# Remove caches only -- benchmarks/results/ holds checked-in artifacts
+# recorded in EXPERIMENTS.md and must survive a clean.
 clean:
-	rm -rf .pytest_cache benchmarks/results hard_instances
+	rm -rf .pytest_cache campaigns hard_instances
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,75 +5,66 @@ One table reproducing the paper's framing: simple bounded-queue routers
 (the paper's subject), the unbounded-queue classic, the sorting-based
 family, hot-potato routing, and the O(n) Section 6 algorithm -- measured on
 identical random permutations, with each family's model caveats noted.
+
+The instances are declared in ``specs/e16_baseline_panorama.json`` and
+executed by the campaign harness; this file keeps the hierarchy assertions
+and builds the two Section 6 rows (actual vs schedule) from one trial.
 """
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import CAMPAIGNS_DIR, SPECS_DIR, run_once
 from repro.analysis import format_table
-from repro.mesh import Mesh, Simulator
-from repro.routing import (
-    BoundedDimensionOrderRouter,
-    FarthestFirstRouter,
-    GreedyAdaptiveRouter,
-    HotPotatoRouter,
-    ShearsortRouter,
-)
-from repro.tiling import Section6Router
-from repro.workloads import random_permutation
+from repro.harness import CampaignSpec, run_campaign
+
+SPEC_PATH = SPECS_DIR / "e16_baseline_panorama.json"
 
 N = 27  # power of 3 so Section 6 can join the panorama
 
 
 def run_experiment():
-    mesh = Mesh(N)
+    campaign = CampaignSpec.from_file(SPEC_PATH)
+    run = run_campaign(campaign, workers=1, base_dir=CAMPAIGNS_DIR, progress=False)
     rows = []
-
-    def sim_run(algorithm, note):
-        result = Simulator(mesh, algorithm, random_permutation(mesh, seed=2)).run(
-            max_steps=100_000
-        )
-        rows.append(
-            [
-                algorithm.name,
-                result.steps if result.completed else None,
-                result.max_node_load,
-                note,
-            ]
-        )
-
-    sim_run(BoundedDimensionOrderRouter(2), "simple, dest-exchangeable (Thm 15)")
-    sim_run(GreedyAdaptiveRouter(2, "incoming"), "simple, minimal adaptive")
-    sim_run(FarthestFirstRouter(N, "central"), "unbounded queues (S1.1 classic)")
-    sim_run(HotPotatoRouter(), "nonminimal, bufferless (S1.2)")
-
-    sorted_result = ShearsortRouter(N).route(random_permutation(mesh, seed=2))
-    rows.append(
-        [
-            "shearsort+route",
-            sorted_result.total_steps if sorted_result.completed else None,
-            sorted_result.max_node_load,
-            "sorting-based, full addresses (S1.2)",
-        ]
-    )
-
-    s6 = Section6Router(N, record_phases=False).route(random_permutation(mesh, seed=2))
-    rows.append(
-        [
-            "section6 (actual)",
-            s6.actual_steps if s6.completed else None,
-            s6.max_node_load,
-            "minimal adaptive, O(n)/O(1) (S6)",
-        ]
-    )
-    rows.append(
-        [
-            "section6 (schedule)",
-            s6.scheduled_steps,
-            s6.max_node_load,
-            "the 972n-certified barrier clock",
-        ]
-    )
+    for result in run.results:
+        assert result.status == "ok", result.error
+        m = result.metrics
+        note = result.spec.label
+        if result.spec.kind == "route":
+            rows.append(
+                [
+                    m["algorithm_name"],
+                    m["steps"] if m["completed"] else None,
+                    m["max_node_load"],
+                    note,
+                ]
+            )
+        elif result.spec.kind == "sort_route":
+            rows.append(
+                [
+                    "shearsort+route",
+                    m["total_steps"] if m["completed"] else None,
+                    m["max_node_load"],
+                    note,
+                ]
+            )
+        else:  # section6: one trial yields the actual and the schedule row
+            rows.append(
+                [
+                    "section6 (actual)",
+                    m["actual_steps"] if m["completed"] else None,
+                    m["max_node_load"],
+                    note,
+                ]
+            )
+            rows.append(
+                [
+                    "section6 (schedule)",
+                    m["scheduled_steps"],
+                    m["max_node_load"],
+                    "the 972n-certified barrier clock",
+                ]
+            )
     return rows
 
 
@@ -101,4 +92,5 @@ def test_e16_baseline_panorama(benchmark, record_result):
         "routers are fast here -- the paper's point is that only the "
         "complicated families on this table survive the *worst* case with "
         "bounded queues.",
+        data=rows,
     )

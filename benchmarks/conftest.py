@@ -5,25 +5,50 @@ DESIGN.md's experiment index).  Experiments run once under
 ``benchmark.pedantic`` (they are deterministic; wall time is reported by
 pytest-benchmark) and write their paper-shaped result tables to
 ``benchmarks/results/`` as well as stdout.
+
+Campaign-backed experiments (E1, E3, E16, ...) declare their sweeps in
+``benchmarks/specs/*.json`` and run them through ``repro.harness``; the
+content-addressed cache under ``campaigns/`` means a re-run of the
+benchmark suite skips every trial that already completed.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SPECS_DIR = pathlib.Path(__file__).parent / "specs"
+CAMPAIGNS_DIR = str(pathlib.Path(__file__).parent.parent / "campaigns")
+
+RECORD_FORMAT_VERSION = 1
 
 
 @pytest.fixture
 def record_result():
-    """Write an experiment's table to benchmarks/results/<name>.txt."""
+    """Write an experiment's table to benchmarks/results/<name>.txt.
 
-    def _write(name: str, text: str) -> None:
+    Alongside the human-readable table, a machine-readable ``<name>.json``
+    is written ({"name", "format", "text", "data"}) so the analysis layer
+    (``repro.analysis.campaigns.load_recorded_results``) can consume old
+    and new results uniformly.  Pass structured rows via ``data``.
+    """
+
+    def _write(name: str, text: str, data=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        payload = {
+            "name": name,
+            "format": RECORD_FORMAT_VERSION,
+            "text": text,
+            "data": data,
+        }
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
         print(f"\n[{name}]\n{text}")
 
     return _write

@@ -7,6 +7,12 @@ from repro.analysis.metrics import (
     compare_algorithms,
 )
 from repro.analysis.report import format_table, format_series
+from repro.analysis.campaigns import (
+    load_recorded_result,
+    load_recorded_results,
+    summarize_manifest,
+    summarize_rows,
+)
 from repro.analysis.turning_intervals import TurningInterval, TurningIntervalMonitor
 from repro.analysis.latency import LatencyStats, latency_stats, peak_throughput, throughput_series
 
@@ -19,6 +25,10 @@ __all__ = [
     "compare_algorithms",
     "format_table",
     "format_series",
+    "load_recorded_result",
+    "load_recorded_results",
+    "summarize_manifest",
+    "summarize_rows",
     "TurningInterval",
     "TurningIntervalMonitor",
     "LatencyStats",

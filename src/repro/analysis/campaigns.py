@@ -1,0 +1,113 @@
+"""Summary tables over the campaign result store.
+
+The store rows (``campaigns/<name>/results.jsonl``) are kind-heterogeneous;
+this module flattens them into one readable table for ``python -m repro
+campaign show`` and for ad-hoc analysis.  It also reads the machine-readable
+``benchmarks/results/<name>.json`` files the benchmark fixture records, so
+old (fixture-recorded) and new (store-backed) results can be consumed
+uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.analysis.report import format_table
+
+
+def _headline(row: dict[str, Any]) -> str:
+    """One human-scannable cell summarizing a trial's key metrics."""
+    metrics = row.get("metrics")
+    if metrics is None:
+        return (row.get("error") or row["status"]).splitlines()[0]
+    kind = row["spec"]["kind"]
+    if kind == "route":
+        steps = metrics["steps"] if metrics["completed"] else "STALLED"
+        return f"steps={steps} delivered={metrics['delivered']}/{metrics['total_packets']}"
+    if kind == "lower_bound":
+        return (
+            f"bound={metrics['bound_steps']} measured={metrics['measured_steps']} "
+            f"exchanges={metrics['exchange_count']}"
+        )
+    if kind == "section6":
+        return f"actual={metrics['actual_steps']} scheduled={metrics['scheduled_steps']}"
+    if kind == "sort_route":
+        return f"steps={metrics['total_steps']}"
+    return json.dumps(metrics, sort_keys=True)
+
+
+def _load(row: dict[str, Any]) -> Any:
+    metrics = row.get("metrics") or {}
+    return metrics.get("max_queue_len", metrics.get("max_node_load", ""))
+
+
+def summarize_rows(rows: list[dict[str, Any]]) -> str:
+    """The ``campaign show`` table for one campaign's result rows."""
+    table_rows = []
+    for row in rows:
+        spec = row["spec"]
+        what = spec["algorithm"] or spec["construction"] or spec["kind"]
+        table_rows.append(
+            [
+                row["index"],
+                spec["kind"],
+                what,
+                spec["n"],
+                spec["k"],
+                spec["seed"],
+                row["status"],
+                _headline(row),
+                _load(row),
+                row.get("label", ""),
+            ]
+        )
+    return format_table(
+        ["#", "kind", "algorithm", "n", "k", "seed", "status", "headline", "max q/load", "label"],
+        table_rows,
+    )
+
+
+def summarize_manifest(manifest: dict[str, Any]) -> str:
+    """The ``campaign status`` report for one campaign's manifest."""
+    telemetry = manifest.get("telemetry", {})
+    lines = [
+        f"campaign: {manifest['name']}",
+        f"code version: {manifest.get('code_version', '?')}",
+        f"workers: {manifest.get('workers', '?')}",
+        "trials: {total} total, {ok} ok, {error} error, {timeout} timeout, "
+        "{cached} cached".format(
+            total=telemetry.get("total", len(manifest.get("trials", []))),
+            ok=telemetry.get("ok", "?"),
+            error=telemetry.get("error", "?"),
+            timeout=telemetry.get("timeout", "?"),
+            cached=telemetry.get("cached", "?"),
+        ),
+        f"wall: {telemetry.get('wall_s', '?')}s total, "
+        f"{telemetry.get('max_trial_wall_s', '?')}s slowest trial, "
+        f"max queue length {telemetry.get('max_queue_len', '?')}",
+    ]
+    failures = [t for t in manifest.get("trials", []) if t["status"] != "ok"]
+    if failures:
+        lines.append("failures:")
+        for t in failures:
+            first = (t.get("error") or t["status"]).splitlines()[0]
+            lines.append(f"  #{t['index']} [{t['status']}] {first}")
+    return "\n".join(lines)
+
+
+def load_recorded_result(path: str | pathlib.Path) -> dict[str, Any]:
+    """One ``benchmarks/results/<name>.json`` file (the fixture's output)."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(data, dict) or "text" not in data:
+        raise ValueError(f"not a recorded benchmark result: {path}")
+    return data
+
+
+def load_recorded_results(results_dir: str | pathlib.Path) -> dict[str, dict[str, Any]]:
+    """Every recorded benchmark result in a directory, keyed by name."""
+    out = {}
+    for path in sorted(pathlib.Path(results_dir).glob("*.json")):
+        out[path.stem] = load_recorded_result(path)
+    return out

@@ -6,12 +6,15 @@ Subcommands:
 - ``lower-bound`` -- run an adversarial construction + replay verification
 - ``section6``    -- run the O(n)-time O(1)-queue algorithm
 - ``bounds``      -- print every closed-form bound for given (n, k)
+- ``campaign``    -- run/inspect declarative experiment campaigns
+  (``campaign run|status|show``, see docs/HARNESS.md)
 
 Example::
 
     python -m repro lower-bound --construction adaptive --n 120 --k 1
     python -m repro route --algorithm bounded-dor --n 32 --k 2 --workload transpose
     python -m repro section6 --n 81 --workload random
+    python -m repro campaign run benchmarks/specs/smoke.json --workers 4
 """
 
 from __future__ import annotations
@@ -39,14 +42,6 @@ from repro.routing import (
     HotPotatoRouter,
     RandomizedAdaptiveRouter,
 )
-from repro.workloads import (
-    bit_reversal_permutation,
-    random_partial_permutation,
-    random_permutation,
-    rotation_permutation,
-    transpose_permutation,
-)
-
 ALGORITHMS: dict[str, Callable[[argparse.Namespace], object]] = {
     "dor": lambda a: DimensionOrderRouter(a.k),
     "bounded-dor": lambda a: BoundedDimensionOrderRouter(a.k),
@@ -60,17 +55,12 @@ ALGORITHMS: dict[str, Callable[[argparse.Namespace], object]] = {
 
 
 def make_workload(name: str, topology, seed: int):
-    if name == "random":
-        return random_permutation(topology, seed=seed)
-    if name == "partial":
-        return random_partial_permutation(topology, 0.5, seed=seed)
-    if name == "transpose":
-        return transpose_permutation(topology)
-    if name == "bit-reversal":
-        return bit_reversal_permutation(topology)
-    if name == "rotation":
-        return rotation_permutation(topology, topology.width // 2, topology.height // 3)
-    raise SystemExit(f"unknown workload {name!r}")
+    from repro.harness.execute import build_workload
+
+    try:
+        return build_workload(name, topology, seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_route(args: argparse.Namespace) -> int:
@@ -187,6 +177,85 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_store(args: argparse.Namespace):
+    from repro.harness import ResultStore
+
+    return ResultStore(args.campaign_dir)
+
+
+def _campaign_name(args: argparse.Namespace) -> str:
+    """Accept either a campaign name or a path to its spec file."""
+    import pathlib
+
+    target = args.campaign
+    if target.endswith(".json") or pathlib.Path(target).is_file():
+        from repro.harness import CampaignSpec
+
+        return CampaignSpec.from_file(target).name
+    return target
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.harness import CampaignSpec, run_campaign
+
+    try:
+        campaign = CampaignSpec.from_file(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load campaign spec: {exc}")
+    if args.resume and not _campaign_store(args).cache_dir.exists():
+        raise SystemExit(
+            f"--resume: no cache under {args.campaign_dir}; nothing to resume"
+        )
+    try:
+        run = run_campaign(
+            campaign,
+            workers=args.workers,
+            base_dir=args.campaign_dir,
+            timeout_s=args.timeout,
+            fresh=args.fresh,
+            progress=not args.quiet,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    telemetry = run.manifest["telemetry"]
+    print(
+        f"campaign {run.name}: {run.ok}/{len(run.results)} ok "
+        f"({run.cached} cached, {telemetry['error']} error, "
+        f"{telemetry['timeout']} timeout) in {telemetry['wall_s']}s"
+    )
+    print(f"results: {run.results_path}")
+    print(f"manifest: {run.manifest_path}")
+    for result in run.results:
+        if result.status != "ok":
+            first = (result.error or result.status).splitlines()[0]
+            print(f"  FAILED #{result.index} [{result.status}] {first}")
+    return 0 if run.failed == 0 else 1
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.analysis.campaigns import summarize_manifest
+
+    store = _campaign_store(args)
+    try:
+        manifest = store.read_manifest(_campaign_name(args))
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(summarize_manifest(manifest))
+    return 0
+
+
+def cmd_campaign_show(args: argparse.Namespace) -> int:
+    from repro.analysis.campaigns import summarize_rows
+
+    store = _campaign_store(args)
+    try:
+        rows = store.read_results(_campaign_name(args))
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(summarize_rows(rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -237,6 +306,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=216)
     p.add_argument("--k", type=int, default=1)
     p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("campaign", help="run/inspect experiment campaigns")
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pr = campaign_sub.add_parser("run", help="run a campaign spec")
+    pr.add_argument("spec", help="path to a campaign spec JSON file")
+    pr.add_argument("--workers", type=int, default=1, help="worker processes")
+    pr.add_argument("--timeout", type=float, default=None, help="per-trial seconds")
+    pr.add_argument(
+        "--campaign-dir", default="campaigns", help="result store root (default: campaigns)"
+    )
+    pr.add_argument(
+        "--fresh", action="store_true", help="ignore cached results and re-run everything"
+    )
+    pr.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign (requires an existing cache)",
+    )
+    pr.add_argument("--quiet", action="store_true", help="no per-trial progress on stderr")
+    pr.set_defaults(func=cmd_campaign_run)
+
+    ps = campaign_sub.add_parser("status", help="show a campaign's manifest")
+    ps.add_argument("campaign", help="campaign name or spec path")
+    ps.add_argument("--campaign-dir", default="campaigns")
+    ps.set_defaults(func=cmd_campaign_status)
+
+    pw = campaign_sub.add_parser("show", help="print a campaign's result table")
+    pw.add_argument("campaign", help="campaign name or spec path")
+    pw.add_argument("--campaign-dir", default="campaigns")
+    pw.set_defaults(func=cmd_campaign_show)
 
     return parser
 

@@ -1,0 +1,42 @@
+"""Campaign harness: parallel, cached, resumable experiment orchestration.
+
+The experiment scripts under ``benchmarks/`` all share one shape: sweep a
+grid over mesh size ``n``, queue bound ``k``, algorithm, and workload, run
+one deterministic trial per grid point, and tabulate the results.  This
+package turns that shape into infrastructure:
+
+- :mod:`repro.harness.specs` -- declarative :class:`TrialSpec` /
+  :class:`CampaignSpec` descriptions of a sweep, JSON-loadable, with a
+  content-addressed cache key per trial;
+- :mod:`repro.harness.execute` -- the single entrypoint that turns a
+  ``TrialSpec`` into a deterministic metrics dict;
+- :mod:`repro.harness.runner` -- a ``multiprocessing`` worker pool that
+  shards trials across cores with per-trial timeout and error capture;
+- :mod:`repro.harness.store` -- the JSONL result store under
+  ``campaigns/`` that makes re-runs skip completed trials;
+- :mod:`repro.harness.telemetry` -- the stderr progress reporter and the
+  manifest summary.
+
+See ``docs/HARNESS.md`` for the file formats and cache-key semantics.
+"""
+
+from repro.harness.execute import build_router, build_workload, execute_trial
+from repro.harness.runner import CampaignRunResult, TrialResult, run_campaign
+from repro.harness.specs import CampaignSpec, TrialSpec, code_version, trial_key
+from repro.harness.store import ResultStore
+from repro.harness.telemetry import ProgressReporter
+
+__all__ = [
+    "CampaignSpec",
+    "TrialSpec",
+    "code_version",
+    "trial_key",
+    "execute_trial",
+    "build_router",
+    "build_workload",
+    "run_campaign",
+    "CampaignRunResult",
+    "TrialResult",
+    "ResultStore",
+    "ProgressReporter",
+]

@@ -1,0 +1,200 @@
+"""Trial execution: turn one :class:`TrialSpec` into a metrics dict.
+
+This is the single entrypoint worker processes call.  Every value in the
+returned dict is JSON-serializable and fully determined by the spec, so
+equal specs produce byte-identical stored rows regardless of which worker
+(or how many workers) ran them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core import (
+    AdaptiveLowerBoundConstruction,
+    DorLowerBoundConstruction,
+    FfLowerBoundConstruction,
+    replay_constructed_permutation,
+)
+from repro.core.bounds import diameter_bound
+from repro.core.extensions import HhLowerBoundConstruction, TorusLowerBoundConstruction
+from repro.harness.specs import DEFAULT_VICTIMS, TrialSpec
+from repro.mesh import Mesh, Simulator, Torus
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.routing import (
+    AlternatingAdaptiveRouter,
+    BoundedDimensionOrderRouter,
+    BoundedExcursionRouter,
+    DimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+    HotPotatoRouter,
+    RandomizedAdaptiveRouter,
+    ShearsortRouter,
+)
+from repro.workloads import (
+    bit_reversal_permutation,
+    random_partial_permutation,
+    random_permutation,
+    rotation_permutation,
+    transpose_permutation,
+)
+
+
+def build_workload(name: str, topology, seed: int):
+    """The named workload on ``topology`` (shared with the CLI)."""
+    if name == "random":
+        return random_permutation(topology, seed=seed)
+    if name == "partial":
+        return random_partial_permutation(topology, 0.5, seed=seed)
+    if name == "transpose":
+        return transpose_permutation(topology)
+    if name == "bit-reversal":
+        return bit_reversal_permutation(topology)
+    if name == "rotation":
+        return rotation_permutation(topology, topology.width // 2, topology.height // 3)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def build_router(spec: TrialSpec) -> RoutingAlgorithm:
+    """The routing algorithm a ``route`` trial exercises."""
+    a = spec.algorithm
+    if a == "dor":
+        return DimensionOrderRouter(spec.k)
+    if a == "bounded-dor":
+        return BoundedDimensionOrderRouter(spec.k)
+    if a == "farthest-first":
+        return FarthestFirstRouter(spec.k, spec.queues)
+    if a == "greedy-adaptive":
+        return GreedyAdaptiveRouter(spec.k, spec.queues)
+    if a == "alternating-adaptive":
+        return AlternatingAdaptiveRouter(spec.k, spec.queues)
+    if a == "hot-potato":
+        return HotPotatoRouter()
+    if a == "randomized-adaptive":
+        return RandomizedAdaptiveRouter(spec.k, spec.seed, spec.queues)
+    if a == "bounded-excursion":
+        return BoundedExcursionRouter(spec.k, spec.delta, spec.queues)
+    raise ValueError(f"unknown route algorithm {a!r}")
+
+
+def _victim_factory(spec: TrialSpec) -> Callable[[], RoutingAlgorithm]:
+    victim = spec.algorithm or DEFAULT_VICTIMS[spec.construction]
+    k = max(spec.k, spec.h) if spec.construction == "hh" else spec.k
+    if victim == "greedy-adaptive":
+        return lambda: GreedyAdaptiveRouter(k)
+    if victim == "alternating-adaptive":
+        return lambda: AlternatingAdaptiveRouter(k)
+    if victim == "bounded-dor":
+        return lambda: BoundedDimensionOrderRouter(k)
+    if victim == "farthest-first":
+        return lambda: FarthestFirstRouter(k)
+    raise ValueError(f"unknown victim algorithm {victim!r}")
+
+
+def _run_route(spec: TrialSpec) -> dict[str, Any]:
+    topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
+    algorithm = build_router(spec)
+    packets = build_workload(spec.workload, topology, spec.seed)
+    sim = Simulator(topology, algorithm, packets)
+    if spec.availability < 1.0:
+        from repro.mesh.asynchrony import make_async
+
+        make_async(sim, spec.availability, seed=spec.seed)
+    result = sim.run(max_steps=spec.max_steps)
+    return {
+        "algorithm_name": algorithm.name,
+        "completed": result.completed,
+        "steps": result.steps,
+        "delivered": result.delivered,
+        "total_packets": result.total_packets,
+        "max_queue_len": result.max_queue_len,
+        "max_node_load": result.max_node_load,
+        "total_moves": result.total_moves,
+        "diameter": topology.diameter,
+    }
+
+
+def _run_lower_bound(spec: TrialSpec) -> dict[str, Any]:
+    factory = _victim_factory(spec)
+    topology = None
+    if spec.construction == "adaptive":
+        con = AdaptiveLowerBoundConstruction(spec.n, factory)
+    elif spec.construction == "torus":
+        con = TorusLowerBoundConstruction(spec.n, factory)
+        topology = con.topology
+    elif spec.construction == "dor":
+        con = DorLowerBoundConstruction(spec.n, factory)
+    elif spec.construction == "ff":
+        con = FfLowerBoundConstruction(spec.n, factory)
+    elif spec.construction == "hh":
+        con = HhLowerBoundConstruction(spec.n, spec.h, factory)
+    else:
+        raise ValueError(f"unknown construction {spec.construction!r}")
+
+    result = con.run()
+    report = replay_constructed_permutation(
+        result,
+        factory,
+        topology=topology,
+        run_to_completion=spec.run_to_completion,
+        max_steps=spec.max_steps,
+    )
+    return {
+        "victim": spec.algorithm or DEFAULT_VICTIMS[spec.construction],
+        "bound_steps": result.bound_steps,
+        "exchange_count": result.exchange_count,
+        "undelivered_at_bound": report.undelivered_at_bound,
+        "configuration_matches": report.configuration_matches,
+        "delivery_times_match": report.delivery_times_match,
+        "completed": report.completed,
+        "measured_steps": report.total_steps if report.completed else None,
+        "max_queue_len": report.max_queue_len,
+        "k_node": con.k,
+        "diameter": diameter_bound(spec.n),
+    }
+
+
+def _run_section6(spec: TrialSpec) -> dict[str, Any]:
+    from repro.tiling import Section6Router
+
+    mesh = Mesh(spec.n)
+    packets = build_workload(spec.workload, mesh, spec.seed)
+    result = Section6Router(spec.n, improved=spec.improved, record_phases=False).route(
+        packets
+    )
+    return {
+        "completed": result.completed,
+        "delivered": result.delivered,
+        "total_packets": result.total_packets,
+        "actual_steps": result.actual_steps,
+        "scheduled_steps": result.scheduled_steps,
+        "paper_time_bound": result.paper_time_bound,
+        "max_node_load": result.max_node_load,
+        "paper_queue_bound": result.paper_queue_bound,
+    }
+
+
+def _run_sort_route(spec: TrialSpec) -> dict[str, Any]:
+    mesh = Mesh(spec.n)
+    packets = build_workload(spec.workload, mesh, spec.seed)
+    result = ShearsortRouter(spec.n).route(packets)
+    return {
+        "completed": result.completed,
+        "total_steps": result.total_steps,
+        "max_node_load": result.max_node_load,
+    }
+
+
+_RUNNERS = {
+    "route": _run_route,
+    "lower_bound": _run_lower_bound,
+    "section6": _run_section6,
+    "sort_route": _run_sort_route,
+}
+
+
+def execute_trial(spec: TrialSpec) -> dict[str, Any]:
+    """Run one trial to completion and return its deterministic metrics."""
+    spec.validate()
+    return _RUNNERS[spec.kind](spec)

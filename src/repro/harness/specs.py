@@ -1,0 +1,264 @@
+"""Declarative experiment specs and their content-addressed cache keys.
+
+A :class:`TrialSpec` is one deterministic experiment: a trial kind plus
+every parameter that influences its outcome.  A :class:`CampaignSpec` is an
+ordered list of trials, written either explicitly or as a grid sweep that
+is expanded at load time.  Both are plain dataclasses with a canonical JSON
+form, so a trial's identity can be hashed: the cache key is the SHA-256 of
+the canonical spec plus the current code-version tag, which means editing
+the routing code invalidates every cached result automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable
+
+TRIAL_KINDS = ("route", "lower_bound", "section6", "sort_route")
+
+ROUTE_ALGORITHMS = (
+    "dor",
+    "bounded-dor",
+    "farthest-first",
+    "greedy-adaptive",
+    "alternating-adaptive",
+    "hot-potato",
+    "randomized-adaptive",
+    "bounded-excursion",
+)
+
+CONSTRUCTIONS = ("adaptive", "dor", "ff", "torus", "hh")
+
+#: Victim algorithm used by each construction when the spec leaves
+#: ``algorithm`` empty.
+DEFAULT_VICTIMS = {
+    "adaptive": "greedy-adaptive",
+    "torus": "greedy-adaptive",
+    "dor": "bounded-dor",
+    "ff": "farthest-first",
+    "hh": "greedy-adaptive",
+}
+
+WORKLOADS = ("random", "partial", "transpose", "bit-reversal", "rotation")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One deterministic experiment, fully described by its parameters.
+
+    Every field except ``label`` participates in the cache key, so two
+    trials with equal canonical forms are interchangeable.  ``label`` is a
+    cosmetic annotation carried through to tables and manifests.
+    """
+
+    kind: str
+    n: int
+    k: int = 1
+    algorithm: str = ""
+    construction: str = ""
+    workload: str = "random"
+    seed: int = 0
+    queues: str = "central"
+    delta: int = 1
+    h: int = 2
+    torus: bool = False
+    improved: bool = False
+    availability: float = 1.0
+    max_steps: int = 1_000_000
+    run_to_completion: bool = True
+    label: str = ""
+
+    def validate(self) -> None:
+        if self.kind not in TRIAL_KINDS:
+            raise ValueError(f"unknown trial kind {self.kind!r}; expected one of {TRIAL_KINDS}")
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        if self.kind == "route" and self.algorithm not in ROUTE_ALGORITHMS:
+            raise ValueError(
+                f"unknown route algorithm {self.algorithm!r}; expected one of {ROUTE_ALGORITHMS}"
+            )
+        if self.kind == "lower_bound":
+            if self.construction not in CONSTRUCTIONS:
+                raise ValueError(
+                    f"unknown construction {self.construction!r}; expected one of {CONSTRUCTIONS}"
+                )
+            victim = self.algorithm or DEFAULT_VICTIMS[self.construction]
+            allowed = _victim_choices(self.construction)
+            if victim not in allowed:
+                raise ValueError(
+                    f"construction {self.construction!r} cannot attack {victim!r}; "
+                    f"expected one of {allowed}"
+                )
+        if self.kind in ("route", "section6", "sort_route") and self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}; expected one of {WORKLOADS}")
+        if self.queues not in ("central", "incoming"):
+            raise ValueError(f"queues must be 'central' or 'incoming', got {self.queues!r}")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError(f"availability must be in (0, 1], got {self.availability}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+
+    def canonical(self) -> dict[str, Any]:
+        """The identity-defining dict: every field except ``label``."""
+        return {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "label"
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+
+    def to_dict(self) -> dict[str, Any]:
+        data = self.canonical()
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrialSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TrialSpec fields: {sorted(unknown)}")
+        spec = cls(**data)
+        spec.validate()
+        return spec
+
+
+def _victim_choices(construction: str) -> tuple[str, ...]:
+    if construction in ("adaptive", "torus", "hh"):
+        return ("greedy-adaptive", "alternating-adaptive")
+    if construction == "dor":
+        return ("bounded-dor",)
+    return ("farthest-first",)
+
+
+def code_version() -> str:
+    """A short tag identifying the current source tree.
+
+    The tag is the SHA-256 over every ``repro`` source file, so any code
+    edit changes every cache key and stale results are never reused.  Set
+    ``REPRO_CODE_VERSION`` to pin the tag explicitly (used in tests and for
+    cross-machine reproducibility checks).
+    """
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_dir = pathlib.Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(str(path.relative_to(package_dir)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:12]
+    return _CODE_VERSION
+
+
+_CODE_VERSION: str | None = None
+
+
+def trial_key(spec: TrialSpec, version: str | None = None) -> str:
+    """Content-addressed cache key: SHA-256(canonical spec + code version)."""
+    payload = spec.canonical_json() + "\n" + (version or code_version())
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CampaignSpec:
+    """An ordered list of trials plus campaign-level settings.
+
+    JSON form (see ``docs/HARNESS.md``)::
+
+        {
+          "name": "e1_lower_bound_adaptive",
+          "description": "...",
+          "timeout_s": 600,
+          "trials": [ {...trial...}, ... ],
+          "sweep": [ {"kind": "route", "n": [8, 16], "seeds": 3}, ... ]
+        }
+
+    ``trials`` entries are literal :class:`TrialSpec` dicts.  ``sweep``
+    entries are grids: any field may be a list, and the cartesian product is
+    expanded in the order the fields appear; ``"seeds": m`` is shorthand for
+    ``"seed": [0, ..., m-1]``.  Explicit trials come first, then each grid's
+    expansion, preserving order -- trial order defines result-row order.
+    """
+
+    name: str
+    trials: list[TrialSpec]
+    description: str = ""
+    timeout_s: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not all(c.isalnum() or c in "-_." for c in self.name):
+            raise ValueError(
+                f"campaign name must be a nonempty filesystem-safe slug, got {self.name!r}"
+            )
+        if not self.trials:
+            raise ValueError(f"campaign {self.name!r} has no trials")
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignSpec":
+        known = {"name", "description", "timeout_s", "trials", "sweep", "metadata"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CampaignSpec fields: {sorted(unknown)}")
+        trials = [TrialSpec.from_dict(entry) for entry in data.get("trials", [])]
+        for grid in data.get("sweep", []):
+            trials.extend(expand_grid(grid))
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            timeout_s=data.get("timeout_s"),
+            metadata=data.get("metadata", {}),
+            trials=trials,
+        )
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "CampaignSpec":
+        path = pathlib.Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed campaign spec {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"campaign spec {path} must be a JSON object")
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"name": self.name}
+        if self.description:
+            data["description"] = self.description
+        if self.timeout_s is not None:
+            data["timeout_s"] = self.timeout_s
+        if self.metadata:
+            data["metadata"] = self.metadata
+        data["trials"] = [t.to_dict() for t in self.trials]
+        return data
+
+    def keys(self, version: str | None = None) -> list[str]:
+        version = version or code_version()
+        return [trial_key(t, version) for t in self.trials]
+
+
+def expand_grid(grid: dict[str, Any]) -> list[TrialSpec]:
+    """Expand one sweep grid into trials, cartesian-product in field order."""
+    grid = dict(grid)
+    if "seeds" in grid:
+        if "seed" in grid:
+            raise ValueError("a sweep grid cannot set both 'seed' and 'seeds'")
+        grid["seed"] = list(range(int(grid.pop("seeds"))))
+    names = list(grid)
+    axes: list[Iterable[Any]] = [
+        value if isinstance(value, list) else [value] for value in grid.values()
+    ]
+    return [
+        TrialSpec.from_dict(dict(zip(names, combo))) for combo in itertools.product(*axes)
+    ]

@@ -1,0 +1,132 @@
+"""Content-addressed result store under ``campaigns/``.
+
+Layout::
+
+    campaigns/
+      cache/<key>.json           one completed trial per file, key =
+                                 SHA-256(canonical spec + code version)
+      <name>/results.jsonl       the campaign's ordered result rows
+      <name>/manifest.json       run telemetry: per-trial status, wall
+                                 time, cached flags, failure messages
+
+Cache entries are written as each trial completes, so an interrupted
+campaign loses nothing: the next run (``--resume`` or a plain re-run)
+looks every trial up by key and re-executes only the missing ones.  Only
+successful trials are cached -- failures and timeouts always re-run.
+
+``results.jsonl`` rows contain only the trial's identity and its
+deterministic metrics (never wall time), so a 4-worker run and a serial
+run of the same campaign produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any
+
+DEFAULT_BASE_DIR = "campaigns"
+
+
+class ResultStore:
+    """Filesystem-backed cache + per-campaign results and manifests."""
+
+    def __init__(self, base_dir: str | pathlib.Path = DEFAULT_BASE_DIR) -> None:
+        self.base_dir = pathlib.Path(base_dir)
+        self.cache_dir = self.base_dir / "cache"
+
+    # -- trial cache --------------------------------------------------------
+
+    def cache_path(self, key: str) -> pathlib.Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached record for ``key``, or None (corrupt entries miss)."""
+        path = self.cache_path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if record.get("key") != key or "metrics" not in record:
+            return None
+        return record
+
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        """Atomically persist one completed trial."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.cache_path(key), record)
+
+    def evict(self, key: str) -> None:
+        self.cache_path(key).unlink(missing_ok=True)
+
+    # -- per-campaign artifacts ---------------------------------------------
+
+    def campaign_dir(self, name: str) -> pathlib.Path:
+        return self.base_dir / name
+
+    def results_path(self, name: str) -> pathlib.Path:
+        return self.campaign_dir(name) / "results.jsonl"
+
+    def manifest_path(self, name: str) -> pathlib.Path:
+        return self.campaign_dir(name) / "manifest.json"
+
+    def write_results(self, name: str, records: list[dict[str, Any]]) -> pathlib.Path:
+        """Write the ordered result rows; one canonical-JSON object per line."""
+        path = self.results_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            for record in records
+        )
+        _atomic_write_text(path, text)
+        return path
+
+    def read_results(self, name: str) -> list[dict[str, Any]]:
+        path = self.results_path(name)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no results for campaign {name!r} under {self.base_dir} "
+                f"(expected {path}); run it first"
+            )
+        return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+    def write_manifest(self, name: str, manifest: dict[str, Any]) -> pathlib.Path:
+        path = self.manifest_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(path, manifest, indent=2)
+        return path
+
+    def read_manifest(self, name: str) -> dict[str, Any]:
+        path = self.manifest_path(name)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no manifest for campaign {name!r} under {self.base_dir} "
+                f"(expected {path}); run it first"
+            )
+        return json.loads(path.read_text())
+
+    def list_campaigns(self) -> list[str]:
+        if not self.base_dir.exists():
+            return []
+        return sorted(
+            p.name
+            for p in self.base_dir.iterdir()
+            if p.is_dir() and p.name != "cache" and (p / "manifest.json").exists()
+        )
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        pathlib.Path(tmp).unlink(missing_ok=True)
+        raise
+
+
+def _atomic_write_json(path: pathlib.Path, data: Any, indent: int | None = None) -> None:
+    _atomic_write_text(path, json.dumps(data, sort_keys=True, indent=indent) + "\n")

@@ -1,0 +1,97 @@
+"""Campaign progress reporting and run-level telemetry.
+
+The reporter streams one line per completed trial to stderr (never stdout,
+which belongs to result tables) and accumulates the aggregate summary that
+ends up in the campaign manifest: trial counts by status, cache hits,
+total/max wall time, and the largest queue any trial observed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+
+class ProgressReporter:
+    """Streams ``[done/total]`` lines with an ETA; aggregates a summary."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: TextIO | None = None,
+        enabled: bool = True,
+        clock=time.monotonic,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._clock = clock
+        self._started = clock()
+        self._done = 0
+        self._counts = {"ok": 0, "error": 0, "timeout": 0}
+        self._cached = 0
+        self._executed_wall = 0.0
+        self._max_wall = 0.0
+        self._max_queue_len = 0
+
+    def trial_done(self, result) -> None:
+        """Record one finished trial (a :class:`~repro.harness.runner.TrialResult`)."""
+        self._done += 1
+        self._counts[result.status] = self._counts.get(result.status, 0) + 1
+        if result.cached:
+            self._cached += 1
+        else:
+            self._executed_wall += result.wall_s
+            self._max_wall = max(self._max_wall, result.wall_s)
+        if result.metrics:
+            queue_len = result.metrics.get("max_queue_len") or 0
+            self._max_queue_len = max(self._max_queue_len, queue_len)
+        if self.enabled:
+            self.stream.write(self._format_line(result) + "\n")
+            self.stream.flush()
+
+    def _format_line(self, result) -> str:
+        label = result.spec.label or _describe(result.spec)
+        state = "cached" if result.cached else result.status
+        parts = [
+            f"[{self._done}/{self.total}]",
+            label,
+            state,
+            f"{result.wall_s:.2f}s",
+        ]
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        if result.error:
+            parts.append(f"({result.error.splitlines()[0]})")
+        return " ".join(parts)
+
+    def eta_s(self) -> float | None:
+        """Projected seconds remaining, from the mean pace so far."""
+        if self._done == 0 or self._done >= self.total:
+            return None
+        elapsed = self._clock() - self._started
+        return elapsed / self._done * (self.total - self._done)
+
+    def summary(self) -> dict[str, Any]:
+        """The aggregate block stored in the campaign manifest."""
+        return {
+            "total": self.total,
+            "ok": self._counts.get("ok", 0),
+            "error": self._counts.get("error", 0),
+            "timeout": self._counts.get("timeout", 0),
+            "cached": self._cached,
+            "wall_s": round(self._clock() - self._started, 3),
+            "executed_wall_s": round(self._executed_wall, 3),
+            "max_trial_wall_s": round(self._max_wall, 3),
+            "max_queue_len": self._max_queue_len,
+        }
+
+
+def _describe(spec) -> str:
+    if spec.kind == "lower_bound":
+        return f"lower_bound[{spec.construction} n={spec.n} k={spec.k}]"
+    if spec.kind == "route":
+        return f"route[{spec.algorithm} n={spec.n} k={spec.k} {spec.workload}/{spec.seed}]"
+    return f"{spec.kind}[n={spec.n} {spec.workload}/{spec.seed}]"

@@ -35,17 +35,31 @@ def packets_to_json(packets: list[Packet]) -> dict[str, Any]:
 
 def packets_from_json(data: dict[str, Any]) -> list[Packet]:
     """Rebuild packets from :func:`packets_to_json` output."""
+    if not isinstance(data, dict):
+        raise ValueError(f"malformed instance: expected an object, got {type(data).__name__}")
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported instance format: {data.get('version')!r}")
-    return [
-        Packet(
-            entry["pid"],
-            tuple(entry["source"]),
-            tuple(entry["dest"]),
-            injection_time=entry.get("injection_time", 0),
-        )
-        for entry in data["packets"]
-    ]
+    if "packets" not in data:
+        raise ValueError("malformed instance: missing 'packets'")
+    try:
+        return [
+            Packet(
+                entry["pid"],
+                tuple(entry["source"]),
+                tuple(entry["dest"]),
+                injection_time=entry.get("injection_time", 0),
+            )
+            for entry in data["packets"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed instance: bad packet entry ({exc})") from exc
+
+
+def _read_json(path: str | pathlib.Path) -> Any:
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed JSON in {path}: {exc}") from exc
 
 
 def save_instance(packets: list[Packet], path: str | pathlib.Path) -> None:
@@ -55,7 +69,7 @@ def save_instance(packets: list[Packet], path: str | pathlib.Path) -> None:
 
 def load_instance(path: str | pathlib.Path) -> list[Packet]:
     """Read an instance from a JSON file."""
-    return packets_from_json(json.loads(pathlib.Path(path).read_text()))
+    return packets_from_json(_read_json(path))
 
 
 def save_construction(result, path: str | pathlib.Path) -> None:
@@ -82,14 +96,21 @@ def save_construction(result, path: str | pathlib.Path) -> None:
 
 def load_construction_instance(path: str | pathlib.Path) -> tuple[dict[str, Any], list[Packet]]:
     """Load a saved construction: (metadata, replayable packets)."""
-    data = json.loads(pathlib.Path(path).read_text())
+    data = _read_json(path)
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"malformed construction: expected an object, got {type(data).__name__}"
+        )
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported construction format: {data.get('version')!r}")
-    packets = [
-        Packet(pid, tuple(src), tuple(dst))
-        for pid, src, dst in sorted(data["packet_table"])
-    ]
-    meta = {key: data[key] for key in (
-        "n", "k", "bound_steps", "exchange_count", "undelivered_at_bound"
-    )}
+    try:
+        packets = [
+            Packet(pid, tuple(src), tuple(dst))
+            for pid, src, dst in sorted(data["packet_table"])
+        ]
+        meta = {key: data[key] for key in (
+            "n", "k", "bound_steps", "exchange_count", "undelivered_at_bound"
+        )}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed construction file {path}: {exc}") from exc
     return meta, packets

@@ -1,0 +1,72 @@
+"""Tests for the campaign-store analysis layer."""
+
+import json
+
+import pytest
+
+from repro.analysis.campaigns import (
+    load_recorded_result,
+    load_recorded_results,
+    summarize_manifest,
+    summarize_rows,
+)
+from repro.harness import CampaignSpec, TrialSpec, run_campaign
+
+
+@pytest.fixture
+def run(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "analysis-test")
+    campaign = CampaignSpec(
+        name="analysis-demo",
+        trials=[
+            TrialSpec(kind="route", n=8, k=2, algorithm="bounded-dor", label="baseline"),
+            TrialSpec(kind="lower_bound", n=60, construction="adaptive"),
+            TrialSpec(kind="section6", n=27),
+            TrialSpec(kind="sort_route", n=6),
+        ],
+    )
+    return run_campaign(campaign, base_dir=tmp_path, progress=False)
+
+
+class TestSummaries:
+    def test_summarize_rows_covers_every_kind(self, run):
+        table = summarize_rows([r.result_row() for r in run.results])
+        assert "bounded-dor" in table and "baseline" in table
+        assert "bound=" in table  # lower_bound headline
+        assert "actual=" in table  # section6 headline
+        assert "sort_route" in table
+
+    def test_summarize_rows_shows_errors(self, run):
+        rows = [r.result_row() for r in run.results]
+        rows[0]["status"] = "error"
+        rows[0]["metrics"] = None
+        rows[0]["error"] = "RuntimeError: boom\ntrace"
+        table = summarize_rows(rows)
+        assert "RuntimeError: boom" in table
+
+    def test_summarize_manifest(self, run):
+        text = summarize_manifest(run.manifest)
+        assert "campaign: analysis-demo" in text
+        assert "4 total, 4 ok" in text
+
+    def test_summarize_manifest_lists_failures(self, run):
+        manifest = json.loads(json.dumps(run.manifest))
+        manifest["trials"][1]["status"] = "timeout"
+        manifest["trials"][1]["error"] = "trial exceeded 5s"
+        text = summarize_manifest(manifest)
+        assert "failures:" in text and "#1 [timeout]" in text
+
+
+class TestRecordedResults:
+    def test_round_trip_with_benchmark_fixture_format(self, tmp_path):
+        payload = {"name": "E1", "format": 1, "text": "a table", "data": [{"n": 60}]}
+        path = tmp_path / "E1.json"
+        path.write_text(json.dumps(payload))
+        assert load_recorded_result(path) == payload
+        assert load_recorded_results(tmp_path) == {"E1": payload}
+
+    def test_rejects_non_result_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"unrelated": True}))
+        with pytest.raises(ValueError, match="not a recorded benchmark result"):
+            load_recorded_result(path)

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
+
+SPECS_DIR = pathlib.Path(__file__).parents[2] / "benchmarks" / "specs"
 
 
 class TestParser:
@@ -108,3 +113,55 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert f"bound {564 * 27}" in out
+
+
+class TestCampaignCommands:
+    def test_run_status_show_cycle(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "cli-test")
+        spec = str(SPECS_DIR / "smoke.json")
+        rc = main(
+            ["campaign", "run", spec, "--workers", "2",
+             "--campaign-dir", str(tmp_path), "--quiet"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke: 2/2 ok" in out
+
+        # Immediate re-run: 100% cache hits, every manifest row cached.
+        rc = main(
+            ["campaign", "run", spec, "--campaign-dir", str(tmp_path), "--quiet"]
+        )
+        assert rc == 0
+        assert "(2 cached" in capsys.readouterr().out
+        manifest = json.loads((tmp_path / "smoke" / "manifest.json").read_text())
+        assert all(t["cached"] for t in manifest["trials"])
+
+        rc = main(["campaign", "status", "smoke", "--campaign-dir", str(tmp_path)])
+        assert rc == 0
+        assert "2 cached" in capsys.readouterr().out
+
+        # `show` accepts either the campaign name or the spec path.
+        rc = main(["campaign", "show", spec, "--campaign-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bounded-dor" in out and "headline" in out
+
+    def test_run_missing_spec(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load campaign spec"):
+            main(["campaign", "run", str(tmp_path / "ghost.json"), "--quiet"])
+
+    def test_resume_without_cache_fails(self, tmp_path):
+        spec = str(SPECS_DIR / "smoke.json")
+        with pytest.raises(SystemExit, match="nothing to resume"):
+            main(
+                ["campaign", "run", spec, "--resume",
+                 "--campaign-dir", str(tmp_path / "empty"), "--quiet"]
+            )
+
+    def test_status_unknown_campaign(self, tmp_path):
+        with pytest.raises(SystemExit, match="run it first"):
+            main(["campaign", "status", "ghost", "--campaign-dir", str(tmp_path)])
+
+    def test_show_unknown_campaign(self, tmp_path):
+        with pytest.raises(SystemExit, match="run it first"):
+            main(["campaign", "show", "ghost", "--campaign-dir", str(tmp_path)])

@@ -47,6 +47,54 @@ class TestInstanceRoundTrip:
         data = json.loads(path.read_text())
         assert data["packets"][0]["dest"] == [1, 1]
 
+    def test_json_level_round_trip_equality(self):
+        mesh = Mesh(6)
+        packets = random_permutation(mesh, seed=3)
+        rebuilt = packets_from_json(packets_to_json(packets))
+        assert [(p.pid, p.source, p.dest, p.injection_time) for p in rebuilt] == [
+            (p.pid, p.source, p.dest, p.injection_time) for p in packets
+        ]
+        # Serializing again yields the identical document.
+        assert packets_to_json(rebuilt) == packets_to_json(packets)
+
+
+class TestMalformedFiles:
+    def test_instance_malformed_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{this is not json")
+        with pytest.raises(ValueError, match="malformed JSON"):
+            load_instance(path)
+
+    def test_instance_missing_packets_key(self):
+        with pytest.raises(ValueError, match="missing 'packets'"):
+            packets_from_json({"version": 1})
+
+    def test_instance_not_an_object(self):
+        with pytest.raises(ValueError, match="expected an object"):
+            packets_from_json([1, 2, 3])
+
+    def test_instance_bad_packet_entry(self):
+        with pytest.raises(ValueError, match="bad packet entry"):
+            packets_from_json({"version": 1, "packets": [{"pid": 0}]})
+
+    def test_construction_malformed_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("not json at all")
+        with pytest.raises(ValueError, match="malformed JSON"):
+            load_construction_instance(path)
+
+    def test_construction_version_mismatch(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "packet_table": []}))
+        with pytest.raises(ValueError, match="unsupported construction format"):
+            load_construction_instance(path)
+
+    def test_construction_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"version": 1, "packet_table": [[0, [0, 0], [1, 1]]]}))
+        with pytest.raises(ValueError, match="malformed construction file"):
+            load_construction_instance(path)
+
 
 class TestConstructionRoundTrip:
     def test_saved_construction_replays_identically(self, tmp_path):

@@ -1,0 +1,181 @@
+"""Tests for the campaign runner: pooling, caching, failure capture.
+
+The determinism regression required by the paper-reproduction contract
+lives here: the same ``TrialSpec`` executed serially, inline, and via the
+worker pool must yield identical metrics, and the stored ``results.jsonl``
+must be byte-identical regardless of worker count.
+"""
+
+import pytest
+
+from repro.harness import (
+    CampaignSpec,
+    ProgressReporter,
+    TrialSpec,
+    execute_trial,
+    run_campaign,
+)
+from repro.harness.runner import TrialTimeoutError, _alarm, _run_one
+
+
+@pytest.fixture(autouse=True)
+def pinned_code_version(monkeypatch):
+    """Isolate cache keys from the live source hash."""
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-version")
+
+
+def small_campaign(name="pool-demo"):
+    return CampaignSpec(
+        name=name,
+        trials=[
+            TrialSpec(kind="route", n=8, k=2, algorithm="bounded-dor", seed=0),
+            TrialSpec(
+                kind="route", n=8, k=2, algorithm="greedy-adaptive",
+                queues="incoming", seed=1, max_steps=20000,
+            ),
+            TrialSpec(
+                kind="route", n=8, k=2, algorithm="dor", workload="transpose",
+                max_steps=2000,
+            ),
+            TrialSpec(kind="sort_route", n=6, seed=3),
+        ],
+    )
+
+
+class TestDeterminism:
+    def test_serial_and_pool_runs_agree(self, tmp_path):
+        """Satellite: same TrialSpec serial vs pool -> identical results."""
+        campaign = small_campaign()
+        serial = run_campaign(
+            campaign, workers=1, base_dir=tmp_path / "serial", progress=False
+        )
+        pooled = run_campaign(
+            campaign, workers=3, base_dir=tmp_path / "pooled", progress=False
+        )
+        for a, b in zip(serial.results, pooled.results):
+            assert a.status == b.status == "ok"
+            assert a.metrics == b.metrics
+            assert a.key == b.key
+        # Direct inline execution agrees too.
+        for trial, result in zip(campaign.trials, serial.results):
+            assert execute_trial(trial) == result.metrics
+
+    def test_results_file_byte_identical_across_worker_counts(self, tmp_path):
+        campaign = small_campaign()
+        serial = run_campaign(
+            campaign, workers=1, base_dir=tmp_path / "serial", progress=False
+        )
+        pooled = run_campaign(
+            campaign, workers=4, base_dir=tmp_path / "pooled", progress=False
+        )
+        assert serial.results_path.read_bytes() == pooled.results_path.read_bytes()
+
+
+class TestCachingAndResume:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        campaign = small_campaign()
+        first = run_campaign(campaign, base_dir=tmp_path, progress=False)
+        assert first.cached == 0
+        second = run_campaign(campaign, base_dir=tmp_path, progress=False)
+        assert second.cached == len(campaign.trials)
+        assert all(t["cached"] for t in second.manifest["trials"])
+        assert [r.metrics for r in first.results] == [r.metrics for r in second.results]
+
+    def test_fresh_ignores_cache(self, tmp_path):
+        campaign = small_campaign()
+        run_campaign(campaign, base_dir=tmp_path, progress=False)
+        again = run_campaign(campaign, base_dir=tmp_path, progress=False, fresh=True)
+        assert again.cached == 0
+
+    def test_partial_cache_resumes(self, tmp_path):
+        """An interrupted campaign re-runs only the missing trials."""
+        campaign = small_campaign()
+        full = run_campaign(campaign, base_dir=tmp_path, progress=False)
+        from repro.harness import ResultStore
+
+        ResultStore(tmp_path).evict(full.results[1].key)
+        resumed = run_campaign(campaign, base_dir=tmp_path, progress=False)
+        assert resumed.cached == len(campaign.trials) - 1
+        assert [r.metrics for r in resumed.results] == [r.metrics for r in full.results]
+
+    def test_code_version_change_invalidates_cache(self, tmp_path, monkeypatch):
+        campaign = small_campaign()
+        run_campaign(campaign, base_dir=tmp_path, progress=False)
+        monkeypatch.setenv("REPRO_CODE_VERSION", "new-version")
+        rerun = run_campaign(campaign, base_dir=tmp_path, progress=False)
+        assert rerun.cached == 0
+
+
+class TestFailureCapture:
+    def test_crashing_trial_records_error_not_crash(self, tmp_path):
+        # n=27 is not a power of two-ish constraint; Section6 needs a power
+        # of 3 >= 27, so n=12 raises inside the worker.
+        campaign = CampaignSpec(
+            name="fail-demo",
+            trials=[
+                TrialSpec(kind="section6", n=12),
+                TrialSpec(kind="route", n=8, algorithm="bounded-dor", k=2),
+            ],
+        )
+        run = run_campaign(campaign, workers=2, base_dir=tmp_path, progress=False)
+        assert run.failed == 1 and run.ok == 1
+        failed = run.results[0]
+        assert failed.status == "error"
+        assert "ValueError" in failed.error
+        assert failed.metrics is None
+        # Failures are never cached: a re-run retries them.
+        again = run_campaign(campaign, base_dir=tmp_path, progress=False)
+        assert again.results[0].cached is False
+        assert again.results[1].cached is True
+
+    def test_timeout_records_timeout_status(self, tmp_path):
+        # A full permutation at n=24 takes well over 5 ms of wall time.
+        campaign = CampaignSpec(
+            name="timeout-demo",
+            trials=[TrialSpec(kind="lower_bound", n=120, construction="adaptive")],
+            timeout_s=0.005,
+        )
+        run = run_campaign(campaign, base_dir=tmp_path, progress=False)
+        assert run.results[0].status == "timeout"
+        assert "exceeded" in run.results[0].error
+
+    def test_alarm_context_raises_and_restores(self):
+        with pytest.raises(TrialTimeoutError):
+            with _alarm(0.01):
+                while True:
+                    pass
+
+    def test_worker_entrypoint_reports_wall_time(self):
+        spec = TrialSpec(kind="route", n=8, algorithm="bounded-dor", k=2)
+        index, status, metrics, error, wall = _run_one((5, spec.canonical(), None))
+        assert index == 5 and status == "ok" and error is None
+        assert metrics["completed"] and wall >= 0
+
+
+class TestTelemetry:
+    def test_reporter_summary_counts(self, tmp_path):
+        campaign = small_campaign()
+        reporter = ProgressReporter(len(campaign.trials), enabled=False)
+        run_campaign(campaign, base_dir=tmp_path, progress=False, reporter=reporter)
+        summary = reporter.summary()
+        assert summary["ok"] == len(campaign.trials)
+        assert summary["cached"] == 0
+        assert summary["max_queue_len"] >= 1
+        assert run_campaign(
+            campaign, base_dir=tmp_path, progress=False
+        ).manifest["telemetry"]["cached"] == len(campaign.trials)
+
+    def test_progress_lines_stream_to_given_stream(self, tmp_path):
+        import io
+
+        campaign = small_campaign()
+        stream = io.StringIO()
+        reporter = ProgressReporter(len(campaign.trials), stream=stream)
+        run_campaign(campaign, base_dir=tmp_path, reporter=reporter)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == len(campaign.trials)
+        assert lines[0].startswith("[1/4]") and lines[-1].startswith("[4/4]")
+
+    def test_invalid_worker_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign(small_campaign(), workers=0, base_dir=tmp_path)

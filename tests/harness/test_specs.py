@@ -1,0 +1,118 @@
+"""Tests for the declarative campaign spec layer."""
+
+import json
+
+import pytest
+
+from repro.harness import CampaignSpec, TrialSpec, code_version, trial_key
+from repro.harness.specs import expand_grid
+
+
+class TestTrialSpec:
+    def test_defaults_and_validation(self):
+        spec = TrialSpec(kind="route", n=8, algorithm="bounded-dor")
+        spec.validate()
+        assert spec.k == 1 and spec.seed == 0 and spec.workload == "random"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(kind="telepathy", n=8),
+            dict(kind="route", n=8, algorithm="psychic"),
+            dict(kind="route", n=1, algorithm="dor"),
+            dict(kind="route", n=8, algorithm="dor", workload="mystery"),
+            dict(kind="route", n=8, algorithm="dor", queues="sideways"),
+            dict(kind="route", n=8, algorithm="dor", availability=0.0),
+            dict(kind="lower_bound", n=60, construction="vibes"),
+            dict(kind="lower_bound", n=60, construction="dor", algorithm="greedy-adaptive"),
+        ],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TrialSpec.from_dict(bad)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown TrialSpec fields"):
+            TrialSpec.from_dict({"kind": "route", "n": 8, "algorithm": "dor", "spin": 1})
+
+    def test_round_trip(self):
+        spec = TrialSpec(kind="lower_bound", n=60, construction="adaptive", label="x")
+        again = TrialSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestTrialKey:
+    def test_label_does_not_affect_key(self):
+        a = TrialSpec(kind="route", n=8, algorithm="dor", label="one")
+        b = TrialSpec(kind="route", n=8, algorithm="dor", label="two")
+        assert trial_key(a) == trial_key(b)
+
+    def test_parameters_affect_key(self):
+        a = TrialSpec(kind="route", n=8, algorithm="dor", seed=0)
+        b = TrialSpec(kind="route", n=8, algorithm="dor", seed=1)
+        assert trial_key(a) != trial_key(b)
+
+    def test_code_version_affects_key(self):
+        spec = TrialSpec(kind="route", n=8, algorithm="dor")
+        assert trial_key(spec, "v1") != trial_key(spec, "v2")
+
+    def test_env_override_pins_version(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        assert code_version() == "pinned"
+
+
+class TestGridExpansion:
+    def test_cartesian_order_is_field_order(self):
+        trials = expand_grid(
+            {"kind": "route", "algorithm": "dor", "n": [8, 12], "k": [1, 2]}
+        )
+        assert [(t.n, t.k) for t in trials] == [(8, 1), (8, 2), (12, 1), (12, 2)]
+
+    def test_seeds_shorthand(self):
+        trials = expand_grid({"kind": "route", "algorithm": "dor", "n": 8, "seeds": 3})
+        assert [t.seed for t in trials] == [0, 1, 2]
+
+    def test_seed_and_seeds_conflict(self):
+        with pytest.raises(ValueError, match="both 'seed' and 'seeds'"):
+            expand_grid({"kind": "route", "algorithm": "dor", "n": 8, "seed": 1, "seeds": 2})
+
+
+class TestCampaignSpec:
+    def test_from_file_expands_sweep(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "demo",
+                    "trials": [{"kind": "route", "algorithm": "dor", "n": 8}],
+                    "sweep": [{"kind": "route", "algorithm": "bounded-dor", "n": [8, 12]}],
+                }
+            )
+        )
+        campaign = CampaignSpec.from_file(path)
+        assert [t.algorithm for t in campaign.trials] == ["dor", "bounded-dor", "bounded-dor"]
+        assert len(campaign.keys()) == 3
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="malformed campaign spec"):
+            CampaignSpec.from_file(path)
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError, match="no trials"):
+            CampaignSpec.from_dict({"name": "empty"})
+
+    def test_unsafe_name_rejected(self):
+        with pytest.raises(ValueError, match="filesystem-safe"):
+            CampaignSpec.from_dict(
+                {"name": "../oops", "trials": [{"kind": "route", "algorithm": "dor", "n": 8}]}
+            )
+
+    def test_checked_in_specs_load(self):
+        import pathlib
+
+        specs_dir = pathlib.Path(__file__).parents[2] / "benchmarks" / "specs"
+        for path in sorted(specs_dir.glob("*.json")):
+            campaign = CampaignSpec.from_file(path)
+            assert campaign.trials, path

@@ -1,0 +1,68 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.harness import ResultStore
+
+
+def record(key):
+    return {"key": key, "spec": {"kind": "route"}, "metrics": {"steps": 7}}
+
+
+class TestCache:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", record("abc"))
+        assert store.get("abc") == record("abc")
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).get("nope") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", record("abc"))
+        store.cache_path("abc").write_text("{truncated")
+        assert store.get("abc") is None
+
+    def test_mismatched_key_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", record("OTHER"))
+        assert store.get("abc") is None
+
+    def test_evict(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", record("abc"))
+        store.evict("abc")
+        assert store.get("abc") is None
+        store.evict("abc")  # idempotent
+
+
+class TestCampaignArtifacts:
+    def test_results_round_trip_and_canonical_bytes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        rows = [{"index": 0, "b": 2, "a": 1}, {"index": 1, "a": None}]
+        path = store.write_results("demo", rows)
+        assert store.read_results("demo") == rows
+        # Canonical JSONL: sorted keys, compact separators, one row per line.
+        assert path.read_text() == '{"a":1,"b":2,"index":0}\n{"a":null,"index":1}\n'
+
+    def test_read_results_missing_campaign(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="run it first"):
+            ResultStore(tmp_path).read_results("ghost")
+
+    def test_manifest_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manifest = {"name": "demo", "trials": []}
+        path = store.write_manifest("demo", manifest)
+        assert store.read_manifest("demo") == manifest
+        assert json.loads(path.read_text()) == manifest
+
+    def test_list_campaigns_skips_cache_dir(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", record("abc"))
+        store.write_manifest("beta", {"name": "beta"})
+        store.write_manifest("alpha", {"name": "alpha"})
+        (tmp_path / "stray").mkdir()
+        assert store.list_campaigns() == ["alpha", "beta"]
