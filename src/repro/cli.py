@@ -6,6 +6,8 @@ Subcommands:
 - ``lower-bound`` -- run an adversarial construction + replay verification
 - ``section6``    -- run the O(n)-time O(1)-queue algorithm
 - ``bounds``      -- print every closed-form bound for given (n, k)
+- ``verify``      -- differential/invariant verification of all routers
+  (oracle battery + metamorphic images + EX-swap probes, see docs/VERIFY.md)
 - ``campaign``    -- run/inspect declarative experiment campaigns
   (``campaign run|status|show``, see docs/HARNESS.md)
 
@@ -177,6 +179,63 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import FAMILIES, REGISTRY, run_verification
+
+    if args.smoke:
+        families, sizes, ks, seeds = None, (8,), (1, 2), (0,)
+    else:
+        families, sizes, ks, seeds = None, (8, 12), (1, 2), (0, 1, 2)
+    if args.families:
+        unknown = set(args.families) - set(FAMILIES)
+        if unknown:
+            raise SystemExit(f"unknown families {sorted(unknown)}; expected {FAMILIES}")
+        families = tuple(args.families)
+    if args.n:
+        sizes = tuple(args.n)
+    if args.k:
+        ks = tuple(args.k)
+    if args.seeds:
+        seeds = tuple(range(args.seeds))
+    if args.routers:
+        unknown = set(args.routers) - set(REGISTRY)
+        if unknown:
+            raise SystemExit(
+                f"unknown routers {sorted(unknown)}; expected {sorted(REGISTRY)}"
+            )
+
+    progress = None if args.quiet else lambda msg: print(f"verify: {msg}", file=sys.stderr)
+    kwargs = dict(
+        sizes=sizes,
+        ks=ks,
+        seeds=seeds,
+        routers=args.routers or None,
+        mode=args.mode,
+        metamorphic=not args.no_metamorphic,
+        probes=not args.no_probes,
+        progress=progress,
+    )
+    if families is not None:
+        kwargs["families"] = families
+    report = run_verification(**kwargs)
+
+    for cell in report.cells:
+        status = "ok" if cell.ok else f"{len(cell.findings)} finding(s)"
+        stalls = f", expected stalls: {','.join(cell.stalls)}" if cell.stalls else ""
+        print(
+            f"{cell.family:<12} n={cell.n:<3} k={cell.k} seed={cell.seed}: "
+            f"{len(cell.outcomes)} routers, {cell.runs} runs, {status}{stalls}"
+        )
+    for finding in report.findings:
+        print(f"FINDING: {finding}")
+    verdict = "PASS" if report.ok else "FAIL"
+    print(
+        f"verify {verdict}: {len(report.cells)} cells, {report.runs} runs, "
+        f"{len(report.findings)} finding(s)"
+    )
+    return 0 if report.ok else 1
+
+
 def _campaign_store(args: argparse.Namespace):
     from repro.harness import ResultStore
 
@@ -306,6 +365,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=216)
     p.add_argument("--k", type=int, default=1)
     p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser(
+        "verify",
+        help="cross-check all routers against the paper's invariant oracles",
+    )
+    p.add_argument(
+        "--smoke", action="store_true", help="small preset: n=8, k in {1,2}, seed 0"
+    )
+    p.add_argument(
+        "--families",
+        nargs="+",
+        metavar="FAMILY",
+        help="workload families (default: permutation hh torus)",
+    )
+    p.add_argument("--n", type=int, nargs="+", help="mesh side lengths")
+    p.add_argument("--k", type=int, nargs="+", help="queue capacities")
+    p.add_argument("--seeds", type=int, help="number of seeds (0..seeds-1)")
+    p.add_argument("--routers", nargs="+", help="subset of registered routers")
+    p.add_argument(
+        "--mode",
+        choices=["strict", "record"],
+        default="strict",
+        help="strict aborts a run at its first violation; record collects all",
+    )
+    p.add_argument(
+        "--no-metamorphic", action="store_true", help="skip transpose/reflect images"
+    )
+    p.add_argument(
+        "--no-probes", action="store_true", help="skip the EX-swap and Section 6 probes"
+    )
+    p.add_argument("--quiet", action="store_true", help="no per-cell progress on stderr")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("campaign", help="run/inspect experiment campaigns")
     campaign_sub = p.add_subparsers(dest="campaign_command", required=True)

@@ -186,11 +186,39 @@ def _run_sort_route(spec: TrialSpec) -> dict[str, Any]:
     }
 
 
+def _run_verify(spec: TrialSpec) -> dict[str, Any]:
+    """One differential-verification cell (see repro.verify.differential).
+
+    ``workload`` names the family, and ``algorithm`` may pin the sweep to a
+    single registered router (empty = all).  The trial *fails* (raises) when
+    the cell has findings, so campaign telemetry surfaces broken invariants
+    the same way it surfaces crashed trials.
+    """
+    from repro.verify import cross_check
+
+    report = cross_check(
+        spec.workload,
+        spec.n,
+        spec.k,
+        spec.seed,
+        routers=[spec.algorithm] if spec.algorithm else None,
+        mode="record",
+    )
+    metrics = report.to_metrics()
+    if not report.ok:
+        raise AssertionError(
+            f"verify cell {spec.workload} n={spec.n} k={spec.k} seed={spec.seed}: "
+            + "; ".join(report.findings)
+        )
+    return metrics
+
+
 _RUNNERS = {
     "route": _run_route,
     "lower_bound": _run_lower_bound,
     "section6": _run_section6,
     "sort_route": _run_sort_route,
+    "verify": _run_verify,
 }
 
 

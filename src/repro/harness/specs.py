@@ -19,7 +19,7 @@ import pathlib
 from dataclasses import dataclass, field, fields
 from typing import Any, Iterable
 
-TRIAL_KINDS = ("route", "lower_bound", "section6", "sort_route")
+TRIAL_KINDS = ("route", "lower_bound", "section6", "sort_route", "verify")
 
 ROUTE_ALGORITHMS = (
     "dor",
@@ -45,6 +45,9 @@ DEFAULT_VICTIMS = {
 }
 
 WORKLOADS = ("random", "partial", "transpose", "bit-reversal", "rotation")
+
+#: Workload families a ``verify`` trial may fuzz (see repro.verify).
+VERIFY_FAMILIES = ("permutation", "hh", "torus", "dynamic")
 
 
 @dataclass(frozen=True)
@@ -96,6 +99,17 @@ class TrialSpec:
                 )
         if self.kind in ("route", "section6", "sort_route") and self.workload not in WORKLOADS:
             raise ValueError(f"unknown workload {self.workload!r}; expected one of {WORKLOADS}")
+        if self.kind == "verify":
+            if self.workload not in VERIFY_FAMILIES:
+                raise ValueError(
+                    f"verify trials fuzz a workload family, one of {VERIFY_FAMILIES}; "
+                    f"got {self.workload!r}"
+                )
+            if self.algorithm and self.algorithm not in ROUTE_ALGORITHMS:
+                raise ValueError(
+                    f"unknown verify router {self.algorithm!r}; "
+                    f"expected one of {ROUTE_ALGORITHMS} (or empty for all)"
+                )
         if self.queues not in ("central", "incoming"):
             raise ValueError(f"queues must be 'central' or 'incoming', got {self.queues!r}")
         if not 0.0 < self.availability <= 1.0:

@@ -24,7 +24,7 @@ from repro.mesh.topology import Mesh, Torus, Topology
 from repro.mesh.packet import Packet
 from repro.mesh.queues import QueueSpec, CENTRAL
 from repro.mesh.visibility import PacketView, FullPacketView, Offer
-from repro.mesh.interfaces import RoutingAlgorithm, NodeContext
+from repro.mesh.interfaces import RoutingAlgorithm, RoutingContract, NodeContext
 from repro.mesh.simulator import Simulator, RunResult
 from repro.mesh.trace import PathTracer
 from repro.mesh.errors import (
@@ -47,6 +47,7 @@ __all__ = [
     "FullPacketView",
     "Offer",
     "RoutingAlgorithm",
+    "RoutingContract",
     "NodeContext",
     "Simulator",
     "RunResult",

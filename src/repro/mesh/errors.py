@@ -19,7 +19,29 @@ class QueueOverflowError(SimulationError):
 
     Section 2: "The inqueue policy must guarantee that the queue does not
     overflow."
+
+    Carries the offending node, queue key, occupancy, and capacity so that
+    oracles and tests can distinguish an overflow (and localize it) without
+    parsing the message.
     """
+
+    def __init__(
+        self,
+        algorithm: str,
+        node: tuple[int, int],
+        queue_key: object,
+        occupancy: int,
+        capacity: int,
+    ) -> None:
+        super().__init__(
+            f"{algorithm}: queue {queue_key!r} at {node} holds "
+            f"{occupancy} > capacity {capacity}"
+        )
+        self.algorithm = algorithm
+        self.node = node
+        self.queue_key = queue_key
+        self.occupancy = occupancy
+        self.capacity = capacity
 
 
 class InvalidScheduleError(SimulationError):

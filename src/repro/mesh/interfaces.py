@@ -10,11 +10,45 @@ phase order.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Any, ClassVar, Iterable, Mapping, Sequence
 
 from repro.mesh.directions import Direction
 from repro.mesh.queues import QueueSpec
 from repro.mesh.visibility import Offer, PacketView
+
+
+@dataclass(frozen=True)
+class RoutingContract:
+    """The machine-checkable claims a routing algorithm makes about itself.
+
+    The verify layer (:mod:`repro.verify`) reads this to decide which
+    oracles apply: a minimal router is held to distance-monotonicity, an
+    ``excursion_delta``-bounded router to the Section 5 rectangle bound,
+    a router with a ``step_bound`` to its theorem's step budget.
+
+    Attributes:
+        name: The algorithm's report name.
+        minimal: Never schedules a packet on an unprofitable outlink.
+        destination_exchangeable: Policies see :class:`PacketView` only.
+        excursion_delta: How far a packet may stray (in hops) beyond the
+            rectangle spanned by its source and destination: 0 for minimal
+            routers, Section 5's ``delta`` for bounded-excursion routers,
+            and None when excursions are unbounded (hot potato).
+        queue_kind: ``"central"`` or ``"incoming"`` (the queue regime).
+        queue_capacity: The paper's ``k`` -- packets per queue.
+        step_bound: Proven worst-case step count for routing any (partial)
+            permutation on an ``n x n`` mesh, or None when the paper proves
+            no upper bound for this algorithm.
+    """
+
+    name: str
+    minimal: bool
+    destination_exchangeable: bool
+    excursion_delta: int | None
+    queue_kind: str
+    queue_capacity: int
+    step_bound: int | None
 
 
 class NodeContext:
@@ -128,6 +162,34 @@ class RoutingAlgorithm(abc.ABC):
 
     def __init__(self, queue_spec: QueueSpec) -> None:
         self.queue_spec = queue_spec
+
+    # -- contract metadata ---------------------------------------------------
+
+    def excursion_delta(self) -> int | None:
+        """Max hops beyond the source-destination rectangle (see
+        :class:`RoutingContract`).  Minimal routers return 0; nonminimal
+        routers must override (a bounded delta, or None for unbounded)."""
+        return 0 if self.minimal else None
+
+    def permutation_step_bound(self, n: int) -> int | None:
+        """Proven worst-case steps for any permutation on an ``n x n`` mesh.
+
+        None (the default) means the paper proves no upper bound for this
+        algorithm; routers with a theorem behind them override this.
+        """
+        return None
+
+    def contract(self, n: int) -> RoutingContract:
+        """This algorithm's claims, instantiated for an ``n x n`` mesh."""
+        return RoutingContract(
+            name=self.name,
+            minimal=self.minimal,
+            destination_exchangeable=self.destination_exchangeable,
+            excursion_delta=self.excursion_delta(),
+            queue_kind=self.queue_spec.kind,
+            queue_capacity=self.queue_spec.capacity,
+            step_bound=self.permutation_step_bound(n),
+        )
 
     # -- initialization ------------------------------------------------------
 

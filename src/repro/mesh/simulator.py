@@ -110,8 +110,11 @@ class Simulator:
             first step at or after that time at which their source node has
             queue space (the dynamic setting of Section 5).
         interceptor: Optional phase-(b) hook; the lower-bound adversary.
-        validate: Enforce model rules every step (small overhead; leave on
-            except in the innermost benchmark loops).
+        validate: Enforce model rules every step -- schedule legality,
+            minimality, and queue capacity, raising the typed
+            :mod:`repro.mesh.errors` exceptions (small overhead; leave on
+            except in the innermost benchmark loops, where the
+            :mod:`repro.verify` oracles can re-check independently).
         record_series: Record a :class:`StepRecord` per step.
     """
 
@@ -154,6 +157,14 @@ class Simulator:
         self._pending: list[Packet] = []
         self._in_flight = 0
         self._out_dirs_cache: dict[tuple[int, int], tuple[Direction, ...]] = {}
+        #: Hook points for observers (the repro.verify oracle layer).  Pre
+        #: hooks run at the top of :meth:`step` (before injection and
+        #: scheduling); post hooks run at the very end with the transmitted
+        #: moves.  Both lists are empty by default and cost nothing then.
+        self.pre_step_hooks: list[Callable[["Simulator"], None]] = []
+        self.post_step_hooks: list[
+            Callable[["Simulator", list[ScheduledMove]], None]
+        ] = []
 
         self._load(packets)
 
@@ -252,6 +263,11 @@ class Simulator:
     def undelivered(self) -> int:
         return self.total_packets - len(self.delivery_times)
 
+    @property
+    def pending_count(self) -> int:
+        """Dynamic packets waiting outside the network for injection."""
+        return len(self._pending)
+
     def configuration(self) -> tuple:
         """Canonical hashable snapshot of the network configuration.
 
@@ -279,6 +295,9 @@ class Simulator:
     def step(self) -> list[ScheduledMove]:
         """Run one synchronous step; returns the moves that were transmitted."""
         self.time += 1
+        if self.pre_step_hooks:
+            for hook in self.pre_step_hooks:
+                hook(self)
         self._inject_pending()
 
         # (a) outqueue policies.
@@ -416,6 +435,9 @@ class Simulator:
                     max_queue_len=self.max_queue_len,
                 )
             )
+        if self.post_step_hooks:
+            for hook in self.post_step_hooks:
+                hook(self, accepted_moves)
         return accepted_moves
 
     # -- step helpers ---------------------------------------------------------
@@ -480,11 +502,12 @@ class Simulator:
         )
 
     def _check_capacity(self, node: tuple[int, int]) -> None:
+        if not self.validate:
+            return
         for key, q in self.queues.get(node, {}).items():
             if len(q) > self.spec.capacity:
                 raise QueueOverflowError(
-                    f"{self.algorithm.name}: queue {key!r} at {node} holds "
-                    f"{len(q)} > capacity {self.spec.capacity}"
+                    self.algorithm.name, node, key, len(q), self.spec.capacity
                 )
 
     def _note_load(self, node: tuple[int, int]) -> None:

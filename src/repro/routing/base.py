@@ -14,7 +14,7 @@ from repro.mesh.interfaces import NodeContext
 from repro.mesh.visibility import Offer, PacketView
 
 # Re-exported for algorithm implementations.
-from repro.mesh.interfaces import RoutingAlgorithm  # noqa: F401
+from repro.mesh.interfaces import RoutingAlgorithm, RoutingContract  # noqa: F401
 from repro.mesh.queues import CENTRAL, QueueSpec  # noqa: F401
 
 

@@ -48,6 +48,12 @@ class BoundedDimensionOrderRouter(RoutingAlgorithm):
     def __init__(self, queue_capacity: int) -> None:
         super().__init__(QueueSpec(queue_capacity, kind="incoming"))
 
+    def permutation_step_bound(self, n: int) -> int:
+        # Theorem 15: any permutation routes in O(n^2/k + n) steps.
+        from repro.core.bounds import theorem15_upper_bound
+
+        return theorem15_upper_bound(n, self.queue_spec.capacity)
+
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
         # For each outlink, straight-moving packets (those sitting in the
         # queue of the opposite inlink) have priority; FIFO within a class.

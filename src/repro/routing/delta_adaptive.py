@@ -65,6 +65,9 @@ class BoundedExcursionRouter(RoutingAlgorithm):
         super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
         self.delta = delta
 
+    def excursion_delta(self) -> int:
+        return self.delta
+
     def initial_packet_state(self, view: PacketView) -> tuple[int, int, None, int]:
         return (self.delta, -1, None, 0)
 

@@ -1,0 +1,71 @@
+"""Invariant oracles and differential verification (see docs/VERIFY.md).
+
+This package is the correctness substrate of the reproduction: every
+simulation can be made self-checking by attaching an
+:class:`InvariantChecker` (queue bounds, packet conservation, minimality /
+delta-excursion, theorem step budgets), and the differential runner
+cross-checks every registered router against every other on seeded random
+instances, metamorphic images, and the paper's EX1-EX4 exchange probe.
+
+Entry points:
+
+- ``python -m repro verify [--smoke]`` -- the CLI sweep
+- :func:`repro.verify.differential.run_verification` -- the same, in-process
+- :func:`repro.verify.oracles.attach_checker` -- instrument one simulator
+"""
+
+from repro.verify.oracles import (
+    InvariantChecker,
+    MinimalityOracle,
+    Oracle,
+    PacketConservationOracle,
+    QueueBoundOracle,
+    StepBoundOracle,
+    VerificationError,
+    Violation,
+    attach_checker,
+    default_oracles,
+)
+from repro.verify.differential import (
+    FAMILIES,
+    REGISTRY,
+    SMOKE_FAMILIES,
+    CellReport,
+    RouterEntry,
+    VerificationReport,
+    build_instance,
+    checked_run,
+    cross_check,
+    exchangeability_probe,
+    reflect_instance,
+    run_verification,
+    section6_probe,
+    transpose_instance,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "MinimalityOracle",
+    "Oracle",
+    "PacketConservationOracle",
+    "QueueBoundOracle",
+    "StepBoundOracle",
+    "VerificationError",
+    "Violation",
+    "attach_checker",
+    "default_oracles",
+    "FAMILIES",
+    "REGISTRY",
+    "SMOKE_FAMILIES",
+    "CellReport",
+    "RouterEntry",
+    "VerificationReport",
+    "build_instance",
+    "checked_run",
+    "cross_check",
+    "exchangeability_probe",
+    "reflect_instance",
+    "run_verification",
+    "section6_probe",
+    "transpose_instance",
+]

@@ -1,0 +1,119 @@
+"""Seeded-fuzz properties of the queue models (Section 2 / Section 5).
+
+Random capacities, kinds, and profitable-outlink sets; fixed seeds.  The
+invariants: key spaces are exactly what the model names, arrival/initial
+keys always land inside the key space, node capacity is capacity x queues,
+and the default incoming-queue injection rule depends only on the
+profitable set (so it is legal for destination-exchangeable algorithms).
+"""
+
+import random
+
+import pytest
+
+from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.queues import (
+    CENTRAL,
+    KIND_CENTRAL,
+    KIND_INCOMING,
+    QueueSpec,
+    default_incoming_initial_key,
+)
+
+CASES = 250
+
+
+def random_profitable(rng):
+    """A profitable set as a real mesh produces: at most one per axis."""
+    dirs = set()
+    if rng.random() < 0.8:
+        dirs.add(rng.choice([Direction.E, Direction.W]))
+    if rng.random() < 0.8:
+        dirs.add(rng.choice([Direction.N, Direction.S]))
+    return frozenset(dirs)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_key_space_and_node_capacity(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES):
+        capacity = rng.randint(1, 9)
+        kind = rng.choice([KIND_CENTRAL, KIND_INCOMING])
+        spec = QueueSpec(capacity, kind)
+        if kind == KIND_CENTRAL:
+            assert spec.keys == (CENTRAL,)
+            assert spec.node_capacity == capacity
+        else:
+            assert spec.keys == DIRECTIONS
+            assert spec.node_capacity == 4 * capacity
+
+
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_arrival_and_initial_keys_stay_in_key_space(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES):
+        spec = QueueSpec(rng.randint(1, 9), rng.choice([KIND_CENTRAL, KIND_INCOMING]))
+        came_from = rng.choice(DIRECTIONS)
+        assert spec.arrival_key(came_from) in spec.keys
+        assert spec.initial_key(random_profitable(rng)) in spec.keys
+
+
+@pytest.mark.parametrize("seed", [6, 7])
+def test_incoming_arrival_key_is_the_inlink(seed):
+    rng = random.Random(seed)
+    spec = QueueSpec(1, KIND_INCOMING)
+    for _ in range(CASES):
+        came_from = rng.choice(DIRECTIONS)
+        assert spec.arrival_key(came_from) == came_from
+
+
+@pytest.mark.parametrize("seed", [8, 9])
+def test_default_injection_rule_is_a_function_of_profitable_set(seed):
+    """Equal profitable sets -> equal injection queue, across many draws.
+    This is what makes the rule legal for destination-exchangeable
+    algorithms: it cannot depend on anything but the profitable set."""
+    rng = random.Random(seed)
+    seen = {}
+    for _ in range(CASES):
+        profitable = random_profitable(rng)
+        key = default_incoming_initial_key(profitable)
+        assert key in DIRECTIONS
+        if profitable in seen:
+            assert seen[profitable] == key
+        seen[profitable] = key
+    # All four horizontal/vertical priorities exercised at least once.
+    assert len(seen) >= 4
+
+
+@pytest.mark.parametrize("seed", [10, 11])
+def test_default_injection_rule_opposes_travel(seed):
+    """The injected packet sits in the queue of the inlink it would have
+    arrived on: the chosen queue is the opposite of a profitable outlink,
+    with the horizontal axis taking priority (dimension-order idiom)."""
+    rng = random.Random(seed)
+    for _ in range(CASES):
+        profitable = random_profitable(rng)
+        key = default_incoming_initial_key(profitable)
+        horizontal = {d for d in profitable if d.is_horizontal}
+        if horizontal:
+            assert key == next(iter(horizontal)).opposite
+        elif profitable:
+            assert key == next(iter(profitable)).opposite
+        else:
+            assert key == Direction.S  # delivered-at-source sentinel
+
+
+def test_spec_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        QueueSpec(0)
+    with pytest.raises(ValueError):
+        QueueSpec(-3, KIND_INCOMING)
+    with pytest.raises(ValueError):
+        QueueSpec(1, "sideways")
+
+
+def test_custom_initial_key_is_used_for_incoming_only():
+    spec = QueueSpec(2, KIND_INCOMING, initial_key=lambda prof: Direction.N)
+    assert spec.initial_key(frozenset()) == Direction.N
+    central = QueueSpec(2, KIND_CENTRAL, initial_key=lambda prof: Direction.N)
+    assert central.initial_key(frozenset()) == CENTRAL

@@ -1,0 +1,141 @@
+"""Seeded-fuzz properties of the packet-view layer (Section 2 visibility).
+
+Each test draws hundreds of random (topology, packet) cases from fixed
+seeds and asserts the structural guarantees the lower bound relies on:
+destination-exchangeable views never leak the destination, and exchanging
+the destinations of two packets with equal profitable sets produces
+indistinguishable views (Lemma 10, as code).
+"""
+
+import random
+
+import pytest
+
+from repro.mesh import Mesh, Packet, Torus
+from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.visibility import FullPacketView, Offer, PacketView
+
+CASES = 250
+
+
+def random_topology(rng):
+    cls = rng.choice([Mesh, Torus])
+    return cls(rng.randint(2, 7), rng.randint(2, 7))
+
+
+def random_node(rng, topology):
+    return (rng.randrange(topology.width), rng.randrange(topology.height))
+
+
+def random_case(rng):
+    """One (topology, packet-at-node, profitable-set) sample."""
+    topology = random_topology(rng)
+    node = random_node(rng, topology)
+    dest = random_node(rng, topology)
+    packet = Packet(rng.randrange(10_000), node, dest)
+    profitable = topology.profitable_directions(node, dest)
+    return topology, node, packet, profitable
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_view_never_exposes_destination(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES):
+        _, _, packet, profitable = random_case(rng)
+        view = PacketView(packet, frozenset(profitable))
+        assert not hasattr(view, "dest")
+        assert not hasattr(view, "displacement")
+        # __slots__ everywhere: no writable __dict__ to smuggle state through.
+        assert not hasattr(view, "__dict__")
+        assert view.key == packet.pid
+        assert view.source == packet.source
+
+
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_profitable_set_matches_topology(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES):
+        topology, node, packet, profitable = random_case(rng)
+        view = PacketView(packet, frozenset(profitable))
+        # Every profitable direction strictly decreases distance.
+        d0 = topology.distance(node, packet.dest)
+        for direction in view.profitable:
+            nxt = topology.neighbor(node, direction)
+            assert nxt is not None
+            assert topology.distance(nxt, packet.dest) == d0 - 1
+        # And every distance-decreasing outlink is profitable.
+        for direction in topology.out_directions(node):
+            nxt = topology.neighbor(node, direction)
+            if topology.distance(nxt, packet.dest) == d0 - 1:
+                assert direction in view.profitable
+
+
+@pytest.mark.parametrize("seed", [6, 7, 8])
+def test_exchanged_destinations_yield_identical_views(seed):
+    """Lemma 10: swap dests of two co-located packets with equal profitable
+    sets; the destination-exchangeable views are indistinguishable."""
+    rng = random.Random(seed)
+    found = 0
+    while found < CASES:
+        topology, node, p1, prof1 = random_case(rng)
+        dest2 = random_node(rng, topology)
+        p2 = Packet(p1.pid, node, dest2)
+        if topology.profitable_directions(node, dest2) != prof1:
+            continue
+        found += 1
+        before = (PacketView(p1, frozenset(prof1)).key,
+                  PacketView(p1, frozenset(prof1)).source,
+                  PacketView(p1, frozenset(prof1)).profitable)
+        p1.exchange_destinations(p2)
+        after_view = PacketView(p1, frozenset(
+            topology.profitable_directions(node, p1.dest)))
+        assert (after_view.key, after_view.source, after_view.profitable) == before
+
+
+@pytest.mark.parametrize("seed", [9, 10])
+def test_full_view_exposes_consistent_displacement(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES):
+        topology, node, packet, profitable = random_case(rng)
+        disp = topology.displacement(node, packet.dest)
+        view = FullPacketView(packet, frozenset(profitable), disp)
+        assert view.dest == packet.dest
+        assert abs(disp[0]) + abs(disp[1]) == topology.distance(node, packet.dest)
+        # Sign of the displacement agrees with the profitable directions.
+        if disp[0] > 0:
+            assert Direction.E in view.profitable
+        if disp[0] < 0:
+            assert Direction.W in view.profitable
+        if disp[1] > 0:
+            assert Direction.N in view.profitable
+        if disp[1] < 0:
+            assert Direction.S in view.profitable
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_state_writes_reach_the_packet(seed):
+    rng = random.Random(seed)
+    for i in range(CASES):
+        _, _, packet, profitable = random_case(rng)
+        view = PacketView(packet, frozenset(profitable))
+        view.state = ("turn", i)
+        assert packet.state == ("turn", i)
+        assert PacketView(packet, frozenset(profitable)).state == ("turn", i)
+
+
+@pytest.mark.parametrize("seed", [13, 14])
+def test_offer_measures_profitable_from_sender(seed):
+    rng = random.Random(seed)
+    cases = 0
+    while cases < CASES:
+        topology, node, packet, _ = random_case(rng)
+        came_from = rng.choice(DIRECTIONS)
+        sender = topology.neighbor(node, came_from)
+        if sender is None:
+            continue
+        cases += 1
+        prof = frozenset(topology.profitable_directions(sender, packet.dest))
+        offer = Offer(PacketView(packet, prof), came_from, sender)
+        assert offer.sender == sender
+        assert offer.came_from == came_from
+        assert offer.view.profitable == prof

@@ -6,6 +6,8 @@ numbers, that is a *behavioural* change and must be deliberate (update the
 pin in the same change that explains why).
 """
 
+import pytest
+
 from repro.core import AdaptiveLowerBoundConstruction, replay_constructed_permutation
 from repro.core.constants import (
     AdaptiveConstants,
@@ -21,7 +23,12 @@ from repro.routing import (
     HotPotatoRouter,
 )
 from repro.tiling import Section6Router
-from repro.workloads import random_permutation, transpose_permutation
+from repro.verify import REGISTRY
+from repro.workloads import (
+    bit_reversal_permutation,
+    random_permutation,
+    transpose_permutation,
+)
 
 
 class TestGoldenConstants:
@@ -98,3 +105,69 @@ class TestGoldenRuns:
         )
         assert report.configuration_matches
         assert report.total_steps == 212
+
+
+#: Pinned step counts for every registered router on the two classic
+#: structured permutations.  Routers are built by the repro.verify registry
+#: at k=1, which applies the capacity floors each algorithm needs to route
+#: permutations at all (dor gets a central queue of 4; the adaptive family
+#: gets incoming queues of 2; bounded-dor/farthest-first run at the true
+#: k=1; randomized-adaptive is seeded with 0).  Interesting structure: on
+#: bit-reversal all eight agree exactly (traffic is so spread out nothing
+#: ever queues), while transpose separates the diagonal-crossing behaviours
+#: into three groups.
+GOLDEN_STEPS = {
+    ("transpose", 8): {
+        "dor": 14,
+        "bounded-dor": 20,
+        "farthest-first": 20,
+        "greedy-adaptive": 14,
+        "alternating-adaptive": 14,
+        "hot-potato": 14,
+        "randomized-adaptive": 15,
+        "bounded-excursion": 14,
+    },
+    ("transpose", 16): {
+        "dor": 30,
+        "bounded-dor": 44,
+        "farthest-first": 44,
+        "greedy-adaptive": 30,
+        "alternating-adaptive": 30,
+        "hot-potato": 30,
+        "randomized-adaptive": 30,
+        "bounded-excursion": 30,
+    },
+    ("bit-reversal", 8): {name: 6 for name in (
+        "dor", "bounded-dor", "farthest-first", "greedy-adaptive",
+        "alternating-adaptive", "hot-potato", "randomized-adaptive",
+        "bounded-excursion",
+    )},
+    ("bit-reversal", 16): {name: 18 for name in (
+        "dor", "bounded-dor", "farthest-first", "greedy-adaptive",
+        "alternating-adaptive", "hot-potato", "randomized-adaptive",
+        "bounded-excursion",
+    )},
+}
+
+_WORKLOAD_GENERATORS = {
+    "transpose": transpose_permutation,
+    "bit-reversal": bit_reversal_permutation,
+}
+
+
+class TestGoldenStepTables:
+    @pytest.mark.parametrize(
+        "workload,n", sorted(GOLDEN_STEPS), ids=lambda v: str(v)
+    )
+    def test_all_routers_pinned(self, workload, n):
+        table = GOLDEN_STEPS[(workload, n)]
+        assert set(table) == set(REGISTRY), "table must cover every router"
+        mesh = Mesh(n)
+        packets_source = _WORKLOAD_GENERATORS[workload]
+        actual = {}
+        for name, entry in REGISTRY.items():
+            sim = Simulator(mesh, entry.factory(1, 0), packets_source(mesh))
+            result = sim.run(100_000)
+            assert result.completed, f"{name} stalled on {workload} n={n}"
+            actual[name] = result.steps
+        assert actual == table

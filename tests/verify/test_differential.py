@@ -1,0 +1,199 @@
+"""Differential runner: registry, cross-checks, probes, and harness glue."""
+
+import pytest
+
+from repro.harness.execute import execute_trial
+from repro.harness.specs import ROUTE_ALGORITHMS, TrialSpec
+from repro.mesh import Mesh
+from repro.verify import (
+    REGISTRY,
+    RouterEntry,
+    build_instance,
+    cross_check,
+    exchangeability_probe,
+    reflect_instance,
+    run_verification,
+    section6_probe,
+    transpose_instance,
+)
+from repro.workloads import random_permutation
+
+
+class TestRegistry:
+    def test_every_route_algorithm_is_registered(self):
+        assert set(REGISTRY) == set(ROUTE_ALGORITHMS)
+
+    def test_factories_build_fresh_instances(self):
+        for entry in REGISTRY.values():
+            a, b = entry.factory(1, 0), entry.factory(1, 0)
+            assert a is not b
+            assert a.name == b.name
+
+    def test_dor_expectation_encodes_hh_deadlock(self):
+        assert not REGISTRY["dor"].expects_completion("hh")
+        assert REGISTRY["dor"].expects_completion("permutation")
+        assert REGISTRY["bounded-dor"].expects_completion("hh")
+
+
+class TestInstances:
+    def test_families_deterministic_in_seed(self):
+        for family in ("permutation", "hh", "torus", "dynamic"):
+            _, a = build_instance(family, 6, 3)
+            _, b = build_instance(family, 6, 3)
+            assert [(p.pid, p.source, p.dest, p.injection_time) for p in a] == [
+                (p.pid, p.source, p.dest, p.injection_time) for p in b
+            ]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            build_instance("nope", 6, 0)
+
+    def test_transpose_is_involution(self):
+        mesh = Mesh(5)
+        packets = random_permutation(mesh, seed=0)
+        _, once = transpose_instance(mesh, packets)
+        _, twice = transpose_instance(mesh, once)
+        assert [(p.source, p.dest) for p in twice] == [
+            (p.source, p.dest) for p in packets
+        ]
+
+    def test_reflect_is_involution_and_in_bounds(self):
+        mesh = Mesh(5)
+        packets = random_permutation(mesh, seed=1)
+        _, once = reflect_instance(mesh, packets)
+        assert all(mesh.contains(p.source) and mesh.contains(p.dest) for p in once)
+        _, twice = reflect_instance(mesh, once)
+        assert [(p.source, p.dest) for p in twice] == [
+            (p.source, p.dest) for p in packets
+        ]
+
+
+class TestCrossCheck:
+    def test_permutation_cell_clean(self):
+        report = cross_check("permutation", 6, 1, 0, mode="record")
+        assert report.ok, report.findings
+        assert set(report.outcomes) == set(REGISTRY)
+        # Base + determinism rerun + 2 metamorphic images per router.
+        assert report.runs == 4 * len(REGISTRY)
+
+    def test_hh_cell_records_expected_dor_stall(self):
+        report = cross_check("hh", 8, 1, 1, mode="record")
+        assert report.ok, report.findings
+        assert "dor" in report.stalls
+
+    def test_broken_router_becomes_finding(self):
+        from repro.routing import GreedyAdaptiveRouter
+
+        class Overflower(GreedyAdaptiveRouter):
+            name = "broken"
+
+            def inqueue(self, ctx, offers):
+                free = (self.queue_spec.capacity + 1) - ctx.total_occupancy
+                return list(offers)[: max(free, 0)]
+
+        REGISTRY["broken"] = RouterEntry("broken", lambda k, s: Overflower(k))
+        try:
+            report = cross_check(
+                "permutation", 6, 1, 0, routers=["broken"], mode="record",
+                metamorphic=False,
+            )
+        finally:
+            del REGISTRY["broken"]
+        assert not report.ok
+        assert any("QueueOverflow" in f or "queue" in f for f in report.findings)
+
+    def test_metrics_payload_is_json_serializable(self):
+        import json
+
+        report = cross_check(
+            "permutation", 6, 1, 0, routers=["bounded-dor"], mode="record"
+        )
+        payload = json.dumps(report.to_metrics())
+        assert "bounded-dor" in payload
+
+
+class TestProbes:
+    def test_exchangeability_probe_clean(self):
+        assert exchangeability_probe("adaptive", n=60, k=1) == []
+
+    def test_exchangeability_probe_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            exchangeability_probe("nope")
+
+    def test_section6_probe_clean(self):
+        assert section6_probe(n=27, seed=0) == []
+
+
+class TestHarnessIntegration:
+    def test_verify_trial_spec_validates(self):
+        spec = TrialSpec(kind="verify", n=8, k=1, workload="permutation")
+        spec.validate()
+        with pytest.raises(ValueError):
+            TrialSpec(kind="verify", n=8, workload="transpose").validate()
+        with pytest.raises(ValueError):
+            TrialSpec(
+                kind="verify", n=8, workload="permutation", algorithm="nope"
+            ).validate()
+
+    def test_execute_verify_trial(self):
+        spec = TrialSpec(
+            kind="verify", n=6, k=1, workload="permutation", algorithm="bounded-dor"
+        )
+        metrics = execute_trial(spec)
+        assert metrics["ok"] and metrics["violations"] == 0
+        assert metrics["routers"] == 1
+
+    def test_fuzz_verify_spec_loads(self):
+        import pathlib
+
+        from repro.harness import CampaignSpec
+
+        spec_path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "specs" / "fuzz_verify.json"
+        )
+        campaign = CampaignSpec.from_file(spec_path)
+        assert campaign.name == "fuzz_verify"
+        assert all(t.kind == "verify" for t in campaign.trials)
+        assert len(campaign.trials) >= 30
+
+
+class TestRunVerification:
+    def test_small_sweep_clean(self):
+        report = run_verification(
+            families=("permutation",),
+            sizes=(6,),
+            ks=(1,),
+            seeds=(0,),
+            routers=["bounded-dor", "greedy-adaptive"],
+            probes=False,
+        )
+        assert report.ok
+        assert report.runs == 8  # 2 routers x (base + rerun + 2 images)
+
+
+class TestVerifyCli:
+    def test_smoke_subset_exits_zero(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "verify",
+                "--families", "permutation",
+                "--n", "6",
+                "--k", "1",
+                "--seeds", "1",
+                "--routers", "bounded-dor", "hot-potato",
+                "--no-probes",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verify PASS" in out
+
+    def test_unknown_family_exits_with_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["verify", "--families", "bogus", "--quiet"])

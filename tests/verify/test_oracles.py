@@ -1,0 +1,227 @@
+"""The oracle layer catches deliberately broken routers.
+
+Every test here runs with ``validate=False`` where it matters, proving the
+oracles re-derive the paper's invariants independently of the simulator's
+own enforcement -- a regression in either layer is caught by the other.
+"""
+
+import pytest
+
+from repro.mesh import Mesh, Packet, Simulator
+from repro.mesh.directions import Direction
+from repro.mesh.errors import QueueOverflowError
+from repro.routing import BoundedDimensionOrderRouter, GreedyAdaptiveRouter
+from repro.verify import (
+    InvariantChecker,
+    MinimalityOracle,
+    PacketConservationOracle,
+    QueueBoundOracle,
+    StepBoundOracle,
+    VerificationError,
+    attach_checker,
+    default_oracles,
+)
+from repro.workloads import random_permutation
+
+
+class OverflowingRouter(GreedyAdaptiveRouter):
+    """Deliberately broken: accepts one packet more than the queue holds."""
+
+    name = "broken-overflow"
+
+    def inqueue(self, ctx, offers):
+        free = (self.queue_spec.capacity + 1) - ctx.total_occupancy
+        return list(offers)[: max(free, 0)]
+
+
+class NonMinimalLiar(GreedyAdaptiveRouter):
+    """Claims minimality but schedules the first packet unprofitably."""
+
+    name = "broken-nonminimal"
+
+    def outqueue(self, ctx):
+        for view in ctx.packets:
+            for d in ctx.out_directions:
+                if d not in view.profitable:
+                    return {d: view}
+        return super().outqueue(ctx)
+
+
+def converging_packets():
+    # Four packets converge on (1,1); an accept-all inqueue overflows k=1.
+    return [
+        Packet(0, (0, 1), (7, 1)),
+        Packet(1, (1, 0), (1, 7)),
+        Packet(2, (2, 1), (0, 1)),
+        Packet(3, (1, 2), (1, 0)),
+    ]
+
+
+class TestQueueBoundOracle:
+    def test_broken_router_caught_by_oracle_alone(self):
+        """The acceptance scenario: queue bound k+1, simulator enforcement
+        off, the oracle layer still catches it."""
+        sim = Simulator(
+            Mesh(8), OverflowingRouter(1), converging_packets(), validate=False
+        )
+        checker = attach_checker(sim, [QueueBoundOracle()], mode="strict")
+        with pytest.raises(VerificationError) as exc_info:
+            sim.run(10)
+        assert "queue-bound" in str(exc_info.value)
+        assert not checker.ok
+
+    def test_simulator_raises_typed_structured_overflow(self):
+        """With validation on, the simulator raises first -- and the typed
+        exception carries node/queue/occupancy/capacity for tests."""
+        sim = Simulator(Mesh(8), OverflowingRouter(1), converging_packets())
+        with pytest.raises(QueueOverflowError) as exc_info:
+            sim.run(10)
+        err = exc_info.value
+        assert err.node == (1, 1)
+        assert err.occupancy == err.capacity + 1
+        assert err.capacity == 1
+        assert err.algorithm == "broken-overflow"
+
+    def test_record_mode_collects_instead_of_raising(self):
+        sim = Simulator(
+            Mesh(8), OverflowingRouter(1), converging_packets(), validate=False
+        )
+        checker = attach_checker(sim, [QueueBoundOracle()], mode="record")
+        sim.run(5)
+        assert checker.counters["queue-bound"] >= 1
+        assert all(v.oracle == "queue-bound" for v in checker.violations)
+
+    def test_off_mode_attaches_nothing(self):
+        sim = Simulator(
+            Mesh(8), OverflowingRouter(1), converging_packets(), validate=False
+        )
+        checker = attach_checker(sim, [QueueBoundOracle()], mode="off")
+        sim.run(5)
+        assert checker.ok
+        assert not sim.pre_step_hooks and not sim.post_step_hooks
+
+    def test_clean_router_is_clean(self):
+        mesh = Mesh(8)
+        sim = Simulator(
+            mesh, GreedyAdaptiveRouter(2, "incoming"), random_permutation(mesh, seed=0)
+        )
+        checker = attach_checker(sim, default_oracles(sim), mode="strict")
+        result = sim.run(5_000)
+        checker.finish()
+        assert result.completed
+        assert checker.ok
+
+
+class TestMinimalityOracle:
+    def test_nonminimal_liar_caught(self):
+        mesh = Mesh(6)
+        # One packet that gets deflected unprofitably on step 1.
+        sim = Simulator(
+            mesh, NonMinimalLiar(2), [Packet(0, (5, 5), (5, 4))], validate=False
+        )
+        checker = attach_checker(sim, [MinimalityOracle()], mode="record")
+        sim.run(3)
+        assert any("not a profitable move" in v.message for v in checker.violations)
+
+    def test_minimal_router_distance_monotone_clean(self):
+        mesh = Mesh(8)
+        sim = Simulator(
+            mesh, BoundedDimensionOrderRouter(1), random_permutation(mesh, seed=3)
+        )
+        checker = attach_checker(sim, [MinimalityOracle()], mode="strict")
+        assert sim.run(5_000).completed
+        assert checker.ok
+
+
+class TestConservationOracle:
+    def test_clean_run_conserves(self):
+        mesh = Mesh(6)
+        sim = Simulator(
+            mesh, GreedyAdaptiveRouter(4), random_permutation(mesh, seed=1)
+        )
+        checker = attach_checker(sim, [PacketConservationOracle()], mode="strict")
+        assert sim.run(5_000).completed
+        assert checker.ok
+
+    def test_detects_duplicated_packet(self):
+        mesh = Mesh(6)
+        sim = Simulator(
+            mesh, GreedyAdaptiveRouter(4), [Packet(0, (0, 0), (3, 3))], validate=False
+        )
+        checker = attach_checker(sim, [PacketConservationOracle()], mode="record")
+        sim.step()
+        # Corrupt the state behind the simulator's back: clone a packet.
+        p = next(sim.iter_packets())
+        for node_queues in sim.queues.values():
+            for q in node_queues.values():
+                if q:
+                    q.append(p.copy())
+                    break
+        sim.step()
+        assert any("occupies two queues" in v.message for v in checker.violations) or any(
+            "in-flight counter" in v.message for v in checker.violations
+        )
+
+
+class TestStepBoundOracle:
+    def test_theorem15_budget_enforced(self):
+        mesh = Mesh(8)
+        router = BoundedDimensionOrderRouter(1)
+        bound = router.permutation_step_bound(8)
+        sim = Simulator(mesh, router, random_permutation(mesh, seed=0))
+        checker = attach_checker(sim, [StepBoundOracle(bound)], mode="strict")
+        result = sim.run(bound)
+        checker.finish()
+        assert result.completed and checker.ok
+
+    def test_absurdly_small_bound_fires(self):
+        mesh = Mesh(8)
+        sim = Simulator(
+            mesh, BoundedDimensionOrderRouter(1), random_permutation(mesh, seed=0)
+        )
+        checker = attach_checker(sim, [StepBoundOracle(1)], mode="record")
+        sim.run(50)
+        assert checker.counters.get("step-bound", 0) >= 1
+
+    def test_distance_floor_checked_at_finish(self):
+        mesh = Mesh(8)
+        sim = Simulator(
+            mesh, BoundedDimensionOrderRouter(1), random_permutation(mesh, seed=0)
+        )
+        checker = attach_checker(sim, [StepBoundOracle(None)], mode="strict")
+        sim.run(5_000)
+        checker.finish()
+        assert checker.ok
+        # Corrupt a delivery time below the floor; finish() must object.
+        pid = next(iter(sim.delivery_times))
+        sim.delivery_times[pid] = 0
+        checker2 = InvariantChecker(sim, [], mode="record")
+        oracle = StepBoundOracle(None)
+        oracle._floor = {pid: 1}
+        checker2.oracles = [oracle]
+        oracle.on_finish(checker2, sim)
+        assert checker2.violations
+
+
+class TestContractMetadata:
+    def test_bounded_dor_contract(self):
+        c = BoundedDimensionOrderRouter(2).contract(16)
+        assert c.minimal and c.destination_exchangeable
+        assert c.excursion_delta == 0
+        assert c.queue_kind == "incoming" and c.queue_capacity == 2
+        from repro.core.bounds import theorem15_upper_bound
+
+        assert c.step_bound == theorem15_upper_bound(16, 2)
+
+    def test_unbounded_and_delta_contracts(self):
+        from repro.routing import BoundedExcursionRouter, HotPotatoRouter
+
+        assert HotPotatoRouter().contract(8).excursion_delta is None
+        assert BoundedExcursionRouter(2, 3).contract(8).excursion_delta == 3
+        assert GreedyAdaptiveRouter(2).contract(8).step_bound is None
+
+    def test_checker_rejects_bad_mode(self):
+        mesh = Mesh(4)
+        sim = Simulator(mesh, GreedyAdaptiveRouter(2), [])
+        with pytest.raises(ValueError):
+            attach_checker(sim, [], mode="loose")

@@ -48,3 +48,54 @@ class TestDynamicHH:
         result = Simulator(mesh, BoundedDimensionOrderRouter(k), packets).run(100_000)
         assert result.completed
         assert result.max_queue_len <= k
+
+
+class TestEdgeCases:
+    def test_h1_is_a_permutation(self):
+        """h=1 degenerates to a single random permutation."""
+        mesh = Mesh(5)
+        packets = random_hh_problem(mesh, 1, seed=4)
+        assert len(packets) == mesh.num_nodes
+        assert {p.source for p in packets} == set(mesh.nodes())
+        assert {p.dest for p in packets} == set(mesh.nodes())
+        assert all(p.injection_time == 0 for p in packets)
+
+    def test_h1_dynamic_equals_static_times(self):
+        mesh = Mesh(4)
+        packets = dynamic_hh_problem(mesh, 1, spacing=7, seed=0)
+        assert all(p.injection_time == 0 for p in packets)
+
+    def test_h_equals_k_static_fits_and_routes(self):
+        """h=k is the boundary: a static h-h problem exactly fills the
+        source queues, and Theorem 15's router still drains it."""
+        mesh = Mesh(5)
+        h = k = 3
+        packets = random_hh_problem(mesh, h, seed=6)
+        result = Simulator(mesh, BoundedDimensionOrderRouter(k), packets).run(50_000)
+        assert result.completed
+        assert result.max_queue_len <= k
+
+    def test_n2_smallest_mesh(self):
+        """n=2: four nodes, all pairs at distance <= 2; both generators
+        stay well-formed and the problem routes."""
+        mesh = Mesh(2)
+        packets = random_hh_problem(mesh, 2, seed=1)
+        assert len(packets) == 8
+        sends = Counter(p.source for p in packets)
+        recvs = Counter(p.dest for p in packets)
+        assert all(c == 2 for c in sends.values())
+        assert all(c == 2 for c in recvs.values())
+        result = Simulator(mesh, BoundedDimensionOrderRouter(2), packets).run(10_000)
+        assert result.completed
+
+    def test_n2_dynamic_spacing_zero_collapses_to_static(self):
+        mesh = Mesh(2)
+        packets = dynamic_hh_problem(mesh, 3, spacing=0, seed=2)
+        assert {p.injection_time for p in packets} == {0}
+
+    def test_round_structure_of_pids(self):
+        """Round r owns pids [r*n^2, (r+1)*n^2) and injects at r*spacing."""
+        mesh = Mesh(3)
+        packets = dynamic_hh_problem(mesh, 4, spacing=3, seed=8)
+        for p in packets:
+            assert p.injection_time == (p.pid // mesh.num_nodes) * 3
