@@ -1,12 +1,23 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench examples figures outputs clean
+.PHONY: install test bench examples figures outputs analyze typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	python -m pytest tests/
+
+# Static deadlock (CDG) + determinism (lint) analysis; fails on any
+# disagreement with the runtime expectation table or new lint violation.
+analyze:
+	PYTHONPATH=src python -m repro analyze all
+
+# mypy --strict slice (see [tool.mypy] in pyproject.toml).  mypy is a dev
+# dependency; CI installs it, locally it is optional.
+typecheck:
+	@command -v mypy >/dev/null || { echo "mypy not installed; pip install mypy"; exit 1; }
+	mypy --config-file pyproject.toml
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,60 @@
+"""Static deadlock & determinism analysis (see ``docs/ANALYSIS.md``).
+
+Two engines, wired into ``python -m repro analyze [cdg|lint|all]``:
+
+- :mod:`repro.analysis.static_check.cdg` -- builds the channel-dependency
+  graph of every registered router on the mesh and the torus from its
+  symbolic :class:`~repro.mesh.transitions.TransitionModel`, runs cycle
+  detection, and emits a ``DEADLOCK_FREE`` / ``CYCLIC`` / ``UNKNOWN``
+  verdict per (router, topology, n, k), cross-checked against the
+  differential runner's deadlock expectation table.
+- :mod:`repro.analysis.static_check.lint` -- an AST lint pass enforcing the
+  simulator's reproducibility contract: no unseeded RNG, no wall clock in
+  step logic, no bare asserts for runtime invariants, no iteration over
+  unordered sets where order reaches packet scheduling.  Pre-existing
+  violations live in a checked-in baseline
+  (:mod:`repro.analysis.static_check.baseline`).
+"""
+
+from repro.analysis.static_check.cdg import (
+    CYCLIC,
+    DEADLOCK_FREE,
+    UNKNOWN,
+    CdgVerdict,
+    Channel,
+    analyze_registry,
+    analyze_router,
+    build_cdg,
+    check_agreement,
+    find_witness_cycle,
+    tarjan_scc,
+)
+from repro.analysis.static_check.lint import LintViolation, run_lint, lint_source, RULES
+from repro.analysis.static_check.baseline import (
+    baseline_path,
+    diff_against_baseline,
+    load_baseline,
+    save_baseline,
+)
+
+__all__ = [
+    "CYCLIC",
+    "DEADLOCK_FREE",
+    "UNKNOWN",
+    "CdgVerdict",
+    "Channel",
+    "analyze_registry",
+    "analyze_router",
+    "build_cdg",
+    "check_agreement",
+    "find_witness_cycle",
+    "tarjan_scc",
+    "LintViolation",
+    "RULES",
+    "run_lint",
+    "lint_source",
+    "baseline_path",
+    "diff_against_baseline",
+    "load_baseline",
+    "save_baseline",
+]

@@ -1,0 +1,95 @@
+"""Checked-in lint baseline: CI fails on *new* violations only.
+
+The baseline records the fingerprints (rule, path, stripped code line) of
+violations that predate the lint, with a count per fingerprint.  The diff
+against it classifies a fresh scan into ``new`` (fail CI) and ``fixed``
+(fingerprints in the baseline that no longer fire -- prune them with
+``python -m repro analyze lint --update-baseline``).  Keying on the code
+line rather than the line number keeps the baseline stable across
+unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.static_check.lint import LintViolation
+
+Fingerprint = Tuple[str, str, str]  # (rule, path, code)
+
+#: Baseline file format version.
+_VERSION = 1
+
+
+def baseline_path(root: Path | str | None = None) -> Path:
+    """The canonical baseline location (next to this module)."""
+    if root is not None:
+        return (
+            Path(root)
+            / "src"
+            / "repro"
+            / "analysis"
+            / "static_check"
+            / "baseline.json"
+        )
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: Path | str | None = None) -> Counter[Fingerprint]:
+    """Fingerprint counts from the baseline file; empty when absent."""
+    target = Path(path) if path is not None else baseline_path()
+    if not target.exists():
+        return Counter()
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"{target}: unsupported baseline version {version!r} "
+            f"(expected {_VERSION})"
+        )
+    counts: Counter[Fingerprint] = Counter()
+    for entry in payload.get("entries", []):
+        counts[(entry["rule"], entry["path"], entry["code"])] += int(
+            entry.get("count", 1)
+        )
+    return counts
+
+
+def save_baseline(
+    violations: Iterable[LintViolation], path: Path | str | None = None
+) -> Path:
+    """Write the violations' fingerprints as the new baseline."""
+    target = Path(path) if path is not None else baseline_path()
+    counts: Counter[Fingerprint] = Counter(v.fingerprint for v in violations)
+    entries: List[Dict[str, object]] = [
+        {"rule": rule, "path": rel, "code": code, "count": count}
+        for (rule, rel, code), count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def diff_against_baseline(
+    violations: Iterable[LintViolation], path: Path | str | None = None
+) -> Tuple[List[LintViolation], List[Fingerprint]]:
+    """Split a scan into (new violations, fixed baseline fingerprints).
+
+    A fingerprint seen more often than the baseline allows contributes its
+    excess occurrences to ``new`` (so duplicating a baselined bad line still
+    fails); baseline fingerprints no longer seen at all come back in
+    ``fixed`` so the baseline can be pruned.
+    """
+    budget = load_baseline(path)
+    seen: Counter[Fingerprint] = Counter()
+    new: List[LintViolation] = []
+    for violation in sorted(violations, key=lambda v: (v.path, v.line, v.col)):
+        fingerprint = violation.fingerprint
+        seen[fingerprint] += 1
+        if seen[fingerprint] > budget.get(fingerprint, 0):
+            new.append(violation)
+    fixed = sorted(fp for fp in budget if seen.get(fp, 0) == 0)
+    return new, fixed

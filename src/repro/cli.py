@@ -10,6 +10,13 @@ Subcommands:
   (oracle battery + metamorphic images + EX-swap probes, see docs/VERIFY.md)
 - ``campaign``    -- run/inspect declarative experiment campaigns
   (``campaign run|status|show``, see docs/HARNESS.md)
+- ``analyze``     -- static deadlock & determinism analysis
+  (``analyze cdg|lint|all``, see docs/ANALYSIS.md)
+
+Exit codes are uniform across subcommands: 0 success, 1 the command ran but
+found failures (stalled routing, verification findings, new lint
+violations, CDG disagreements), 2 bad arguments (argparse errors and
+semantic argument validation alike).
 
 Example::
 
@@ -17,6 +24,7 @@ Example::
     python -m repro route --algorithm bounded-dor --n 32 --k 2 --workload transpose
     python -m repro section6 --n 81 --workload random
     python -m repro campaign run benchmarks/specs/smoke.json --workers 4
+    python -m repro analyze all
 """
 
 from __future__ import annotations
@@ -56,13 +64,19 @@ ALGORITHMS: dict[str, Callable[[argparse.Namespace], object]] = {
 }
 
 
+def _usage_error(message: str) -> SystemExit:
+    """Bad arguments: message on stderr, exit code 2 (matches argparse)."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def make_workload(name: str, topology, seed: int):
     from repro.harness.execute import build_workload
 
     try:
         return build_workload(name, topology, seed)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise _usage_error(str(exc))
 
 
 def cmd_route(args: argparse.Namespace) -> int:
@@ -189,7 +203,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.families:
         unknown = set(args.families) - set(FAMILIES)
         if unknown:
-            raise SystemExit(f"unknown families {sorted(unknown)}; expected {FAMILIES}")
+            raise _usage_error(
+                f"unknown families {sorted(unknown)}; expected {FAMILIES}"
+            )
         families = tuple(args.families)
     if args.n:
         sizes = tuple(args.n)
@@ -200,7 +216,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.routers:
         unknown = set(args.routers) - set(REGISTRY)
         if unknown:
-            raise SystemExit(
+            raise _usage_error(
                 f"unknown routers {sorted(unknown)}; expected {sorted(REGISTRY)}"
             )
 
@@ -260,9 +276,9 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     try:
         campaign = CampaignSpec.from_file(args.spec)
     except (OSError, ValueError) as exc:
-        raise SystemExit(f"cannot load campaign spec: {exc}")
+        raise _usage_error(f"cannot load campaign spec: {exc}")
     if args.resume and not _campaign_store(args).cache_dir.exists():
-        raise SystemExit(
+        raise _usage_error(
             f"--resume: no cache under {args.campaign_dir}; nothing to resume"
         )
     try:
@@ -275,7 +291,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             progress=not args.quiet,
         )
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise _usage_error(str(exc))
     telemetry = run.manifest["telemetry"]
     print(
         f"campaign {run.name}: {run.ok}/{len(run.results)} ok "
@@ -298,7 +314,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     try:
         manifest = store.read_manifest(_campaign_name(args))
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise _usage_error(str(exc))
     print(summarize_manifest(manifest))
     return 0
 
@@ -310,9 +326,96 @@ def cmd_campaign_show(args: argparse.Namespace) -> int:
     try:
         rows = store.read_results(_campaign_name(args))
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise _usage_error(str(exc))
     print(summarize_rows(rows))
     return 0
+
+
+def _repo_root(args: argparse.Namespace) -> "object":
+    import pathlib
+
+    if args.root is not None:
+        return pathlib.Path(args.root)
+    import repro
+
+    # src/repro/__init__.py -> src/repro -> src -> repo root.
+    return pathlib.Path(repro.__file__).resolve().parents[2]
+
+
+def _analyze_cdg(args: argparse.Namespace) -> int:
+    from repro.analysis.static_check import analyze_registry, check_agreement
+    from repro.analysis.static_check.cdg import CYCLIC, TOPOLOGIES
+
+    topologies = tuple(args.topologies) if args.topologies else TOPOLOGIES
+    try:
+        verdicts = analyze_registry(
+            ns=tuple(args.n), ks=tuple(args.k),
+            topologies=topologies, routers=args.routers or None,
+        )
+    except ValueError as exc:
+        raise _usage_error(str(exc))
+    if args.json:
+        import json
+
+        print(json.dumps([v.to_dict() for v in verdicts], indent=2))
+    else:
+        for v in verdicts:
+            line = (
+                f"{v.router:<22} {v.topology:<5} n={v.n:<3} k={v.k} "
+                f"{v.verdict:<14} channels={v.channels} edges={v.edges}"
+            )
+            if v.verdict == CYCLIC:
+                line += "  witness: " + " -> ".join(str(c) for c in v.witness)
+            print(line)
+    findings = check_agreement(verdicts)
+    for finding in findings:
+        print(f"DISAGREEMENT: {finding}")
+    verdict = "PASS" if not findings else "FAIL"
+    print(
+        f"analyze cdg {verdict}: {len(verdicts)} verdicts, "
+        f"{len(findings)} disagreement(s) with the runtime expectation table"
+    )
+    return 0 if not findings else 1
+
+
+def _analyze_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.static_check import (
+        diff_against_baseline,
+        run_lint,
+        save_baseline,
+    )
+
+    root = _repo_root(args)
+    try:
+        violations = run_lint(root)
+    except ValueError as exc:
+        raise _usage_error(str(exc))
+    if args.update_baseline:
+        path = save_baseline(violations)
+        print(f"analyze lint: baseline updated ({len(violations)} entries) at {path}")
+        return 0
+    new, fixed = diff_against_baseline(violations)
+    for violation in new:
+        print(f"NEW: {violation}")
+    for rule, path, code in fixed:
+        print(f"fixed (prune from baseline): {rule} {path}: {code}")
+    verdict = "PASS" if not new else "FAIL"
+    print(
+        f"analyze lint {verdict}: {len(violations)} violation(s), "
+        f"{len(new)} new, {len(fixed)} baseline entries fixed"
+    )
+    return 0 if not new else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    rc = 0
+    if args.engine in ("cdg", "all"):
+        rc = max(rc, _analyze_cdg(args))
+    if args.engine in ("lint", "all"):
+        if args.engine == "all" and args.update_baseline:
+            raise _usage_error("--update-baseline only applies to 'analyze lint'")
+        rc = max(rc, _analyze_lint(args))
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -428,6 +531,35 @@ def build_parser() -> argparse.ArgumentParser:
     pw.add_argument("campaign", help="campaign name or spec path")
     pw.add_argument("--campaign-dir", default="campaigns")
     pw.set_defaults(func=cmd_campaign_show)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static deadlock (CDG) & determinism (lint) analysis",
+    )
+    p.add_argument(
+        "engine",
+        choices=["cdg", "lint", "all"],
+        help="cdg: channel-dependency-graph deadlock verdicts; "
+        "lint: AST reproducibility lint; all: both",
+    )
+    p.add_argument("--n", type=int, nargs="+", default=[4], help="side lengths")
+    p.add_argument(
+        "--k", type=int, nargs="+", default=[1, 2, 4], help="queue capacities"
+    )
+    p.add_argument(
+        "--topologies", nargs="+", choices=["mesh", "torus"], help="topology subset"
+    )
+    p.add_argument("--routers", nargs="+", help="subset of registered routers")
+    p.add_argument("--json", action="store_true", help="CDG verdicts as JSON")
+    p.add_argument(
+        "--root", default=None, help="repo root to lint (default: autodetect)"
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the lint baseline with the current findings",
+    )
+    p.set_defaults(func=cmd_analyze)
 
     return parser
 

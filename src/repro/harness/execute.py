@@ -213,12 +213,59 @@ def _run_verify(spec: TrialSpec) -> dict[str, Any]:
     return metrics
 
 
+def _run_analyze(spec: TrialSpec) -> dict[str, Any]:
+    """One static-analysis cell (see repro.analysis.static_check).
+
+    ``workload`` names the engine (``cdg``, ``lint`` or ``all``) and
+    ``algorithm`` may pin the CDG sweep to one registered router.  Like
+    ``verify`` trials, a cell with findings *fails* (raises) so campaign
+    telemetry surfaces static regressions like crashed trials.
+    """
+    from repro.analysis.static_check import (
+        analyze_registry,
+        check_agreement,
+        diff_against_baseline,
+        run_lint,
+    )
+
+    metrics: dict[str, Any] = {}
+    findings: list[str] = []
+    if spec.workload in ("cdg", "all"):
+        verdicts = analyze_registry(
+            ns=(spec.n,),
+            ks=(spec.k,),
+            routers=[spec.algorithm] if spec.algorithm else None,
+        )
+        metrics["verdicts"] = len(verdicts)
+        metrics["cyclic"] = sum(v.verdict == "CYCLIC" for v in verdicts)
+        metrics["deadlock_free"] = sum(
+            v.verdict == "DEADLOCK_FREE" for v in verdicts
+        )
+        findings.extend(check_agreement(verdicts))
+    if spec.workload in ("lint", "all"):
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parents[2]
+        new, _fixed = diff_against_baseline(run_lint(root))
+        metrics["lint_new"] = len(new)
+        findings.extend(str(v) for v in new)
+    if findings:
+        raise AssertionError(
+            f"analyze {spec.workload} n={spec.n} k={spec.k}: "
+            + "; ".join(findings)
+        )
+    return metrics
+
+
 _RUNNERS = {
     "route": _run_route,
     "lower_bound": _run_lower_bound,
     "section6": _run_section6,
     "sort_route": _run_sort_route,
     "verify": _run_verify,
+    "analyze": _run_analyze,
 }
 
 

@@ -19,7 +19,7 @@ import pathlib
 from dataclasses import dataclass, field, fields
 from typing import Any, Iterable
 
-TRIAL_KINDS = ("route", "lower_bound", "section6", "sort_route", "verify")
+TRIAL_KINDS = ("route", "lower_bound", "section6", "sort_route", "verify", "analyze")
 
 ROUTE_ALGORITHMS = (
     "dor",
@@ -48,6 +48,9 @@ WORKLOADS = ("random", "partial", "transpose", "bit-reversal", "rotation")
 
 #: Workload families a ``verify`` trial may fuzz (see repro.verify).
 VERIFY_FAMILIES = ("permutation", "hh", "torus", "dynamic")
+
+#: Engines an ``analyze`` trial may run (see repro.analysis.static_check).
+ANALYZE_ENGINES = ("cdg", "lint", "all")
 
 
 @dataclass(frozen=True)
@@ -108,6 +111,17 @@ class TrialSpec:
             if self.algorithm and self.algorithm not in ROUTE_ALGORITHMS:
                 raise ValueError(
                     f"unknown verify router {self.algorithm!r}; "
+                    f"expected one of {ROUTE_ALGORITHMS} (or empty for all)"
+                )
+        if self.kind == "analyze":
+            if self.workload not in ANALYZE_ENGINES:
+                raise ValueError(
+                    f"analyze trials name an engine in ``workload``, one of "
+                    f"{ANALYZE_ENGINES}; got {self.workload!r}"
+                )
+            if self.algorithm and self.algorithm not in ROUTE_ALGORITHMS:
+                raise ValueError(
+                    f"unknown analyze router {self.algorithm!r}; "
                     f"expected one of {ROUTE_ALGORITHMS} (or empty for all)"
                 )
         if self.queues not in ("central", "incoming"):

@@ -11,11 +11,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, ClassVar, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, ClassVar, Iterable, Mapping, Sequence
 
 from repro.mesh.directions import Direction
 from repro.mesh.queues import QueueSpec
 from repro.mesh.visibility import Offer, PacketView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.mesh.topology import Topology
+    from repro.mesh.transitions import TransitionModel
 
 
 @dataclass(frozen=True)
@@ -40,6 +44,8 @@ class RoutingContract:
         step_bound: Proven worst-case step count for routing any (partial)
             permutation on an ``n x n`` mesh, or None when the paper proves
             no upper bound for this algorithm.
+        dimension_ordered: Paths are strictly row-first-then-column; the
+            static analyzer derives the permitted turn set from this.
     """
 
     name: str
@@ -49,6 +55,7 @@ class RoutingContract:
     queue_kind: str
     queue_capacity: int
     step_bound: int | None
+    dimension_ordered: bool = False
 
 
 class NodeContext:
@@ -189,6 +196,35 @@ class RoutingAlgorithm(abc.ABC):
             queue_kind=self.queue_spec.kind,
             queue_capacity=self.queue_spec.capacity,
             step_bound=self.permutation_step_bound(n),
+            dimension_ordered=self.dimension_ordered,
+        )
+
+    def enumerate_transitions(
+        self, topology: "Topology", k: int
+    ) -> "TransitionModel | None":
+        """The symbolic queue-transition model this algorithm can exhibit.
+
+        Used by the static channel-dependency-graph analyzer
+        (:mod:`repro.analysis.static_check`): the returned
+        :class:`~repro.mesh.transitions.TransitionModel` overapproximates
+        every turn the outqueue policy can schedule and marks which queues
+        the inqueue policy may refuse.  The default derives the turn set
+        from the :class:`RoutingContract` (dimension order > minimal >
+        unrestricted) and conservatively marks *every* queue as blockable.
+
+        Routers with provably always-accepting queues (Theorem 15's N/S
+        queues, bufferless deflection) override this to shrink
+        ``blocking_keys``.  Return None when no sound static model exists
+        for the algorithm; the analyzer then reports ``UNKNOWN``.
+        """
+        from repro.mesh.transitions import model_from_contract
+
+        contract = self.contract(max(topology.width, topology.height))
+        return model_from_contract(
+            queue_kind=contract.queue_kind,
+            minimal=contract.minimal,
+            dimension_ordered=contract.dimension_ordered,
+            note=f"{contract.name}: contract-derived",
         )
 
     # -- initialization ------------------------------------------------------

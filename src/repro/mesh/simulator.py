@@ -401,7 +401,7 @@ class Simulator:
                 key = self.spec.arrival_key(mv.direction.opposite)
                 self.queues.setdefault(mv.target, {}).setdefault(key, []).append(p)
                 arrivals.add(mv.target)
-        for node in arrivals:
+        for node in sorted(arrivals):
             self._check_capacity(node)
             self._note_load(node)
 

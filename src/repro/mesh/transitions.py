@@ -1,0 +1,149 @@
+"""Symbolic queue-transition models for static deadlock analysis.
+
+A routing algorithm's dynamic behaviour is driven by packet destinations,
+but the *set* of queue-to-queue transitions it can ever perform is decidable
+statically from its contract: which turns its path discipline permits, and
+which queues its inqueue policy may refuse.  A :class:`TransitionModel`
+captures exactly that, and :meth:`repro.mesh.interfaces.RoutingAlgorithm.
+enumerate_transitions` produces one per (router, topology, k).
+
+The channel-dependency-graph analyzer (:mod:`repro.analysis.static_check`)
+consumes these models: a packet occupying queue ``q`` of node ``v`` may
+request queue ``q'`` of a neighbour ``w`` iff the model permits the turn,
+and a deadlock cycle can only thread through queues whose inqueue policy
+may refuse an offer (``blocking_keys``).  Queues that always accept -- the
+North/South queues of the Theorem 15 router, or every queue of a bufferless
+deflection router -- can never be waited on forever, so they are excluded
+from the wait-for graph.
+
+Conventions.  A packet travelling in direction ``t`` arrives on the inlink
+from ``t.opposite`` and (in the incoming-queue regime) is stored under the
+queue key ``t.opposite``; the default injection rule of
+:func:`repro.mesh.queues.default_incoming_initial_key` places injected
+packets in the queue of the inlink they *would* have arrived on, so
+injected packets are covered by the same travel-direction analysis.  A turn
+is a pair ``(travel_in, travel_out)`` where ``travel_in is None`` stands
+for a freshly injected packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mesh.directions import DIRECTIONS, HORIZONTAL, VERTICAL, Direction
+from repro.mesh.queues import CENTRAL, KIND_CENTRAL, KIND_INCOMING
+
+#: A queue key: the central-queue sentinel or an incoming direction.
+QueueKey = Direction | str
+
+#: ``(travel_in, travel_out)``; ``travel_in`` None means freshly injected.
+Turn = tuple[Direction | None, Direction]
+
+
+@dataclass(frozen=True)
+class TransitionModel:
+    """Everything the CDG analyzer needs to know about one router.
+
+    Attributes:
+        queue_kind: ``"central"`` or ``"incoming"`` (mirrors the
+            :class:`~repro.mesh.queues.QueueSpec`).
+        turns: Every ``(travel_in, travel_out)`` pair the router's outqueue
+            policy can ever produce, over all destinations and states.
+        blocking_keys: Queue keys whose inqueue policy may *refuse* an
+            offer.  Only these queues can participate in a deadlock cycle.
+        note: Free-text provenance (which argument produced the model).
+    """
+
+    queue_kind: str
+    turns: frozenset[tuple[Direction | None, Direction]]
+    blocking_keys: frozenset[object]
+    note: str = ""
+
+    def outs_for(self, travel_in: Direction | None) -> tuple[Direction, ...]:
+        """Travel directions a packet that arrived travelling ``travel_in``
+        (None = injected) may depart in, in deterministic (N, E, S, W) order."""
+        outs = {out for t_in, out in self.turns if t_in == travel_in}
+        return tuple(d for d in DIRECTIONS if d in outs)
+
+    @property
+    def never_blocks(self) -> bool:
+        """True when no queue can refuse (e.g. bufferless deflection)."""
+        return not self.blocking_keys
+
+
+def _dimension_order_turns() -> frozenset[tuple[Direction | None, Direction]]:
+    """Row-first turns: horizontal may continue or turn vertical; vertical
+    never turns back (the XY discipline of Sections 1.1 and 2)."""
+    turns: set[tuple[Direction | None, Direction]] = set()
+    for out in DIRECTIONS:
+        turns.add((None, out))  # injection may start in any direction
+    for t_in in HORIZONTAL:
+        turns.add((t_in, t_in))
+        for out in VERTICAL:
+            turns.add((t_in, out))
+    for t_in in VERTICAL:
+        turns.add((t_in, t_in))
+    return frozenset(turns)
+
+
+def _minimal_adaptive_turns() -> frozenset[tuple[Direction | None, Direction]]:
+    """All turns except reversal: a minimal move strictly decreases the
+    distance to the destination, so the direction just travelled can never
+    be profitable on the next hop (on the mesh and the torus alike)."""
+    turns: set[tuple[Direction | None, Direction]] = set()
+    for out in DIRECTIONS:
+        turns.add((None, out))
+        for t_in in DIRECTIONS:
+            if out != t_in.opposite:
+                turns.add((t_in, out))
+    return frozenset(turns)
+
+
+def _unrestricted_turns() -> frozenset[tuple[Direction | None, Direction]]:
+    """Every turn including reversal (nonminimal routers may backtrack)."""
+    turns: set[tuple[Direction | None, Direction]] = set()
+    for out in DIRECTIONS:
+        turns.add((None, out))
+        for t_in in DIRECTIONS:
+            turns.add((t_in, out))
+    return frozenset(turns)
+
+
+def model_from_contract(
+    *,
+    queue_kind: str,
+    minimal: bool,
+    dimension_ordered: bool,
+    blocking_keys: "frozenset[object] | None" = None,
+    note: str = "",
+) -> TransitionModel:
+    """The symbolic transition model implied by a router's contract.
+
+    The turn set follows the strongest path discipline the contract
+    advertises (dimension order > minimal > unrestricted); ``blocking_keys``
+    defaults to *every* queue of the regime -- the conservative choice --
+    and routers whose inqueue policies provably always accept on some
+    queues override it.
+    """
+    if dimension_ordered:
+        turns = _dimension_order_turns()
+        discipline = "dimension-order"
+    elif minimal:
+        turns = _minimal_adaptive_turns()
+        discipline = "minimal-adaptive"
+    else:
+        turns = _unrestricted_turns()
+        discipline = "unrestricted"
+    if blocking_keys is None:
+        if queue_kind == KIND_CENTRAL:
+            blocking_keys = frozenset({CENTRAL})
+        elif queue_kind == KIND_INCOMING:
+            blocking_keys = frozenset(DIRECTIONS)
+        else:  # pragma: no cover - QueueSpec rejects other kinds already
+            raise ValueError(f"unknown queue kind {queue_kind!r}")
+    return TransitionModel(
+        queue_kind=queue_kind,
+        turns=turns,
+        blocking_keys=blocking_keys,
+        note=note or f"{discipline} turns, {queue_kind} queues",
+    )

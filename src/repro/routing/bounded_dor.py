@@ -54,6 +54,20 @@ class BoundedDimensionOrderRouter(RoutingAlgorithm):
 
         return theorem15_upper_bound(n, self.queue_spec.capacity)
 
+    def enumerate_transitions(self, topology, k):
+        # The Theorem 15 proof invariant, handed to the static analyzer: a
+        # nonempty N/S queue ejects every step, so those queues always
+        # accept and can never be waited on.  Only E/W queues may refuse.
+        from repro.mesh.transitions import model_from_contract
+
+        return model_from_contract(
+            queue_kind=self.queue_spec.kind,
+            minimal=self.minimal,
+            dimension_ordered=self.dimension_ordered,
+            blocking_keys=frozenset({Direction.E, Direction.W}),
+            note=f"{self.name}: Theorem 15 N/S queues always accept",
+        )
+
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
         # For each outlink, straight-moving packets (those sitting in the
         # queue of the opposite inlink) have priority; FIFO within a class.

@@ -61,6 +61,28 @@ class FarthestFirstRouter(RoutingAlgorithm):
     def __init__(self, queue_capacity: int, queue_kind: str = "incoming") -> None:
         super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
 
+    def enumerate_transitions(self, topology, k):
+        # Incoming regime: the Theorem 15 argument carries over unchanged
+        # (farthest-first only reorders within a priority class), so N/S
+        # queues always accept.  Central regime: the single queue refuses
+        # when full, like any accept-if-space policy.
+        from repro.mesh.transitions import model_from_contract
+
+        if self.queue_spec.kind == "incoming":
+            return model_from_contract(
+                queue_kind=self.queue_spec.kind,
+                minimal=self.minimal,
+                dimension_ordered=self.dimension_ordered,
+                blocking_keys=frozenset({Direction.E, Direction.W}),
+                note=f"{self.name}: Theorem 15 N/S queues always accept",
+            )
+        return model_from_contract(
+            queue_kind=self.queue_spec.kind,
+            minimal=self.minimal,
+            dimension_ordered=self.dimension_ordered,
+            note=f"{self.name}: central accept-if-space",
+        )
+
     # -- outqueue -----------------------------------------------------------
 
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:

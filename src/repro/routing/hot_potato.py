@@ -52,6 +52,20 @@ class HotPotatoRouter(RoutingAlgorithm):
     def initial_packet_state(self, view: PacketView) -> int:
         return 0  # age
 
+    def enumerate_transitions(self, topology, k):
+        # Bufferless deflection never refuses an offer (sends equal
+        # receives), so no queue is blockable and the wait-for graph is
+        # empty: statically deadlock-free, whatever turns packets take.
+        from repro.mesh.transitions import model_from_contract
+
+        return model_from_contract(
+            queue_kind=self.queue_spec.kind,
+            minimal=self.minimal,
+            dimension_ordered=self.dimension_ordered,
+            blocking_keys=frozenset(),
+            note=f"{self.name}: bufferless, inqueue always accepts",
+        )
+
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
         chosen: dict[Direction, PacketView] = {}
         # Oldest first; ties by key for determinism.

@@ -79,7 +79,7 @@ def run_march(
         moves: list[tuple[int, int, tuple[int, int], tuple[int, int]]] = []
         sending_nodes: dict[tuple[int, int], tuple[int, int, int]] = {}
         retired: list[int] = []
-        for pid in movers:
+        for pid in sorted(movers):
             node = state.pos[pid]
             dest_strip = actives[pid]
             nxt = axes.step_main(node)
@@ -250,7 +250,7 @@ def run_balancing(
                 f"Balancing exceeded Lemma 31's bound of {bound} steps"
             )
         moves: list[tuple[int, tuple[int, int]]] = []
-        for node in over:
+        for node in sorted(over):
             pids = count[node]
             pid = max(pids, key=lambda p: (axes.cross_to_go(state, p), -p))
             if axes.cross_to_go(state, pid) <= 0:

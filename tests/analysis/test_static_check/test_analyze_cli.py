@@ -1,0 +1,96 @@
+"""The ``python -m repro analyze`` subcommand and the analyze trial kind."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness import TrialSpec
+from repro.harness.execute import execute_trial
+
+
+class TestAnalyzeCli:
+    def test_cdg_passes_on_the_registry(self, capsys):
+        rc = main(["analyze", "cdg", "--n", "4", "--k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DEADLOCK_FREE" in out and "CYCLIC" in out
+        assert "witness" in out
+        assert "analyze cdg PASS" in out
+
+    def test_lint_passes_against_the_baseline(self, capsys):
+        rc = main(["analyze", "lint"])
+        assert rc == 0
+        assert "analyze lint PASS" in capsys.readouterr().out
+
+    def test_all_runs_both_engines(self, capsys):
+        rc = main(["analyze", "all", "--n", "4", "--k", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "analyze cdg PASS" in out and "analyze lint PASS" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        rc = main(
+            ["analyze", "cdg", "--json", "--n", "4", "--k", "2",
+             "--routers", "dor", "--topologies", "mesh"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.rindex("]") + 1])
+        assert payload[0]["router"] == "dor"
+        assert payload[0]["verdict"] == "CYCLIC"
+        assert payload[0]["witness"]
+
+    def test_unknown_router_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", "cdg", "--routers", "psychic"])
+        assert exc.value.code == 2
+        assert "unknown routers" in capsys.readouterr().err
+
+    def test_bad_engine_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["analyze", "psychic"])
+        assert exc.value.code == 2
+
+    def test_update_baseline_rejected_for_all(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", "all", "--update-baseline"])
+        assert exc.value.code == 2
+
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("route", "lower-bound", "section6", "bounds",
+                        "verify", "campaign", "analyze"):
+            assert command in out
+
+
+class TestAnalyzeTrialKind:
+    def test_cdg_trial_executes(self):
+        spec = TrialSpec(kind="analyze", workload="cdg", n=4, k=2)
+        metrics = execute_trial(spec)
+        assert metrics["verdicts"] == 16  # 8 routers x 2 topologies
+        assert metrics["deadlock_free"] + metrics["cyclic"] == 16
+
+    def test_lint_trial_executes(self):
+        spec = TrialSpec(kind="analyze", workload="lint", n=4)
+        assert execute_trial(spec)["lint_new"] == 0
+
+    def test_router_pin(self):
+        spec = TrialSpec(kind="analyze", workload="cdg", n=4, k=2,
+                         algorithm="hot-potato")
+        metrics = execute_trial(spec)
+        assert metrics["verdicts"] == 2
+        assert metrics["deadlock_free"] == 2
+
+    def test_bad_engine_rejected_by_validate(self):
+        spec = TrialSpec(kind="analyze", workload="transpose", n=4)
+        with pytest.raises(ValueError, match="analyze trials name an engine"):
+            spec.validate()
+
+    def test_bad_router_rejected_by_validate(self):
+        spec = TrialSpec(kind="analyze", workload="cdg", n=4, algorithm="psychic")
+        with pytest.raises(ValueError, match="unknown analyze router"):
+            spec.validate()

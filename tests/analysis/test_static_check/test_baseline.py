@@ -1,0 +1,68 @@
+"""Baseline round-trip and diff semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis.static_check import (
+    baseline_path,
+    diff_against_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.static_check.lint import LintViolation
+
+
+def violation(rule="SC004", path="src/repro/mesh/x.py", line=10, code="for x in s:"):
+    return LintViolation(path, line, 0, rule, "msg", code)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline([violation(), violation(line=20)], target)
+        counts = load_baseline(target)
+        assert counts[("SC004", "src/repro/mesh/x.py", "for x in s:")] == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "ghost.json") == {}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            load_baseline(target)
+
+    def test_checked_in_baseline_parses(self):
+        # The real baseline must stay loadable (it is empty by design:
+        # the starting sweep's findings were fixed, not baselined).
+        assert load_baseline(baseline_path()) == {}
+
+
+class TestDiff:
+    def test_new_violation_reported(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline([], target)
+        new, fixed = diff_against_baseline([violation()], target)
+        assert len(new) == 1 and fixed == []
+
+    def test_baselined_violation_suppressed(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline([violation()], target)
+        new, fixed = diff_against_baseline([violation(line=99)], target)
+        assert new == [] and fixed == []  # same fingerprint, moved line
+
+    def test_duplicating_a_baselined_line_fails(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline([violation()], target)
+        new, _ = diff_against_baseline(
+            [violation(line=10), violation(line=30)], target
+        )
+        assert len(new) == 1  # the excess occurrence is new
+
+    def test_fixed_fingerprints_reported(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline([violation(), violation(rule="SC003", code="assert x")], target)
+        new, fixed = diff_against_baseline([violation()], target)
+        assert new == []
+        assert fixed == [("SC003", "src/repro/mesh/x.py", "assert x")]

@@ -1,0 +1,199 @@
+"""Golden CDG verdicts, witness cycles, and the runtime agreement check."""
+
+import pytest
+
+from repro.analysis.static_check import (
+    CYCLIC,
+    DEADLOCK_FREE,
+    CdgVerdict,
+    Channel,
+    analyze_registry,
+    analyze_router,
+    build_cdg,
+    check_agreement,
+    find_witness_cycle,
+    tarjan_scc,
+)
+from repro.analysis.static_check.cdg import make_topology
+from repro.mesh.directions import Direction
+from repro.mesh.queues import CENTRAL
+from repro.mesh.topology import Mesh
+from repro.verify.differential import REGISTRY
+
+#: The golden table: verdicts are independent of n and k (blocking is
+#: all-or-nothing per queue), so one entry per (router, topology).
+GOLDEN = {
+    ("dor", "mesh"): CYCLIC,
+    ("dor", "torus"): CYCLIC,
+    ("bounded-dor", "mesh"): DEADLOCK_FREE,
+    ("bounded-dor", "torus"): CYCLIC,
+    ("farthest-first", "mesh"): DEADLOCK_FREE,
+    ("farthest-first", "torus"): CYCLIC,
+    ("greedy-adaptive", "mesh"): CYCLIC,
+    ("greedy-adaptive", "torus"): CYCLIC,
+    ("alternating-adaptive", "mesh"): CYCLIC,
+    ("alternating-adaptive", "torus"): CYCLIC,
+    ("randomized-adaptive", "mesh"): CYCLIC,
+    ("randomized-adaptive", "torus"): CYCLIC,
+    ("bounded-excursion", "mesh"): CYCLIC,
+    ("bounded-excursion", "torus"): CYCLIC,
+    ("hot-potato", "mesh"): DEADLOCK_FREE,
+    ("hot-potato", "torus"): DEADLOCK_FREE,
+}
+
+
+class TestGoldenVerdicts:
+    @pytest.mark.parametrize("router", sorted(REGISTRY))
+    @pytest.mark.parametrize("topology", ["mesh", "torus"])
+    @pytest.mark.parametrize("n", [4, 8])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_verdict_matches_golden_table(self, router, topology, n, k):
+        verdict = analyze_router(router, topology, n, k)
+        assert verdict.verdict == GOLDEN[(router, topology)], (
+            f"{router}/{topology} n={n} k={k}: got {verdict.verdict}"
+        )
+
+    def test_registry_table_is_exhaustive(self):
+        assert {r for r, _ in GOLDEN} == set(REGISTRY)
+
+    def test_cyclic_verdicts_carry_a_witness(self):
+        for verdict in analyze_registry(ns=(4,), ks=(2,)):
+            if verdict.verdict == CYCLIC:
+                assert len(verdict.witness) >= 1
+            else:
+                assert verdict.witness == ()
+
+
+class TestWitnessCycles:
+    def test_dor_mesh_witness_is_the_head_on_two_cycle(self):
+        """The classic central-queue exchange deadlock, edge by edge."""
+        verdict = analyze_router("dor", "mesh", 4, 2)
+        assert verdict.verdict == CYCLIC
+        assert len(verdict.witness) == 2
+        a, b = verdict.witness
+        # Two *adjacent* central queues waiting on each other head-on.
+        assert a.key == CENTRAL and b.key == CENTRAL
+        ax, ay = a.node
+        bx, by = b.node
+        assert abs(ax - bx) + abs(ay - by) == 1
+        # Verify both edges exist in the actual graph.
+        entry = REGISTRY["dor"]
+        algorithm = entry.factory(2, 0)
+        topology = make_topology("mesh", 4)
+        model = algorithm.enumerate_transitions(topology, 2)
+        adjacency = build_cdg(topology, model)
+        assert b in adjacency[a]
+        assert a in adjacency[b]
+
+    def test_bounded_dor_torus_witness_is_a_wraparound_ring(self):
+        verdict = analyze_router("bounded-dor", "torus", 4, 1)
+        assert verdict.verdict == CYCLIC
+        # An E-chain (or W-chain) around one row: n channels, same key.
+        assert len(verdict.witness) == 4
+        keys = {c.key for c in verdict.witness}
+        assert keys <= {Direction.E, Direction.W}
+        assert len(keys) == 1
+        rows = {c.node[1] for c in verdict.witness}
+        assert len(rows) == 1  # all in one row
+
+    def test_witness_edges_all_exist(self):
+        for name in ("greedy-adaptive", "bounded-excursion"):
+            entry = REGISTRY[name]
+            topology = make_topology("mesh", 4)
+            model = entry.factory(2, 0).enumerate_transitions(topology, 2)
+            adjacency = build_cdg(topology, model)
+            witness = find_witness_cycle(adjacency)
+            assert witness
+            for i, channel in enumerate(witness):
+                nxt = witness[(i + 1) % len(witness)]
+                assert nxt in adjacency[channel]
+
+
+class TestGraphAlgorithms:
+    def test_tarjan_finds_the_cycle_component(self):
+        a, b, c, d = (
+            Channel((0, 0), CENTRAL),
+            Channel((0, 1), CENTRAL),
+            Channel((1, 0), CENTRAL),
+            Channel((1, 1), CENTRAL),
+        )
+        adjacency = {a: (b,), b: (c,), c: (a,), d: (a,)}
+        components = tarjan_scc(adjacency)
+        sizes = sorted(len(comp) for comp in components)
+        assert sizes == [1, 3]
+        big = max(components, key=len)
+        assert set(big) == {a, b, c}
+
+    def test_acyclic_graph_has_no_witness(self):
+        a, b = Channel((0, 0), CENTRAL), Channel((0, 1), CENTRAL)
+        assert find_witness_cycle({a: (b,), b: ()}) == ()
+
+    def test_self_loop_is_a_length_one_witness(self):
+        a = Channel((0, 0), CENTRAL)
+        assert find_witness_cycle({a: (a,)}) == (a,)
+
+    def test_witness_is_minimal(self):
+        # A 2-cycle and a 3-cycle: the witness must pick the 2-cycle.
+        a, b, c, d, e = (Channel((i, 0), CENTRAL) for i in range(5))
+        adjacency = {a: (b,), b: (a, c), c: (d,), d: (e,), e: (c,)}
+        witness = find_witness_cycle(adjacency)
+        assert len(witness) == 2
+        assert set(witness) == {a, b}
+
+    def test_mesh_boundary_drops_edges(self):
+        entry = REGISTRY["bounded-dor"]
+        topology = Mesh(4)
+        model = entry.factory(2, 0).enumerate_transitions(topology, 2)
+        adjacency = build_cdg(topology, model)
+        # The westernmost East-queue chain ends at the boundary: the E queue
+        # of (3, 0) has no E neighbour, so no out-edges.
+        assert adjacency[Channel((3, 0), Direction.W)] == ()
+
+
+class TestAgreement:
+    def test_full_registry_agrees(self):
+        assert check_agreement() == []
+
+    def test_deadlock_free_with_expected_stall_is_flagged(self):
+        # dor is expected to stall on hh/dynamic: a DEADLOCK_FREE verdict
+        # for it on the mesh must be reported as a layer disagreement.
+        fake = CdgVerdict("dor", "mesh", 4, 2, DEADLOCK_FREE)
+        findings = check_agreement([fake])
+        assert len(findings) == 1
+        assert "dor/mesh" in findings[0]
+
+    def test_unstable_verdicts_are_flagged(self):
+        findings = check_agreement(
+            [
+                CdgVerdict("hot-potato", "mesh", 4, 1, DEADLOCK_FREE),
+                CdgVerdict("hot-potato", "mesh", 4, 2, CYCLIC),
+            ]
+        )
+        assert len(findings) == 1
+        assert "unstable" in findings[0]
+
+    def test_cyclic_with_complete_expectations_is_not_a_finding(self):
+        # Cycle is necessary, not sufficient: bounded-dor on the torus is
+        # CYCLIC yet expected to complete -- that must pass.
+        fake = CdgVerdict("bounded-dor", "torus", 4, 2, CYCLIC)
+        assert check_agreement([fake]) == []
+
+
+class TestErrors:
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            analyze_router("psychic", "mesh", 4, 2)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            analyze_router("dor", "hypercube", 4, 2)
+
+    def test_unknown_registry_subset_rejected(self):
+        with pytest.raises(ValueError, match="unknown routers"):
+            analyze_registry(routers=["psychic"])
+
+    def test_verdict_serializes(self):
+        verdict = analyze_router("dor", "mesh", 4, 2)
+        data = verdict.to_dict()
+        assert data["verdict"] == CYCLIC
+        assert data["witness"] and data["witness"][0]["key"] == "central"

@@ -1,0 +1,308 @@
+"""Unit tests for the SC001-SC004 AST lint rules, plus the repo self-scan."""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.static_check import diff_against_baseline, run_lint
+from repro.analysis.static_check.lint import RULES, lint_source, rules_for_path
+
+REPO_ROOT = pathlib.Path(__file__).parents[3]
+
+
+def rules_of(source, **kwargs):
+    return [v.rule for v in lint_source(textwrap.dedent(source), **kwargs)]
+
+
+class TestSC001Randomness:
+    def test_global_random_call_flagged(self):
+        assert rules_of(
+            """
+            import random
+            x = random.randint(0, 3)
+            """
+        ) == ["SC001"]
+
+    def test_aliased_import_tracked(self):
+        assert rules_of(
+            """
+            import random as rnd
+            rnd.shuffle(items)
+            """
+        ) == ["SC001"]
+
+    def test_from_import_tracked(self):
+        assert rules_of(
+            """
+            from random import shuffle
+            shuffle(items)
+            """
+        ) == ["SC001"]
+
+    def test_seeded_random_instance_ok(self):
+        assert rules_of(
+            """
+            import random
+            rng = random.Random(42)
+            rng.shuffle(items)
+            """
+        ) == []
+
+    def test_unseeded_random_instance_flagged(self):
+        assert rules_of(
+            """
+            import random
+            rng = random.Random()
+            """
+        ) == ["SC001"]
+
+    def test_numpy_global_state_flagged(self):
+        assert rules_of(
+            """
+            import numpy as np
+            x = np.random.permutation(10)
+            """
+        ) == ["SC001"]
+
+    def test_numpy_default_rng_needs_seed(self):
+        assert rules_of(
+            """
+            from numpy.random import default_rng
+            a = default_rng()
+            b = default_rng(7)
+            """
+        ) == ["SC001"]
+
+    def test_seeding_the_module_is_not_flagged(self):
+        # random.seed(...) is how tests pin the global state; allowed.
+        assert rules_of(
+            """
+            import random
+            random.seed(0)
+            """
+        ) == []
+
+
+class TestSC002WallClock:
+    def test_time_time_flagged(self):
+        assert rules_of(
+            """
+            import time
+            t = time.time()
+            """
+        ) == ["SC002"]
+
+    def test_perf_counter_from_import_flagged(self):
+        assert rules_of(
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """
+        ) == ["SC002"]
+
+    def test_datetime_now_flagged(self):
+        assert rules_of(
+            """
+            from datetime import datetime
+            t = datetime.now()
+            """
+        ) == ["SC002"]
+
+    def test_datetime_module_path_flagged(self):
+        assert rules_of(
+            """
+            import datetime
+            t = datetime.datetime.utcnow()
+            """
+        ) == ["SC002"]
+
+    def test_time_sleep_is_fine(self):
+        assert rules_of(
+            """
+            import time
+            time.sleep(1)
+            """
+        ) == []
+
+
+class TestSC003BareAssert:
+    def test_assert_flagged(self):
+        assert rules_of("assert x > 0\n") == ["SC003"]
+
+    def test_raise_is_fine(self):
+        assert rules_of(
+            """
+            if x <= 0:
+                raise ValueError("x must be positive")
+            """
+        ) == []
+
+
+class TestSC004SetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert rules_of("for x in {1, 2, 3}:\n    pass\n") == ["SC004"]
+
+    def test_for_over_set_call_flagged(self):
+        assert rules_of("for x in set(items):\n    pass\n") == ["SC004"]
+
+    def test_for_over_set_variable_flagged(self):
+        assert rules_of(
+            """
+            s = set(items)
+            for x in s:
+                pass
+            """
+        ) == ["SC004"]
+
+    def test_annotated_empty_set_tracked(self):
+        assert rules_of(
+            """
+            def f():
+                seen: set[int] = set()
+                for x in seen:
+                    pass
+            """
+        ) == ["SC004"]
+
+    def test_sorted_wrapper_ok(self):
+        assert rules_of(
+            """
+            s = set(items)
+            for x in sorted(s):
+                pass
+            """
+        ) == []
+
+    def test_order_insensitive_reducers_ok(self):
+        assert rules_of(
+            """
+            s = {1, 2, 3}
+            n = len(s)
+            m = max(s)
+            t = sum(s)
+            ok = any(x > 1 for x in items)
+            """
+        ) == []
+
+    def test_list_materialisation_flagged(self):
+        assert rules_of("xs = list({3, 1, 2})\n") == ["SC004"]
+
+    def test_comprehension_over_set_flagged(self):
+        assert rules_of(
+            """
+            s = set(items)
+            xs = [x + 1 for x in s]
+            """
+        ) == ["SC004"]
+
+    def test_set_algebra_keeps_setness(self):
+        assert rules_of(
+            """
+            a = set(xs)
+            b = a | set(ys)
+            for v in b:
+                pass
+            """
+        ) == ["SC004"]
+
+    def test_union_method_keeps_setness(self):
+        assert rules_of(
+            """
+            u = set().union(*groups)
+            for v in u:
+                pass
+            """
+        ) == ["SC004"]
+
+    def test_rebinding_to_a_list_clears_setness(self):
+        assert rules_of(
+            """
+            s = set(items)
+            s = sorted(s)
+            for x in s:
+                pass
+            """
+        ) == []
+
+    def test_membership_test_is_fine(self):
+        assert rules_of(
+            """
+            s = set(items)
+            if x in s:
+                pass
+            """
+        ) == []
+
+    def test_function_scopes_are_separate(self):
+        assert rules_of(
+            """
+            def f():
+                s = set(items)
+
+            def g():
+                s = [1, 2]
+                for x in s:
+                    pass
+            """
+        ) == []
+
+
+class TestWaivers:
+    def test_noqa_with_rule_waives(self):
+        assert rules_of("for x in {1, 2}:  # noqa: SC004\n    pass\n") == []
+
+    def test_bare_noqa_waives_everything(self):
+        assert rules_of("assert x  # noqa\n") == []
+
+    def test_noqa_for_other_rule_does_not_waive(self):
+        assert rules_of("assert x  # noqa: SC004\n") == ["SC003"]
+
+
+class TestScoping:
+    def test_scheduling_packages_get_all_rules(self):
+        assert set(rules_for_path("src/repro/mesh/simulator.py")) == set(RULES)
+        assert set(rules_for_path("src/repro/routing/dor.py")) == set(RULES)
+
+    def test_other_packages_get_assert_rule_only(self):
+        assert rules_for_path("src/repro/core/bounds.py") == ("SC003",)
+        assert rules_for_path("src/repro/verify/oracles.py") == ("SC003",)
+
+    def test_rule_subset_respected(self):
+        found = rules_of(
+            """
+            import random
+            random.random()
+            assert x
+            """,
+            rules=("SC003",),
+        )
+        assert found == ["SC003"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rules"):
+            lint_source("x = 1\n", rules=("SC999",))
+
+    def test_syntax_error_reported_with_path(self):
+        with pytest.raises(ValueError, match="broken.py"):
+            lint_source("def (\n", path="broken.py")
+
+
+class TestRepoSelfScan:
+    def test_repo_is_clean_against_baseline(self):
+        """The acceptance gate: the tree has no new violations."""
+        new, _fixed = diff_against_baseline(run_lint(REPO_ROOT))
+        assert new == [], "\n".join(str(v) for v in new)
+
+    def test_violation_fields_are_stable(self):
+        found = lint_source(
+            "import random\nx = random.random()\n", path="src/repro/mesh/x.py"
+        )
+        (violation,) = found
+        assert violation.fingerprint == (
+            "SC001",
+            "src/repro/mesh/x.py",
+            "x = random.random()",
+        )
+        assert "x.py:2:" in str(violation)
+        assert violation.to_dict()["rule"] == "SC001"

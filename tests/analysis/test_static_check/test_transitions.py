@@ -1,0 +1,127 @@
+"""Unit tests for the symbolic transition models (repro.mesh.transitions)."""
+
+import pytest
+
+from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.queues import CENTRAL
+from repro.mesh.topology import Mesh, Torus
+from repro.mesh.transitions import (
+    TransitionModel,
+    model_from_contract,
+)
+from repro.routing import (
+    BoundedDimensionOrderRouter,
+    DimensionOrderRouter,
+    FarthestFirstRouter,
+    GreedyAdaptiveRouter,
+    HotPotatoRouter,
+)
+
+E, W, N, S = Direction.E, Direction.W, Direction.N, Direction.S
+
+
+class TestTurnSets:
+    def test_dimension_ordered_horizontal_continues_or_turns_vertical(self):
+        m = model_from_contract(
+            queue_kind="incoming", minimal=True, dimension_ordered=True
+        )
+        assert set(m.outs_for(E)) == {N, E, S}
+        assert set(m.outs_for(W)) == {N, S, W}
+
+    def test_dimension_ordered_vertical_goes_straight_only(self):
+        m = model_from_contract(
+            queue_kind="incoming", minimal=True, dimension_ordered=True
+        )
+        assert m.outs_for(N) == (N,)
+        assert m.outs_for(S) == (S,)
+
+    def test_injection_may_go_anywhere(self):
+        for kwargs in (
+            dict(minimal=True, dimension_ordered=True),
+            dict(minimal=True, dimension_ordered=False),
+            dict(minimal=False, dimension_ordered=False),
+        ):
+            m = model_from_contract(queue_kind="incoming", **kwargs)
+            assert set(m.outs_for(None)) == set(DIRECTIONS)
+
+    def test_minimal_adaptive_forbids_exactly_reversal(self):
+        m = model_from_contract(
+            queue_kind="incoming", minimal=True, dimension_ordered=False
+        )
+        for d in DIRECTIONS:
+            outs = set(m.outs_for(d))
+            assert d.opposite not in outs
+            assert outs == set(DIRECTIONS) - {d.opposite}
+
+    def test_unrestricted_allows_reversal(self):
+        m = model_from_contract(
+            queue_kind="incoming", minimal=False, dimension_ordered=False
+        )
+        for d in DIRECTIONS:
+            assert set(m.outs_for(d)) == set(DIRECTIONS)
+
+    def test_outs_are_deterministically_ordered(self):
+        m = model_from_contract(
+            queue_kind="incoming", minimal=False, dimension_ordered=False
+        )
+        assert m.outs_for(E) == tuple(d for d in DIRECTIONS)
+
+
+class TestDefaultBlocking:
+    def test_central_blocks_on_the_central_key(self):
+        m = model_from_contract(
+            queue_kind="central", minimal=True, dimension_ordered=False
+        )
+        assert m.blocking_keys == frozenset({CENTRAL})
+        assert not m.never_blocks
+
+    def test_incoming_blocks_on_all_four_by_default(self):
+        m = model_from_contract(
+            queue_kind="incoming", minimal=True, dimension_ordered=False
+        )
+        assert m.blocking_keys == frozenset(DIRECTIONS)
+
+    def test_empty_blocking_means_never_blocks(self):
+        m = model_from_contract(
+            queue_kind="central",
+            minimal=False,
+            dimension_ordered=False,
+            blocking_keys=frozenset(),
+        )
+        assert m.never_blocks
+
+
+class TestRouterOverrides:
+    @pytest.mark.parametrize("topology", [Mesh(4), Torus(4)])
+    def test_bounded_dor_blocks_only_east_west(self, topology):
+        model = BoundedDimensionOrderRouter(2).enumerate_transitions(topology, 2)
+        assert model.blocking_keys == frozenset({E, W})
+        assert model.queue_kind == "incoming"
+
+    def test_farthest_first_incoming_matches_theorem15(self):
+        model = FarthestFirstRouter(2).enumerate_transitions(Mesh(4), 2)
+        assert model.blocking_keys == frozenset({E, W})
+
+    def test_farthest_first_central_blocks_everything_it_has(self):
+        model = FarthestFirstRouter(2, queue_kind="central").enumerate_transitions(
+            Mesh(4), 2
+        )
+        assert model.blocking_keys == frozenset({CENTRAL})
+
+    def test_hot_potato_never_blocks(self):
+        model = HotPotatoRouter().enumerate_transitions(Mesh(4), 1)
+        assert model.never_blocks
+
+    def test_base_class_derives_from_contract(self):
+        # Greedy adaptive has no override: contract-derived model, minimal
+        # turns, every incoming queue blockable.
+        router = GreedyAdaptiveRouter(2, "incoming")
+        model = router.enumerate_transitions(Mesh(4), 2)
+        assert isinstance(model, TransitionModel)
+        assert model.blocking_keys == frozenset(DIRECTIONS)
+        assert S not in model.outs_for(N)
+
+    def test_central_dor_blocks_its_single_queue(self):
+        model = DimensionOrderRouter(4).enumerate_transitions(Mesh(4), 4)
+        assert model.queue_kind == "central"
+        assert model.blocking_keys == frozenset({CENTRAL})

@@ -146,22 +146,30 @@ class TestCampaignCommands:
         out = capsys.readouterr().out
         assert "bounded-dor" in out and "headline" in out
 
-    def test_run_missing_spec(self, tmp_path):
-        with pytest.raises(SystemExit, match="cannot load campaign spec"):
+    def test_run_missing_spec(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["campaign", "run", str(tmp_path / "ghost.json"), "--quiet"])
+        assert exc.value.code == 2
+        assert "cannot load campaign spec" in capsys.readouterr().err
 
-    def test_resume_without_cache_fails(self, tmp_path):
+    def test_resume_without_cache_fails(self, tmp_path, capsys):
         spec = str(SPECS_DIR / "smoke.json")
-        with pytest.raises(SystemExit, match="nothing to resume"):
+        with pytest.raises(SystemExit) as exc:
             main(
                 ["campaign", "run", spec, "--resume",
                  "--campaign-dir", str(tmp_path / "empty"), "--quiet"]
             )
+        assert exc.value.code == 2
+        assert "nothing to resume" in capsys.readouterr().err
 
-    def test_status_unknown_campaign(self, tmp_path):
-        with pytest.raises(SystemExit, match="run it first"):
+    def test_status_unknown_campaign(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["campaign", "status", "ghost", "--campaign-dir", str(tmp_path)])
+        assert exc.value.code == 2
+        assert "run it first" in capsys.readouterr().err
 
-    def test_show_unknown_campaign(self, tmp_path):
-        with pytest.raises(SystemExit, match="run it first"):
+    def test_show_unknown_campaign(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["campaign", "show", "ghost", "--campaign-dir", str(tmp_path)])
+        assert exc.value.code == 2
+        assert "run it first" in capsys.readouterr().err
