@@ -21,11 +21,16 @@ SC004  No iteration over unordered sets: ``for``/comprehension iteration or
        ``list()`` / ``tuple()`` / ``enumerate()`` materialisation of a
        set-typed value.  Wrap in ``sorted()`` (order-insensitive reducers
        such as ``len``/``sum``/``min``/``max``/``any``/``all`` are fine).
+SC005  Docstring coverage: every module and every class must carry a
+       docstring.  Applies to the infrastructure packages (``perf``,
+       ``harness``), whose contracts -- measurement protocols, cache-key
+       semantics -- live in prose the code alone cannot carry.
 ====== ======================================================================
 
-SC003 applies to all of ``src/repro``; the other rules to the simulation
+SC003 applies to all of ``src/repro``; SC001/SC002/SC004 to the simulation
 packages (``mesh``, ``routing``, ``tiling``, ``workloads``), where
-nondeterminism can reach packet scheduling.  A finding can be waived in
+nondeterminism can reach packet scheduling; SC005 to the infrastructure
+packages (``perf``, ``harness``).  A finding can be waived in
 place with a ``# noqa: SC00x`` comment on the offending line; waivers with
 no rule list (bare ``# noqa``) waive every rule on that line.  Pre-existing
 findings live in the checked-in baseline (see ``baseline.py``) so CI fails
@@ -47,10 +52,14 @@ RULES: Dict[str, str] = {
     "SC002": "wall-clock read in step logic",
     "SC003": "bare assert used for a runtime invariant",
     "SC004": "iteration over an unordered set",
+    "SC005": "missing module or class docstring",
 }
 
 #: Packages (under src/repro) where SC001/SC002/SC004 apply.
 SCOPED_PACKAGES: Tuple[str, ...] = ("mesh", "routing", "tiling", "workloads")
+
+#: Packages (under src/repro) where SC005 docstring coverage applies.
+DOCSTRING_PACKAGES: Tuple[str, ...] = ("perf", "harness")
 
 #: Functions on the time module that read the wall clock.
 _TIME_FUNCS = frozenset(
@@ -238,6 +247,18 @@ class _Checker(ast.NodeVisitor):
         elif attr != "seed":
             self._emit(node, "SC001", f"global-state call numpy.random.{attr}()")
 
+    # -- SC005: docstring coverage -------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if ast.get_docstring(node) is None:
+            self._emit(node, "SC005", "module has no docstring")
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if ast.get_docstring(node) is None:
+            self._emit(node, "SC005", f"class {node.name} has no docstring")
+        self.generic_visit(node)
+
     # -- SC003: asserts ------------------------------------------------------
 
     def visit_Assert(self, node: ast.Assert) -> None:
@@ -385,8 +406,12 @@ def rules_for_path(relative: str) -> Tuple[str, ...]:
     parts = Path(relative).parts
     if "repro" in parts:
         idx = parts.index("repro")
-        if len(parts) > idx + 1 and parts[idx + 1] in SCOPED_PACKAGES:
-            return tuple(sorted(RULES))
+        if len(parts) > idx + 1:
+            package = parts[idx + 1]
+            if package in SCOPED_PACKAGES:
+                return ("SC001", "SC002", "SC003", "SC004")
+            if package in DOCSTRING_PACKAGES:
+                return ("SC003", "SC005")
     return ("SC003",)
 
 

@@ -10,6 +10,8 @@ Subcommands:
   (oracle battery + metamorphic images + EX-swap probes, see docs/VERIFY.md)
 - ``campaign``    -- run/inspect declarative experiment campaigns
   (``campaign run|status|show``, see docs/HARNESS.md)
+- ``bench``       -- tracked step-throughput benchmark with regression
+  check against BENCH_step_throughput.json (see docs/PERFORMANCE.md)
 - ``analyze``     -- static deadlock & determinism analysis
   (``analyze cdg|lint|all``, see docs/ANALYSIS.md)
 
@@ -88,7 +90,14 @@ def cmd_route(args: argparse.Namespace) -> int:
         from repro.mesh.asynchrony import make_async
 
         make_async(sim, args.availability, seed=args.seed)
-    result = sim.run(max_steps=args.max_steps)
+    if args.profile:
+        from repro.perf import StepInstrumentation, hotspot_table, profile_run
+        from repro.perf.profiling import format_phase_summary
+
+        sim.instrument = StepInstrumentation()
+        result, profiler = profile_run(lambda: sim.run(max_steps=args.max_steps))
+    else:
+        result = sim.run(max_steps=args.max_steps)
     status = "delivered" if result.completed else "STALLED"
     print(
         f"{algorithm.name} on {topology!r} / {args.workload}: {status} "
@@ -96,6 +105,11 @@ def cmd_route(args: argparse.Namespace) -> int:
         f"(diameter {topology.diameter}), max queue {result.max_queue_len}, "
         f"max node load {result.max_node_load}, {result.total_moves} moves"
     )
+    if args.profile:
+        print()
+        print(format_phase_summary(result.counters))
+        print()
+        print(hotspot_table(profiler, limit=args.profile_limit))
     return 0 if result.completed else 1
 
 
@@ -307,6 +321,52 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0 if run.failed == 0 else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.harness import CampaignSpec, run_campaign
+    from repro.perf.bench import compare_and_merge
+
+    spec_path = args.spec or (
+        "benchmarks/specs/bench_smoke.json"
+        if args.smoke
+        else "benchmarks/specs/bench_throughput.json"
+    )
+    try:
+        campaign = CampaignSpec.from_file(spec_path)
+    except (OSError, ValueError) as exc:
+        raise _usage_error(f"cannot load bench spec: {exc}")
+    # Timing runs are always fresh (a cached timing is not a measurement)
+    # and single-worker (parallel cells would contend for the machine).
+    run = run_campaign(
+        campaign,
+        workers=1,
+        base_dir=args.campaign_dir,
+        fresh=True,
+        progress=not args.quiet,
+    )
+    report = compare_and_merge(
+        run,
+        pathlib.Path(args.baseline),
+        tolerance=args.tolerance,
+        update=not args.no_update,
+    )
+    print(report.table())
+    if report.failed_trials:
+        print(f"bench: {len(report.failed_trials)} cell(s) failed to run")
+        return 1
+    if report.regressions:
+        slowest = min(report.regressions, key=lambda c: c.change)
+        print(
+            f"bench: REGRESSION -- {len(report.regressions)} cell(s) more than "
+            f"{args.tolerance:.0%} below baseline (worst: {slowest.key} "
+            f"{100.0 * slowest.change:+.1f}%)"
+        )
+        return 1
+    print(f"bench: ok, baseline {'left unchanged' if args.no_update else 'updated'}")
+    return 0
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.analysis.campaigns import summarize_manifest
 
@@ -441,6 +501,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--torus", action="store_true")
     p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile; print per-phase wall times and hot spots",
+    )
+    p.add_argument(
+        "--profile-limit",
+        type=int,
+        default=20,
+        help="rows in the --profile hot-spot table",
+    )
     p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("lower-bound", help="run an adversarial construction")
@@ -531,6 +602,36 @@ def build_parser() -> argparse.ArgumentParser:
     pw.add_argument("campaign", help="campaign name or spec path")
     pw.add_argument("--campaign-dir", default="campaigns")
     pw.set_defaults(func=cmd_campaign_show)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the tracked step-throughput benchmark",
+    )
+    p.add_argument(
+        "--smoke", action="store_true", help="fast n=16 matrix (the CI job)"
+    )
+    p.add_argument(
+        "--spec", default=None, help="explicit bench campaign spec (overrides --smoke)"
+    )
+    p.add_argument(
+        "--baseline",
+        default="BENCH_step_throughput.json",
+        help="tracked baseline file to compare against and merge into",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="fail when steps/s drops by more than this fraction",
+    )
+    p.add_argument(
+        "--no-update",
+        action="store_true",
+        help="compare only; leave the baseline file unchanged",
+    )
+    p.add_argument("--campaign-dir", default="campaigns")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "analyze",

@@ -259,6 +259,68 @@ def _run_analyze(spec: TrialSpec) -> dict[str, Any]:
     return metrics
 
 
+def _run_bench(spec: TrialSpec) -> dict[str, Any]:
+    """One throughput cell of the tracked benchmark (docs/PERFORMANCE.md).
+
+    Routes the same instance a ``route`` trial would, but in benchmark
+    configuration: validation off, series recording off, and a
+    :class:`repro.perf.StepInstrumentation` probe attached.  The returned
+    metrics keep the two regimes apart: the top-level fields are
+    deterministic functions of the spec, while everything under
+    ``"timing"`` is wall-clock and machine-dependent.  Because of that
+    ``timing`` block, bench trials must be run with ``fresh=True`` (the
+    ``repro bench`` command always does) -- a cached timing is not a
+    measurement.
+
+    Repetition policy: best-of-3 for n < 128; a single run at n >= 128,
+    where cells are slow and the longer run self-averages.
+    """
+    from repro.perf import StepInstrumentation
+
+    topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
+    repeats = 3 if spec.n < 128 else 1
+    best_result = None
+    best_name = ""
+    for _ in range(repeats):
+        algorithm = build_router(spec)
+        packets = build_workload(spec.workload, topology, spec.seed)
+        sim = Simulator(topology, algorithm, packets, validate=False)
+        sim.instrument = StepInstrumentation()
+        result = sim.run(max_steps=spec.max_steps)
+        if (
+            best_result is None
+            or result.counters["wall_s"] < best_result.counters["wall_s"]
+        ):
+            best_result = result
+            best_name = algorithm.name
+    counters = best_result.counters
+    deterministic_keys = (
+        "scheduled_moves",
+        "accepted_moves",
+        "refused_moves",
+        "injected_packets",
+    )
+    return {
+        "algorithm_name": best_name,
+        "completed": best_result.completed,
+        "steps": best_result.steps,
+        "delivered": best_result.delivered,
+        "total_packets": best_result.total_packets,
+        "total_moves": best_result.total_moves,
+        "max_queue_len": best_result.max_queue_len,
+        "max_node_load": best_result.max_node_load,
+        "scheduled_moves": counters["scheduled_moves"],
+        "refused_moves": counters["refused_moves"],
+        "injected_packets": counters["injected_packets"],
+        "repeats": repeats,
+        "timing": {
+            key: value
+            for key, value in counters.items()
+            if key not in deterministic_keys
+        },
+    }
+
+
 _RUNNERS = {
     "route": _run_route,
     "lower_bound": _run_lower_bound,
@@ -266,6 +328,7 @@ _RUNNERS = {
     "sort_route": _run_sort_route,
     "verify": _run_verify,
     "analyze": _run_analyze,
+    "bench": _run_bench,
 }
 
 

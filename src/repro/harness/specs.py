@@ -19,7 +19,15 @@ import pathlib
 from dataclasses import dataclass, field, fields
 from typing import Any, Iterable
 
-TRIAL_KINDS = ("route", "lower_bound", "section6", "sort_route", "verify", "analyze")
+TRIAL_KINDS = (
+    "route",
+    "lower_bound",
+    "section6",
+    "sort_route",
+    "verify",
+    "analyze",
+    "bench",
+)
 
 ROUTE_ALGORITHMS = (
     "dor",
@@ -84,9 +92,10 @@ class TrialSpec:
             raise ValueError(f"unknown trial kind {self.kind!r}; expected one of {TRIAL_KINDS}")
         if self.n < 2:
             raise ValueError(f"n must be >= 2, got {self.n}")
-        if self.kind == "route" and self.algorithm not in ROUTE_ALGORITHMS:
+        if self.kind in ("route", "bench") and self.algorithm not in ROUTE_ALGORITHMS:
             raise ValueError(
-                f"unknown route algorithm {self.algorithm!r}; expected one of {ROUTE_ALGORITHMS}"
+                f"unknown {self.kind} algorithm {self.algorithm!r}; "
+                f"expected one of {ROUTE_ALGORITHMS}"
             )
         if self.kind == "lower_bound":
             if self.construction not in CONSTRUCTIONS:
@@ -100,7 +109,10 @@ class TrialSpec:
                     f"construction {self.construction!r} cannot attack {victim!r}; "
                     f"expected one of {allowed}"
                 )
-        if self.kind in ("route", "section6", "sort_route") and self.workload not in WORKLOADS:
+        if (
+            self.kind in ("route", "section6", "sort_route", "bench")
+            and self.workload not in WORKLOADS
+        ):
             raise ValueError(f"unknown workload {self.workload!r}; expected one of {WORKLOADS}")
         if self.kind == "verify":
             if self.workload not in VERIFY_FAMILIES:

@@ -65,6 +65,16 @@ _OPPOSITE = {
     Direction.W: Direction.E,
 }
 
+#: ``OPPOSITE[d]`` is the reverse of ``d``, indexed by ``IntEnum`` value.
+#: Hot paths use this instead of the :attr:`Direction.opposite` property,
+#: whose descriptor-protocol call is measurable in the step loop.
+OPPOSITE: tuple[Direction, ...] = (
+    Direction.S,
+    Direction.W,
+    Direction.N,
+    Direction.E,
+)
+
 #: All four directions in deterministic (N, E, S, W) order.
 DIRECTIONS: tuple[Direction, ...] = (
     Direction.N,

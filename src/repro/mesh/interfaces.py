@@ -22,6 +22,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.mesh.transitions import TransitionModel
 
 
+#: Memoized ``repr`` strings for queue keys.  Queue keys are drawn from a
+#: handful of values (``"central"`` or the four directions), but the step
+#: loop sorts them constantly; caching the repr preserves the exact
+#: ``sorted(..., key=repr)`` ordering contract without re-stringifying.
+_KEY_REPRS: dict[Any, str] = {}
+
+
+def _key_repr(key: Any) -> str:
+    s = _KEY_REPRS.get(key)
+    if s is None:
+        s = _KEY_REPRS.setdefault(key, repr(key))
+    return s
+
+
 @dataclass(frozen=True)
 class RoutingContract:
     """The machine-checkable claims a routing algorithm makes about itself.
@@ -83,6 +97,7 @@ class NodeContext:
         "_view_factory",
         "_views",
         "_packets",
+        "_keys",
     )
 
     def __init__(
@@ -104,13 +119,14 @@ class NodeContext:
         self._view_factory = view_factory
         self._views: dict[Any, list[PacketView]] = {}
         self._packets: tuple[PacketView, ...] | None = None
+        self._keys: list[Any] | None = None
 
     @property
     def packets(self) -> tuple[PacketView, ...]:
         """All packet views in the node, queue by queue, in arrival order."""
         if self._packets is None:
             flat: list[PacketView] = []
-            for key in sorted(self._raw, key=repr):
+            for key in sorted(self._raw, key=_key_repr):
                 flat.extend(self.queue(key))
             self._packets = tuple(flat)
         return self._packets
@@ -122,13 +138,15 @@ class NodeContext:
             raw = self._raw.get(key)
             if not raw:
                 return ()
-            views = [self._view_factory(p) for p in raw]
+            views = self._view_factory(raw)
             self._views[key] = views
         return views
 
     @property
     def queue_keys(self) -> Iterable[Any]:
-        return [k for k, q in self._raw.items() if q]
+        if self._keys is None:
+            self._keys = [k for k, q in self._raw.items() if q]
+        return self._keys
 
     def occupancy(self, key: Any) -> int:
         """Number of packets currently in queue ``key``."""
@@ -163,6 +181,15 @@ class RoutingAlgorithm(abc.ABC):
     destination_exchangeable: ClassVar[bool] = True
     minimal: ClassVar[bool] = True
     needs_idle_updates: ClassVar[bool] = False
+    #: Declares that the inqueue policy accepts *every* offer made to a node
+    #: holding no packets at all.  Purely an optimization contract: when
+    #: True, the simulator may skip the inqueue call for unoccupied target
+    #: nodes and accept all offers in inlink order -- exactly what the
+    #: policy would return.  Leave False (the default) unless the policy
+    #: provably never refuses into an empty node (e.g. Theorem 15's
+    #: organization, where every per-inlink queue has capacity >= 1 and
+    #: occupancy 0).  Declaring it untruthfully changes behaviour.
+    accepts_all_into_empty: ClassVar[bool] = False
     #: True for algorithms that route strictly row-first then column (the
     #: Section 5 dimension-order constructions require this path structure).
     dimension_ordered: ClassVar[bool] = False
@@ -245,6 +272,13 @@ class RoutingAlgorithm(abc.ABC):
 
     # -- the per-step policies -------------------------------------------------
 
+    #: Declares that :meth:`outqueue_from_views` is implemented and returns
+    #: exactly what :meth:`outqueue` would for the same node contents.
+    #: Purely an optimization contract (like ``accepts_all_into_empty``):
+    #: when True, the simulator may call the views-based variant directly
+    #: and skip building a :class:`NodeContext` for the scheduling phase.
+    fast_outqueue: ClassVar[bool] = False
+
     @abc.abstractmethod
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
         """Choose at most one packet per outlink to attempt to transmit.
@@ -252,6 +286,28 @@ class RoutingAlgorithm(abc.ABC):
         Returns a mapping from outlink direction to the view of the packet
         scheduled on it.  A packet may be scheduled on at most one outlink.
         """
+
+    def outqueue_from_views(
+        self,
+        node: tuple[int, int],
+        state: Any,
+        out_directions: tuple[Direction, ...],
+        time: int,
+        views_by_key: Mapping[Any, Sequence[PacketView]],
+    ) -> Mapping[Direction, PacketView]:
+        """Context-free variant of :meth:`outqueue` (opt-in fast path).
+
+        ``views_by_key`` maps each nonempty queue key to its views in
+        arrival (FIFO) order, in the same key order ``ctx.queue_keys``
+        would yield.  Everything passed here is information a
+        :class:`NodeContext` already exposes, so the visibility discipline
+        is unchanged.  Implementations must be observationally equivalent
+        to :meth:`outqueue` and set ``fast_outqueue = True``; the simulator
+        may then invoke either entry point.
+        """
+        raise NotImplementedError(
+            f"{self.name}: fast_outqueue declared without outqueue_from_views"
+        )
 
     @abc.abstractmethod
     def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:

@@ -70,6 +70,16 @@ class QueueSpec:
         self.capacity = capacity
         self.kind = kind
         self._initial_key = initial_key or default_incoming_initial_key
+        # Hot-path tables: arrival_key / initial_key are called once per
+        # transmitted packet per step, so precompute the per-direction
+        # arrival map and memoize initial keys per profitable set (the
+        # profitable frozensets are interned by the topology layer, so this
+        # cache stays tiny).
+        self._central = self.kind == KIND_CENTRAL
+        self._arrival_map: dict[Direction, Any] = {
+            d: (CENTRAL if self._central else d) for d in DIRECTIONS
+        }
+        self._initial_cache: dict[frozenset[Direction], Any] = {}
 
     @property
     def keys(self) -> tuple[Any, ...]:
@@ -85,15 +95,18 @@ class QueueSpec:
 
     def arrival_key(self, came_from: Direction) -> Any:
         """Queue for a packet arriving on the inlink from ``came_from``."""
-        if self.kind == KIND_CENTRAL:
-            return CENTRAL
-        return came_from
+        return self._arrival_map[came_from]
 
     def initial_key(self, profitable: frozenset[Direction]) -> Any:
         """Queue for a packet injected at its source node."""
-        if self.kind == KIND_CENTRAL:
+        if self._central:
             return CENTRAL
-        return self._initial_key(profitable)
+        key = self._initial_cache.get(profitable)
+        if key is None:
+            key = self._initial_cache.setdefault(
+                profitable, self._initial_key(profitable)
+            )
+        return key
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"QueueSpec(capacity={self.capacity}, kind={self.kind!r})"

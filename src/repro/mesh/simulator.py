@@ -19,9 +19,11 @@ bugs are caught too), and queue capacities after every transmission.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, NamedTuple
 
+from repro.mesh.directions import OPPOSITE as _OPP
 from repro.mesh.directions import Direction
 from repro.mesh.errors import (
     InvalidScheduleError,
@@ -35,22 +37,17 @@ from repro.mesh.topology import Topology
 from repro.mesh.visibility import FullPacketView, Offer, PacketView
 
 
-class ScheduledMove:
-    """One packet scheduled on one outlink during phase (a)."""
+class ScheduledMove(NamedTuple):
+    """One packet scheduled on one outlink during phase (a).
 
-    __slots__ = ("packet", "src", "direction", "target")
+    A NamedTuple: one is allocated per scheduled move every step, and the
+    tuple layout keeps both construction and field access at C speed.
+    """
 
-    def __init__(
-        self,
-        packet: Packet,
-        src: tuple[int, int],
-        direction: Direction,
-        target: tuple[int, int],
-    ) -> None:
-        self.packet = packet
-        self.src = src
-        self.direction = direction
-        self.target = target
+    packet: Packet
+    src: tuple[int, int]
+    direction: Direction
+    target: tuple[int, int]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ScheduledMove({self.packet!r} {self.src}-{self.direction.name}->{self.target})"
@@ -93,6 +90,13 @@ class RunResult:
     total_moves: int
     delivery_times: dict[int, int] = field(repr=False, default_factory=dict)
     series: list[StepRecord] = field(repr=False, default_factory=list)
+    #: Instrumentation counters (see docs/PERFORMANCE.md).  Always contains
+    #: the deterministic scheduling counters (``scheduled_moves``,
+    #: ``accepted_moves``, ``refused_moves``, ``injected_packets``); when a
+    #: :class:`repro.perf.StepInstrumentation` was attached it additionally
+    #: carries wall-clock fields (``wall_s``, ``steps_per_s``, per-phase
+    #: ``phase_*_s`` and ``hooks_s``), which are *not* deterministic.
+    counters: dict[str, Any] = field(repr=False, default_factory=dict)
 
 
 Interceptor = Callable[["Simulator", list[ScheduledMove]], None]
@@ -153,10 +157,50 @@ class Simulator:
         self.total_moves = 0
         self.max_queue_len = 0
         self.max_node_load = 0
+        #: Deterministic scheduling counters (see docs/PERFORMANCE.md):
+        #: moves scheduled by outqueue policies, moves refused (inqueue
+        #: refusals plus link-filter drops), and dynamic packets injected.
+        #: Accepted moves equal :attr:`total_moves`.
+        self.scheduled_moves = 0
+        self.refused_moves = 0
+        self.injected_packets = 0
+        #: Optional perf probe (:class:`repro.perf.StepInstrumentation`).
+        #: When None -- the default -- the step loop pays only a few
+        #: ``is not None`` checks; when attached, it is called at every
+        #: phase boundary to accumulate per-phase wall time.
+        self.instrument: Any = None
         self.series: list[StepRecord] = []
         self._pending: list[Packet] = []
         self._in_flight = 0
-        self._out_dirs_cache: dict[tuple[int, int], tuple[Direction, ...]] = {}
+        # Precomputed geometry (built once per topology, shared across
+        # simulators): per-node outlink targets and outlink direction sets.
+        self._neighbors: dict[tuple[int, int], tuple[tuple[int, int] | None, ...]] = (
+            dict(zip(topology.nodes(), topology.neighbor_table()))
+        )
+        self._out_dirs: dict[tuple[int, int], tuple[Direction, ...]] = (
+            dict(zip(topology.nodes(), topology.out_directions_table()))
+        )
+        # Per-node view-factory closures, so _context() does not allocate a
+        # fresh lambda for every (node, phase, step) triple.
+        self._view_factories: dict[
+            tuple[int, int], Callable[[list[Packet]], list[PacketView]]
+        ] = {}
+        # pid -> the queue (list object) the packet currently sits in, so
+        # departures reach into the right queue directly instead of scanning
+        # every queue.  Queue lists are mutated in place, never replaced,
+        # while occupied, so the reference stays valid until the packet moves.
+        self._queue_of: dict[int, list[Packet]] = {}
+        # Occupied nodes in sorted order, maintained incrementally (insort on
+        # first arrival/injection at a node, bisect-delete on prune) so phase
+        # (a) does not re-sort ~every node each step.
+        self._sorted_nodes: list[tuple[int, int]] = []
+        # node -> total packets held, maintained incrementally (injection and
+        # arrival increment, departure decrements).  Lets the transmit phase
+        # update the load maxima without re-summing each receiving node.
+        self._node_load: dict[tuple[int, int], int] = {}
+        # Hoisted hot-path attributes (bound once; see docs/PERFORMANCE.md).
+        self._dest_exchangeable = algorithm.destination_exchangeable
+        self._profitable = topology.profitable_directions
         #: Hook points for observers (the repro.verify oracle layer).  Pre
         #: hooks run at the top of :meth:`step` (before injection and
         #: scheduling); post hooks run at the very end with the transmitted
@@ -199,7 +243,9 @@ class Simulator:
                 profitable = self.topology.profitable_directions(node, p.dest)
                 p.state = self.algorithm.initial_packet_state(self._make_view(p, profitable))
                 key = self.spec.initial_key(profitable)
-                node_queues.setdefault(key, []).append(p)
+                q = node_queues.setdefault(key, [])
+                q.append(p)
+                self._queue_of[p.pid] = q
                 views.append(self._make_view(p, profitable))
                 self._in_flight += 1
             state = self.algorithm.initial_node_state(node, views)
@@ -207,38 +253,90 @@ class Simulator:
                 self.node_states[node] = state
             self._check_capacity(node)
             self._note_load(node)
+        self._sorted_nodes = sorted(self.queues)
 
     # -- views ---------------------------------------------------------------
 
     def _make_view(self, packet: Packet, profitable: frozenset[Direction]) -> PacketView:
-        if self.algorithm.destination_exchangeable:
+        if self._dest_exchangeable:
             return PacketView(packet, profitable)
         disp = self.topology.displacement(packet.pos, packet.dest)
         return FullPacketView(packet, profitable, disp)
 
     def _view_at(self, packet: Packet, node: tuple[int, int]) -> PacketView:
-        profitable = self.topology.profitable_directions(node, packet.dest)
-        if self.algorithm.destination_exchangeable:
-            return PacketView(packet, profitable)
-        disp = self.topology.displacement(node, packet.dest)
-        return FullPacketView(packet, profitable, disp)
+        return self._view_factory(node)([packet])[0]
 
-    def _context(self, node: tuple[int, int]) -> NodeContext:
+    def _view_factory(
+        self, node: tuple[int, int]
+    ) -> Callable[[list[Packet]], list[PacketView]]:
+        # One flat closure per node, mapping a whole raw queue to its view
+        # list in a single call (the step loop builds a view for nearly
+        # every in-flight packet every step, so the factory avoids both the
+        # method-dispatch chain and a per-packet call frame).
+        factory = self._view_factories.get(node)
+        if factory is None:
+            profitable = self._profitable
+            # Construct views via ``__new__`` + slot writes rather than the
+            # constructor: same fields, same values, but no ``__init__``
+            # call frame for the hottest allocation in the step loop.
+            if self._dest_exchangeable:
+
+                def factory(
+                    raw: list[Packet],
+                    node: tuple[int, int] = node,
+                    profitable: Callable[..., frozenset[Direction]] = profitable,
+                    view_cls: type[PacketView] = PacketView,
+                    new: Callable[..., Any] = PacketView.__new__,
+                ) -> list[PacketView]:
+                    out = []
+                    for p in raw:
+                        v = new(view_cls)
+                        v._packet = p
+                        v.key = p.pid
+                        v.source = p.source
+                        v.profitable = profitable(node, p.dest)
+                        out.append(v)
+                    return out
+
+            else:
+                displacement = self.topology.displacement
+
+                def factory(
+                    raw: list[Packet],
+                    node: tuple[int, int] = node,
+                    profitable: Callable[..., frozenset[Direction]] = profitable,
+                    view_cls: type[FullPacketView] = FullPacketView,
+                    new: Callable[..., Any] = FullPacketView.__new__,
+                ) -> list[PacketView]:
+                    out = []
+                    for p in raw:
+                        v = new(view_cls)
+                        v._packet = p
+                        v.key = p.pid
+                        v.source = p.source
+                        v.profitable = profitable(node, p.dest)
+                        v.dest = p.dest
+                        v.displacement = displacement(node, p.dest)
+                        out.append(v)
+                    return out
+
+            self._view_factories[node] = factory
+        return factory
+
+    def _context(
+        self, node: tuple[int, int], raw: dict[Any, list[Packet]] | None = None
+    ) -> NodeContext:
         return NodeContext(
             node,
             self.node_states.get(node),
-            self._out_directions(node),
+            self._out_dirs[node],
             self.time,
-            self.queues.get(node, {}),
-            lambda p, node=node: self._view_at(p, node),
+            self.queues.get(node, {}) if raw is None else raw,
+            self._view_factory(node),
         )
 
     def _out_directions(self, node: tuple[int, int]) -> tuple[Direction, ...]:
-        dirs = self._out_dirs_cache.get(node)
-        if dirs is None:
-            dirs = self.topology.out_directions(node)
-            self._out_dirs_cache[node] = dirs
-        return dirs
+        return self._out_dirs[node]
 
     # -- introspection (used by adversaries, tests, and metrics) ---------------
 
@@ -294,45 +392,143 @@ class Simulator:
 
     def step(self) -> list[ScheduledMove]:
         """Run one synchronous step; returns the moves that were transmitted."""
+        instr = self.instrument
+        if instr is not None:
+            instr.begin_step()
         self.time += 1
         if self.pre_step_hooks:
             for hook in self.pre_step_hooks:
                 hook(self)
-        self._inject_pending()
+            if instr is not None:
+                instr.mark("hooks")
+        if self._pending:
+            self._inject_pending()
 
-        # (a) outqueue policies.
+        # (a) outqueue policies.  Every node present in ``queues`` holds at
+        # least one packet: _prune_empty() maintains that invariant at the
+        # end of every step and _load()/_inject_pending() only ever add
+        # occupied nodes.
         schedule: list[ScheduledMove] = []
-        for node in sorted(self.queues):
-            if not any(self.queues[node].values()):
-                continue
-            ctx = self._context(node)
-            if not ctx.packets:
-                continue
-            chosen = self.algorithm.outqueue(ctx)
+        neighbors = self._neighbors
+        outqueue = self.algorithm.outqueue
+        validate = self.validate
+        # Contexts built here are reused by phase (c) (same step, queues
+        # untouched in between) unless an interceptor runs: its destination
+        # exchanges would leave already-materialized views stale.
+        contexts: dict[tuple[int, int], NodeContext] = {}
+        # When nothing between scheduling and the inqueue phase can change a
+        # chosen view (no interceptor, no link filter), the offers are built
+        # right here in phase (a); otherwise phase (c) rebuilds them from
+        # post-exchange state.
+        build_offers = self.interceptor is None and self.link_filter is None
+        offers_by_target: dict[tuple[int, int], list[tuple[Offer, ScheduledMove]]] = {}
+        obt_get = offers_by_target.get
+        make_offer = Offer
+        make_move = ScheduledMove
+        opp = _OPP
+        node_states = self.node_states
+        node_state = node_states.get
+        out_dirs = self._out_dirs
+        view_factory = self._view_factory
+        factories = self._view_factories
+        queues = self.queues
+        now = self.time
+        if validate and len(self._sorted_nodes) != len(queues):
+            raise InvalidScheduleError(
+                "occupied-node index out of sync with queues (internal error)"
+            )
+        # Policies declaring ``fast_outqueue`` take the views directly and
+        # need no NodeContext at all for this phase (phase (c) builds its
+        # own contexts on demand; phase (e) always does).
+        fast_out = (
+            self.algorithm.outqueue_from_views
+            if self.algorithm.fast_outqueue
+            else None
+        )
+        for node in self._sorted_nodes:
+            node_queues = queues[node]
+            factory = factories.get(node)
+            if factory is None:
+                factory = view_factory(node)
+            # Build every queue's views up front: outqueue policies read
+            # (nearly) all of their node's queues, so eager construction
+            # skips the per-queue lazy plumbing entirely.
+            views_map: dict[Any, list[PacketView]] = {}
+            keys = []
+            for key, q in node_queues.items():
+                if q:
+                    keys.append(key)
+                    views_map[key] = factory(q)
+            if fast_out is not None:
+                chosen = fast_out(
+                    node,
+                    node_state(node) if node_states else None,
+                    out_dirs[node],
+                    now,
+                    views_map,
+                )
+            else:
+                ctx = NodeContext(
+                    node,
+                    node_state(node) if node_states else None,
+                    out_dirs[node],
+                    now,
+                    node_queues,
+                    factory,
+                )
+                ctx._views = views_map
+                ctx._keys = keys
+                contexts[node] = ctx
+                chosen = outqueue(ctx)
             if not chosen:
                 continue
-            if self.validate:
-                self._validate_schedule(node, ctx, chosen)
+            if validate:
+                if len(chosen) > 1:
+                    self._validate_schedule(node, chosen)
+                else:
+                    # One scheduled outlink: only the position check applies.
+                    for view in chosen.values():
+                        if view._packet.pos != node:
+                            raise InvalidScheduleError(
+                                f"{self.algorithm.name}: node {node} scheduled packet "
+                                f"{view._packet.pid} which is at {view._packet.pos}"
+                            )
+            nbr_row = neighbors[node]
             for direction, view in chosen.items():
-                target = self.topology.neighbor(node, direction)
+                target = nbr_row[direction]
                 if target is None:
                     raise InvalidScheduleError(
                         f"{self.algorithm.name}: node {node} scheduled on missing "
                         f"outlink {direction.name}"
                     )
-                schedule.append(ScheduledMove(view._packet, node, direction, target))
+                mv = make_move(view._packet, node, direction, target)
+                schedule.append(mv)
+                if build_offers:
+                    pairs = obt_get(target)
+                    if pairs is None:
+                        offers_by_target[target] = [
+                            (make_offer(view, opp[direction], node), mv)
+                        ]
+                    else:
+                        pairs.append((make_offer(view, opp[direction], node), mv))
+        scheduled_count = len(schedule)
+        self.scheduled_moves += scheduled_count
+        if instr is not None:
+            instr.mark("a")
 
         # (b) interceptor (the adversary's exchanges happen here).
         if self.interceptor is not None:
             self.interceptor(self, schedule)
+            if instr is not None:
+                instr.mark("hooks")
 
         # Minimality is checked against post-exchange destinations: the
         # adversary must leave every scheduled move profitable (Section 3's
         # exchange rules guarantee this; we verify).
         if self.validate and self.algorithm.minimal:
+            profitable_of = self._profitable
             for mv in schedule:
-                profitable = self.topology.profitable_directions(mv.src, mv.packet.dest)
-                if mv.direction not in profitable:
+                if mv.direction not in profitable_of(mv.src, mv.packet.dest):
                     raise NonMinimalMoveError(
                         f"packet {mv.packet.pid} at {mv.src} scheduled "
                         f"{mv.direction.name}, unprofitable for dest {mv.packet.dest}"
@@ -347,63 +543,177 @@ class Simulator:
                 for mv in schedule
                 if self.link_filter(mv.src, mv.direction, self.time)
             ]
+        if instr is not None:
+            instr.mark("b")
 
-        # (c) inqueue policies.
-        offers_by_target: dict[tuple[int, int], list[tuple[Offer, ScheduledMove]]] = {}
-        for mv in schedule:
-            view = self._view_at(mv.packet, mv.src)  # profitable from sender
-            offer = Offer(view, mv.direction.opposite, mv.src)
-            offers_by_target.setdefault(mv.target, []).append((offer, mv))
+        # (c) inqueue policies.  Offer views carry profitable-from-sender
+        # sets; the views chosen in phase (a) are exactly that (and the
+        # offers were already built there) unless an interceptor exchanged
+        # destinations or a link filter dropped moves, in which case the
+        # offers are rebuilt here from post-exchange state.
+        if not build_offers:
+            offers_by_target = {}
+            view_at = self._view_at
+            for mv in schedule:
+                offer = Offer(view_at(mv.packet, mv.src), _OPP[mv.direction], mv.src)
+                pairs = offers_by_target.get(mv.target)
+                if pairs is None:
+                    offers_by_target[mv.target] = [(offer, mv)]
+                else:
+                    pairs.append((offer, mv))
 
         accepted_moves: list[ScheduledMove] = []
         touched: set[tuple[int, int]] = set()
-        for target in sorted(offers_by_target):
-            pairs = offers_by_target[target]
-            pairs.sort(key=lambda pair: pair[0].came_from)
-            offers = [pair[0] for pair in pairs]
-            by_offer = {id(pair[0]): pair[1] for pair in pairs}
-            ctx = self._context(target)
-            accepted = list(self.algorithm.inqueue(ctx, offers))
-            if self.validate:
-                ids = {id(o) for o in offers}
-                for off in accepted:
-                    if id(off) not in ids:
-                        raise InvalidScheduleError(
-                            f"{self.algorithm.name}: inqueue at {target} accepted "
-                            "an offer it was not given"
-                        )
-                if len({id(o) for o in accepted}) != len(accepted):
-                    raise InvalidScheduleError(
-                        f"{self.algorithm.name}: inqueue at {target} accepted "
-                        "an offer twice"
-                    )
-            for off in accepted:
-                accepted_moves.append(by_offer[id(off)])
-            touched.add(target)
-            touched.update(pair[1].src for pair in pairs)
+        reuse_contexts = self.interceptor is None
+        # ``touched`` feeds phase (e) only; with the default no-op
+        # after_step, phase (e) is skipped and tracking would be waste.
+        track_touched = not self._default_after_step
+        inqueue = self.algorithm.inqueue
+        get_ctx = contexts.get
+        accepts_all_empty = self.algorithm.accepts_all_into_empty
+        for target, pairs in sorted(offers_by_target.items()):
+            multi = len(pairs) > 1
+            if multi:
+                pairs.sort(key=lambda pair: pair[0].came_from)
+            if accepts_all_empty and target not in queues:
+                # Declared contract (accepts_all_into_empty): the policy
+                # accepts every offer into an unoccupied node, in inlink
+                # order -- exactly what calling it would return, so the
+                # context build and the inqueue call are skipped.
+                if multi:
+                    accepted_moves.extend(pair[1] for pair in pairs)
+                else:
+                    accepted_moves.append(pairs[0][1])
+                if track_touched:
+                    touched.add(target)
+                    for pair in pairs:
+                        touched.add(pair[1].src)
+                continue
+            offers: Any = [pair[0] for pair in pairs] if multi else (pairs[0][0],)
+            ctx = get_ctx(target) if reuse_contexts else None
+            if ctx is None:
+                # Mostly unoccupied targets: build the context inline with
+                # the locals phase (a) already hoisted.
+                factory = factories.get(target)
+                if factory is None:
+                    factory = view_factory(target)
+                ctx = NodeContext(
+                    target,
+                    node_state(target) if node_states else None,
+                    out_dirs[target],
+                    now,
+                    queues.get(target) or {},
+                    factory,
+                )
+            accepted = inqueue(ctx, offers)
+            if not isinstance(accepted, (list, tuple)):
+                accepted = list(accepted)
+            if accepted:
+                # Moves are appended in (target, inlink-direction) order:
+                # targets iterate sorted, and multi-accept groups are sorted
+                # by inlink here, so phase (d) needs no global re-sort.
+                if len(accepted) == 1 and len(pairs) == 1 and accepted[0] is pairs[0][0]:
+                    # The returned offer *is* the single offer given, so the
+                    # validate identity checks below hold vacuously.
+                    accepted_moves.append(pairs[0][1])
+                else:
+                    if validate:
+                        ids = {id(o) for o in offers}
+                        for off in accepted:
+                            if id(off) not in ids:
+                                raise InvalidScheduleError(
+                                    f"{self.algorithm.name}: inqueue at {target} accepted "
+                                    "an offer it was not given"
+                                )
+                        if len({id(o) for o in accepted}) != len(accepted):
+                            raise InvalidScheduleError(
+                                f"{self.algorithm.name}: inqueue at {target} accepted "
+                                "an offer twice"
+                            )
+                    by_offer = {id(pair[0]): pair[1] for pair in pairs}
+                    if len(accepted) == 1:
+                        accepted_moves.append(by_offer[id(accepted[0])])
+                    else:
+                        moves = [by_offer[id(off)] for off in accepted]
+                        moves.sort(key=lambda m: _OPP[m.direction])
+                        accepted_moves.extend(moves)
+            if track_touched:
+                touched.add(target)
+                for pair in pairs:
+                    touched.add(pair[1].src)
+        self.refused_moves += scheduled_count - len(accepted_moves)
+        if instr is not None:
+            instr.mark("c")
 
-        # (d) transmit: departures first, then arrivals.
-        accepted_moves.sort(key=lambda mv: (mv.target, mv.direction.opposite))
+        # (d) transmit: departures first, then arrivals.  ``accepted_moves``
+        # is already in (target, inlink-direction) order (see phase (c)).
+        queue_of = self._queue_of
+        node_load = self._node_load
+        sources: set[tuple[int, int]] = set()
         for mv in accepted_moves:
-            self._remove_packet(mv.src, mv.packet)
+            src = mv.src
+            p = mv.packet
+            # Inlined _remove_packet fast path: _queue_of holds the queue
+            # (exceptions are free until raised on 3.11+, and the fallback
+            # scan below re-raises the typed error for truly absent packets).
+            try:
+                queue_of[p.pid].remove(p)
+            except (KeyError, ValueError):
+                self._remove_packet(src, p)
+            node_load[src] -= 1
+            sources.add(src)
         arrivals: set[tuple[int, int]] = set()
+        arrival_map = self.spec._arrival_map
+        record_link_loads = self.record_link_loads
+        delivery_times = self.delivery_times
+        self.total_moves += len(accepted_moves)
+        max_queue_len = self.max_queue_len
+        max_node_load = self.max_node_load
+        capacity = self.spec.capacity
         for mv in accepted_moves:
             p = mv.packet
-            p.pos = mv.target
-            self.total_moves += 1
-            if self.record_link_loads:
+            target = mv.target
+            p.pos = target
+            if record_link_loads:
                 key = (mv.src, mv.direction)
                 self.link_loads[key] = self.link_loads.get(key, 0) + 1
-            if p.pos == p.dest:
-                self.delivery_times[p.pid] = self.time
+            if target == p.dest:
+                delivery_times[p.pid] = self.time
                 self._in_flight -= 1
+                queue_of.pop(p.pid, None)
             else:
-                key = self.spec.arrival_key(mv.direction.opposite)
-                self.queues.setdefault(mv.target, {}).setdefault(key, []).append(p)
-                arrivals.add(mv.target)
-        for node in sorted(arrivals):
-            self._check_capacity(node)
-            self._note_load(node)
+                key = arrival_map[opp[mv.direction]]
+                node_queues = queues.get(target)
+                if node_queues is None:
+                    queues[target] = node_queues = {}
+                    insort(self._sorted_nodes, target)
+                q = node_queues.get(key)
+                if q is None:
+                    node_queues[key] = q = [p]
+                else:
+                    q.append(p)
+                queue_of[p.pid] = q
+                load = node_load.get(target, 0) + 1
+                node_load[target] = load
+                arrivals.add(target)
+                # Maxima update fused into the arrival: loads only grow
+                # during this loop (departures already happened), so the
+                # running values reach exactly the per-step maxima.  Only an
+                # appended-to queue can newly exceed capacity, so the check
+                # lives here too, reporting the first offending arrival.
+                n = len(q)
+                if n > max_queue_len:
+                    max_queue_len = n
+                if load > max_node_load:
+                    max_node_load = load
+                if validate and n > capacity:
+                    raise QueueOverflowError(
+                        self.algorithm.name, target, key, n, capacity
+                    )
+        self.max_queue_len = max_queue_len
+        self.max_node_load = max_node_load
+        if instr is not None:
+            instr.mark("d")
 
         # (e) state updates from end-of-step contents.  Skipped entirely for
         # algorithms that keep the base-class no-op after_step: they can
@@ -423,7 +733,10 @@ class Simulator:
                 else:
                     self.node_states[node] = new_state
 
-        self._prune_empty()
+        # Only a node that sent without receiving can have emptied this step.
+        self._prune_empty(sources - arrivals)
+        if instr is not None:
+            instr.mark("e")
 
         if self.record_series:
             self.series.append(
@@ -438,6 +751,10 @@ class Simulator:
         if self.post_step_hooks:
             for hook in self.post_step_hooks:
                 hook(self, accepted_moves)
+            if instr is not None:
+                instr.mark("hooks")
+        if instr is not None:
+            instr.end_step()
         return accepted_moves
 
     # -- step helpers ---------------------------------------------------------
@@ -463,8 +780,15 @@ class Simulator:
                 continue
             p.pos = p.source
             p.state = self.algorithm.initial_packet_state(self._make_view(p, profitable))
-            self.queues.setdefault(p.source, {}).setdefault(key, []).append(p)
+            node_queues = self.queues.get(p.source)
+            if node_queues is None:
+                self.queues[p.source] = node_queues = {}
+                insort(self._sorted_nodes, p.source)
+            q = node_queues.setdefault(key, [])
+            q.append(p)
+            self._queue_of[p.pid] = q
             self._in_flight += 1
+            self.injected_packets += 1
             self._check_capacity(p.source)
             self._note_load(p.source)
         self._pending = still_pending
@@ -472,9 +796,18 @@ class Simulator:
     def _validate_schedule(
         self,
         node: tuple[int, int],
-        ctx: NodeContext,
         chosen: dict[Direction, PacketView],
     ) -> None:
+        if len(chosen) == 1:
+            # Common case: one scheduled outlink, so no duplicate to detect.
+            for view in chosen.values():
+                p = view._packet
+                if p.pos != node:
+                    raise InvalidScheduleError(
+                        f"{self.algorithm.name}: node {node} scheduled packet "
+                        f"{p.pid} which is at {p.pos}"
+                    )
+            return
         seen_packets: set[int] = set()
         for direction, view in chosen.items():
             p = view._packet
@@ -491,6 +824,13 @@ class Simulator:
             seen_packets.add(p.pid)
 
     def _remove_packet(self, node: tuple[int, int], packet: Packet) -> None:
+        # Fast path: _queue_of holds the queue list the packet sits in, so
+        # removal needs no per-queue trial scans (list.remove raising
+        # ValueError per miss is measurable at transmit volume).
+        q = self._queue_of.get(packet.pid)
+        if q is not None and packet in q:
+            q.remove(packet)
+            return
         for q in self.queues.get(node, {}).values():
             try:
                 q.remove(packet)
@@ -517,12 +857,23 @@ class Simulator:
             load += n
             if n > self.max_queue_len:
                 self.max_queue_len = n
+        self._node_load[node] = load
         if load > self.max_node_load:
             self.max_node_load = load
 
-    def _prune_empty(self) -> None:
-        for node in [n for n, qs in self.queues.items() if not any(qs.values())]:
-            del self.queues[node]
+    def _prune_empty(self, candidates: Iterable[tuple[int, int]] | None = None) -> None:
+        queues = self.queues
+        if candidates is None:  # full sweep
+            for node in [n for n, qs in queues.items() if not any(qs.values())]:
+                del queues[node]
+            self._sorted_nodes = sorted(queues)
+            return
+        sorted_nodes = self._sorted_nodes
+        for node in candidates:
+            qs = queues.get(node)
+            if qs is not None and not any(qs.values()):
+                del queues[node]
+                del sorted_nodes[bisect_left(sorted_nodes, node)]
 
     # -- driving -----------------------------------------------------------------
 
@@ -543,6 +894,23 @@ class Simulator:
         for _ in range(steps):
             self.step()
 
+    def counter_snapshot(self) -> dict[str, Any]:
+        """The instrumentation counters as of now (see docs/PERFORMANCE.md).
+
+        The scheduling counters are deterministic functions of (spec, seed);
+        the wall-clock fields contributed by an attached instrumentation
+        probe are not and live under distinct keys.
+        """
+        counters: dict[str, Any] = {
+            "scheduled_moves": self.scheduled_moves,
+            "accepted_moves": self.total_moves,
+            "refused_moves": self.refused_moves,
+            "injected_packets": self.injected_packets,
+        }
+        if self.instrument is not None:
+            counters.update(self.instrument.snapshot())
+        return counters
+
     def result(self) -> RunResult:
         return RunResult(
             completed=self.done,
@@ -554,4 +922,5 @@ class Simulator:
             total_moves=self.total_moves,
             delivery_times=dict(self.delivery_times),
             series=list(self.series),
+            counters=self.counter_snapshot(),
         )

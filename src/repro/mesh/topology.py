@@ -12,6 +12,20 @@ from typing import Iterator
 
 from repro.mesh.directions import DIRECTIONS, Direction
 
+#: Canonical instances of every profitable-outlink set.  At most one
+#: horizontal and one vertical direction can ever be profitable, so only
+#: nine distinct sets exist on the mesh (plus the torus's exact-halfway
+#: ties); interning them lets every (node, dest) cache entry share one
+#: frozenset object and keeps downstream dict lookups cheap.
+_INTERNED_DIRSETS: dict[frozenset[Direction], frozenset[Direction]] = {}
+
+
+def _intern_dirset(dirs: frozenset[Direction]) -> frozenset[Direction]:
+    canon = _INTERNED_DIRSETS.get(dirs)
+    if canon is None:
+        canon = _INTERNED_DIRSETS.setdefault(dirs, dirs)
+    return canon
+
 
 class Topology:
     """Base class for rectangular grid topologies.
@@ -32,6 +46,48 @@ class Topology:
             raise ValueError(f"topology must be at least 1x1, got {width}x{height}")
         self.width = width
         self.height = height
+        # Hot-path caches (see docs/PERFORMANCE.md).  Geometry is immutable,
+        # so these are pure memoizations: the profitable-direction cache maps
+        # (node, dest) to an interned frozenset, and the neighbor/outlink
+        # tables are precomputed per node (flat ids via :meth:`node_index`).
+        self._profitable_cache: dict[
+            tuple[tuple[int, int], tuple[int, int]], frozenset[Direction]
+        ] = {}
+        self._neighbor_flat: list[tuple[tuple[int, int] | None, ...]] | None = None
+        self._out_dirs_flat: list[tuple[Direction, ...]] | None = None
+
+    # -- precomputed tables -------------------------------------------------
+
+    def node_index(self, node: tuple[int, int]) -> int:
+        """Flat id of ``node`` in column-major (:meth:`nodes`) order."""
+        return node[0] * self.height + node[1]
+
+    def _build_tables(self) -> None:
+        nbr: list[tuple[tuple[int, int] | None, ...]] = []
+        outs: list[tuple[Direction, ...]] = []
+        for node in self.nodes():
+            row = tuple(self._neighbor_uncached(node, d) for d in DIRECTIONS)
+            nbr.append(row)
+            outs.append(tuple(d for d in DIRECTIONS if row[d] is not None))
+        self._neighbor_flat = nbr
+        self._out_dirs_flat = outs
+
+    def neighbor_table(self) -> list[tuple[tuple[int, int] | None, ...]]:
+        """Per-node outlink targets, indexed ``[node_index][direction]``.
+
+        Entry ``None`` means the outlink does not exist (mesh boundary).
+        Built once on first use; the simulator's transmit phase reads this
+        instead of recomputing :meth:`neighbor` arithmetic per move.
+        """
+        if self._neighbor_flat is None:
+            self._build_tables()
+        return self._neighbor_flat  # type: ignore[return-value]
+
+    def out_directions_table(self) -> list[tuple[Direction, ...]]:
+        """Per-node outlink directions in (N, E, S, W) order, by flat id."""
+        if self._out_dirs_flat is None:
+            self._build_tables()
+        return self._out_dirs_flat  # type: ignore[return-value]
 
     # -- basic geometry ----------------------------------------------------
 
@@ -56,11 +112,17 @@ class Topology:
 
         Returns None when the outlink does not exist (mesh boundary).
         """
+        return self._neighbor_uncached(node, direction)
+
+    def _neighbor_uncached(
+        self, node: tuple[int, int], direction: Direction
+    ) -> tuple[int, int] | None:
+        """Subclass geometry behind :meth:`neighbor` and the tables."""
         raise NotImplementedError
 
     def out_directions(self, node: tuple[int, int]) -> tuple[Direction, ...]:
         """The directions in which ``node`` has outlinks, in (N, E, S, W) order."""
-        return tuple(d for d in DIRECTIONS if self.neighbor(node, d) is not None)
+        return self.out_directions_table()[self.node_index(node)]
 
     def neighbors(self, node: tuple[int, int]) -> list[tuple[int, int]]:
         out = []
@@ -82,8 +144,21 @@ class Topology:
         """Outlinks of ``node`` that move a packet strictly closer to ``dest``.
 
         This is the only destination-derived information a
-        destination-exchangeable algorithm may use (Section 2).
+        destination-exchangeable algorithm may use (Section 2).  Results are
+        memoized per (node, dest) with interned frozensets: this is the
+        single most-called geometric query in the simulator's step loop.
         """
+        key = (node, dest)
+        cached = self._profitable_cache.get(key)
+        if cached is None:
+            cached = _intern_dirset(self._profitable_uncached(node, dest))
+            self._profitable_cache[key] = cached
+        return cached
+
+    def _profitable_uncached(
+        self, node: tuple[int, int], dest: tuple[int, int]
+    ) -> frozenset[Direction]:
+        """Subclass geometry behind :meth:`profitable_directions`."""
         raise NotImplementedError
 
     def displacement(
@@ -105,12 +180,38 @@ class Topology:
         return f"{type(self).__name__}({self.width}x{self.height})"
 
 
+#: Mesh profitable-direction sets, indexed ``[sign(dx) + 1][sign(dy) + 1]``
+#: where ``(dx, dy)`` is the displacement from node to destination.  On the
+#: mesh the profitable set depends on nothing but those two signs, so the
+#: whole query collapses to one table lookup (shared interned instances).
+_MESH_PROFITABLE: tuple[tuple[frozenset[Direction], ...], ...] = tuple(
+    tuple(
+        _intern_dirset(
+            frozenset(
+                ([Direction.N] if sy > 0 else [Direction.S] if sy < 0 else [])
+                + ([Direction.E] if sx > 0 else [Direction.W] if sx < 0 else [])
+            )
+        )
+        for sy in (-1, 0, 1)
+    )
+    for sx in (-1, 0, 1)
+)
+
+
 class Mesh(Topology):
     """The ``width x height`` mesh: bidirectional links between grid neighbours."""
 
     wraps = False
 
-    def neighbor(self, node: tuple[int, int], direction: Direction) -> tuple[int, int] | None:
+    def profitable_directions(
+        self, node: tuple[int, int], dest: tuple[int, int]
+    ) -> frozenset[Direction]:
+        # Overrides the base memo: the sign table needs no per-pair cache.
+        dx = dest[0] - node[0]
+        dy = dest[1] - node[1]
+        return _MESH_PROFITABLE[(dx > 0) - (dx < 0) + 1][(dy > 0) - (dy < 0) + 1]
+
+    def _neighbor_uncached(self, node: tuple[int, int], direction: Direction) -> tuple[int, int] | None:
         x, y = node
         nx, ny = x + direction.dx, y + direction.dy
         if 0 <= nx < self.width and 0 <= ny < self.height:
@@ -123,7 +224,7 @@ class Mesh(Topology):
     def displacement(self, node: tuple[int, int], dest: tuple[int, int]) -> tuple[int, int]:
         return (dest[0] - node[0], dest[1] - node[1])
 
-    def profitable_directions(
+    def _profitable_uncached(
         self, node: tuple[int, int], dest: tuple[int, int]
     ) -> frozenset[Direction]:
         dirs = []
@@ -149,7 +250,7 @@ class Torus(Topology):
 
     wraps = True
 
-    def neighbor(self, node: tuple[int, int], direction: Direction) -> tuple[int, int] | None:
+    def _neighbor_uncached(self, node: tuple[int, int], direction: Direction) -> tuple[int, int] | None:
         x, y = node
         return ((x + direction.dx) % self.width, (y + direction.dy) % self.height)
 
@@ -178,7 +279,7 @@ class Torus(Topology):
         dx, dy = self.displacement(a, b)
         return abs(dx) + abs(dy)
 
-    def profitable_directions(
+    def _profitable_uncached(
         self, node: tuple[int, int], dest: tuple[int, int]
     ) -> frozenset[Direction]:
         dirs: list[Direction] = []

@@ -17,7 +17,7 @@ policy can behave differently.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.mesh.directions import Direction
 from repro.mesh.packet import Packet
@@ -85,8 +85,11 @@ class FullPacketView(PacketView):
         self.displacement = displacement
 
 
-class Offer:
+class Offer(NamedTuple):
     """A packet scheduled to enter a node, as seen by the inqueue policy.
+
+    A NamedTuple: immutable, with C-level construction and field access --
+    the simulator allocates one per scheduled move every step.
 
     Attributes:
         view: The packet's view.  Its ``profitable`` set is measured from
@@ -97,12 +100,9 @@ class Offer:
         sender: The sending node's coordinates.
     """
 
-    __slots__ = ("view", "came_from", "sender")
-
-    def __init__(self, view: PacketView, came_from: Direction, sender: tuple[int, int]) -> None:
-        self.view = view
-        self.came_from = came_from
-        self.sender = sender
+    view: PacketView
+    came_from: Direction
+    sender: tuple[int, int]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Offer({self.view!r} from {self.came_from.name} of {self.sender})"

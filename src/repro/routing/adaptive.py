@@ -108,6 +108,10 @@ class GreedyAdaptiveRouter(RoutingAlgorithm):
 
     def __init__(self, queue_capacity: int, queue_kind: str = "central") -> None:
         super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
+        # Incoming regime: occupancy 0 < k on every inlink queue of an empty
+        # node, so all offers are accepted in order.  Central regime caps
+        # accepts at free space, so the declaration would be untrue there.
+        self.accepts_all_into_empty = queue_kind == "incoming"
 
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
         chosen: dict[Direction, PacketView] = {}

@@ -28,13 +28,28 @@ def desired_dimension_order_direction(profitable: frozenset[Direction]) -> Direc
     Returns None when nothing is profitable (the packet is at its
     destination, which the simulator never lets a policy see).
     """
+    cached = DOR_DIRECTION_CACHE.get(profitable)
+    if cached is not None or profitable in DOR_DIRECTION_CACHE:
+        return cached
     horizontal = [d for d in (Direction.E, Direction.W) if d in profitable]
     if horizontal:
-        return min(horizontal)
-    vertical = [d for d in (Direction.N, Direction.S) if d in profitable]
-    if vertical:
-        return min(vertical)
-    return None
+        result: Direction | None = min(horizontal)
+    else:
+        vertical = [d for d in (Direction.N, Direction.S) if d in profitable]
+        result = min(vertical) if vertical else None
+    DOR_DIRECTION_CACHE[profitable] = result
+    return result
+
+
+#: Memo for :func:`desired_dimension_order_direction`.  The domain is tiny
+#: (at most one horizontal and one vertical direction can be profitable, so
+#: nine sets plus torus half-circumference ties) and the topology layer
+#: interns the frozensets, making lookups cheap on the simulator hot path.
+#: Public so per-view hot loops (the bounded dimension-order outqueue) can
+#: probe it directly and fall back to the function only on a miss; a cached
+#: None is indistinguishable from a miss, which is harmless -- the function
+#: recomputes None cheaply and in-network packets never map to None anyway.
+DOR_DIRECTION_CACHE: dict[frozenset[Direction], Direction | None] = {}
 
 
 def rotation_order(time: int) -> tuple[Direction, ...]:

@@ -26,11 +26,23 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from repro.mesh.directions import Direction
+from repro.mesh.directions import DIRECTIONS, OPPOSITE, Direction
 from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
 from repro.mesh.queues import QueueSpec
 from repro.mesh.visibility import Offer, PacketView
-from repro.routing.base import desired_dimension_order_direction
+from repro.routing.base import (
+    DOR_DIRECTION_CACHE,
+    desired_dimension_order_direction,
+)
+
+#: ``direction -> (opposite queue << 2) | direction``: the packed slot of a
+#: straight-continuing packet for each outlink (see ``outqueue``).
+_STRAIGHT_SLOT: tuple[int, ...] = tuple(
+    (OPPOSITE[d] << 2) | d for d in DIRECTIONS
+)
+
+#: The always-accepting inlink queues of the Theorem 15 organization.
+_VERTICAL = (Direction.N, Direction.S)
 
 
 class BoundedDimensionOrderRouter(RoutingAlgorithm):
@@ -44,6 +56,9 @@ class BoundedDimensionOrderRouter(RoutingAlgorithm):
     destination_exchangeable = True
     minimal = True
     dimension_ordered = True
+    # Every inlink queue of an empty node has occupancy 0 < k, so inqueue
+    # accepts all offers in the order given (see the simulator fast path).
+    accepts_all_into_empty = True
 
     def __init__(self, queue_capacity: int) -> None:
         super().__init__(QueueSpec(queue_capacity, kind="incoming"))
@@ -68,47 +83,86 @@ class BoundedDimensionOrderRouter(RoutingAlgorithm):
             note=f"{self.name}: Theorem 15 N/S queues always accept",
         )
 
+    # The scheduling policy needs nothing from the context beyond the per-
+    # queue views and the outlink set, so it is implemented context-free
+    # (the simulator then skips the NodeContext build for phase (a)).
+    fast_outqueue = True
+
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        return self.outqueue_from_views(
+            ctx.node,
+            ctx.state,
+            ctx.out_directions,
+            ctx.time,
+            {key: ctx.queue(key) for key in ctx.queue_keys},
+        )
+
+    def outqueue_from_views(
+        self,
+        node: tuple[int, int],
+        state: object,
+        out_directions: tuple[Direction, ...],
+        time: int,
+        views_by_key: Mapping[object, Sequence[PacketView]],
+    ) -> Mapping[Direction, PacketView]:
         # For each outlink, straight-moving packets (those sitting in the
         # queue of the opposite inlink) have priority; FIFO within a class.
+        # A packet's desired direction is a function of the view alone, so
+        # one pass records the FIFO-first view per (queue, direction) slot
+        # -- packed into the int ``(queue key << 2) | direction`` -- and the
+        # straight-priority scan reduces to int-keyed dict lookups.
+        dd_get = DOR_DIRECTION_CACHE.get
+        if len(views_by_key) == 1:
+            (views,) = views_by_key.values()
+            if len(views) == 1:
+                # Lone packet: it is trivially first in its slot, and its
+                # desired direction always has an outlink (it is profitable),
+                # so the scan below would pick exactly this.
+                view = views[0]
+                d = dd_get(view.profitable)
+                if d is None:
+                    d = desired_dimension_order_direction(view.profitable)
+                return {d: view}
         chosen: dict[Direction, PacketView] = {}
-        scheduled: set[int] = set()
-        for direction in ctx.out_directions:
-            straight_key = direction.opposite
-            pick: PacketView | None = None
-            for view in ctx.queue(straight_key):
-                if (
-                    view.key not in scheduled
-                    and desired_dimension_order_direction(view.profitable) == direction
-                ):
-                    pick = view
-                    break
+        firsts: dict[int, PacketView] = {}
+        for key, views in views_by_key.items():
+            base = key << 2
+            for view in views:
+                d = dd_get(view.profitable)
+                if d is None:  # cache miss (first steps only): fill it
+                    d = desired_dimension_order_direction(view.profitable)
+                slot = base | d
+                if slot not in firsts:
+                    firsts[slot] = view
+        get = firsts.get
+        for direction in out_directions:
+            pick = get(_STRAIGHT_SLOT[direction])
             if pick is None:
-                for key in ctx.queue_keys:
-                    if key == straight_key:
-                        continue
-                    for view in ctx.queue(key):
-                        if (
-                            view.key not in scheduled
-                            and desired_dimension_order_direction(view.profitable)
-                            == direction
-                        ):
-                            pick = view
+                straight_key = OPPOSITE[direction]
+                for key in views_by_key:
+                    if key is not straight_key:
+                        pick = get(key << 2 | direction)
+                        if pick is not None:
                             break
-                    if pick is not None:
-                        break
             if pick is not None:
                 chosen[direction] = pick
-                scheduled.add(pick.key)
         return chosen
 
     def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        capacity = self.queue_spec.capacity
+        if len(offers) == 1:
+            # Lone offer: return the given sequence itself (all-or-nothing),
+            # sparing a list allocation on the commonest inqueue shape.
+            queue_key = offers[0].came_from
+            if queue_key in _VERTICAL or ctx.occupancy(queue_key) < capacity:
+                return offers
+            return ()
         accepted: list[Offer] = []
         # Offers arrive at most one per inlink, so no within-queue contention.
         for off in offers:
             queue_key = off.came_from
-            if queue_key in (Direction.N, Direction.S):
+            if queue_key in _VERTICAL:
                 accepted.append(off)  # N/S queues always accept (Thm 15 proof)
-            elif ctx.occupancy(queue_key) < self.queue_spec.capacity:
+            elif ctx.occupancy(queue_key) < capacity:
                 accepted.append(off)
         return accepted

@@ -60,6 +60,10 @@ class FarthestFirstRouter(RoutingAlgorithm):
 
     def __init__(self, queue_capacity: int, queue_kind: str = "incoming") -> None:
         super().__init__(QueueSpec(queue_capacity, kind=queue_kind))
+        # Incoming regime: an empty node's per-inlink queues all have
+        # occupancy 0 < k, so every offer is accepted in the order given.
+        # The central regime caps accepts at the free space and reorders.
+        self.accepts_all_into_empty = queue_kind == "incoming"
 
     def enumerate_transitions(self, topology, k):
         # Incoming regime: the Theorem 15 argument carries over unchanged

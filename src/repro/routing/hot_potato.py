@@ -90,6 +90,10 @@ class HotPotatoRouter(RoutingAlgorithm):
             # stays (its slot frees an inlink's worth of capacity anyway).
         return chosen
 
+    # Bufferless deflection accepts unconditionally, in particular into an
+    # empty node (see the simulator fast path for this declaration).
+    accepts_all_into_empty = True
+
     def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
         return list(offers)  # bufferless: everything is accepted
 

@@ -1,4 +1,4 @@
-"""Unit tests for the SC001-SC004 AST lint rules, plus the repo self-scan."""
+"""Unit tests for the SC001-SC005 AST lint rules, plus the repo self-scan."""
 
 import pathlib
 import textwrap
@@ -11,8 +11,13 @@ from repro.analysis.static_check.lint import RULES, lint_source, rules_for_path
 REPO_ROOT = pathlib.Path(__file__).parents[3]
 
 
-def rules_of(source, **kwargs):
-    return [v.rule for v in lint_source(textwrap.dedent(source), **kwargs)]
+# The determinism rules; snippets below carry no module docstring, so the
+# SC005 coverage rule is exercised separately in TestSC005Docstrings.
+DETERMINISM_RULES = ("SC001", "SC002", "SC003", "SC004")
+
+
+def rules_of(source, rules=DETERMINISM_RULES, **kwargs):
+    return [v.rule for v in lint_source(textwrap.dedent(source), rules=rules, **kwargs)]
 
 
 class TestSC001Randomness:
@@ -248,6 +253,69 @@ class TestSC004SetIteration:
         ) == []
 
 
+class TestSC005Docstrings:
+    def test_missing_module_docstring_flagged(self):
+        assert rules_of("x = 1\n", rules=("SC005",)) == ["SC005"]
+
+    def test_missing_class_docstring_flagged(self):
+        assert rules_of(
+            '''
+            """Module doc."""
+
+            class Foo:
+                pass
+            ''',
+            rules=("SC005",),
+        ) == ["SC005"]
+
+    def test_documented_module_and_class_ok(self):
+        assert rules_of(
+            '''
+            """Module doc."""
+
+            class Foo:
+                """Class doc."""
+            ''',
+            rules=("SC005",),
+        ) == []
+
+    def test_nested_class_needs_docstring_too(self):
+        assert rules_of(
+            '''
+            """Module doc."""
+
+            class Outer:
+                """Outer doc."""
+
+                class Inner:
+                    pass
+            ''',
+            rules=("SC005",),
+        ) == ["SC005"]
+
+    def test_functions_are_not_checked(self):
+        assert rules_of(
+            '''
+            """Module doc."""
+
+            def f():
+                pass
+            ''',
+            rules=("SC005",),
+        ) == []
+
+    def test_class_noqa_waives(self):
+        assert rules_of(
+            '''
+            """Module doc."""
+
+            class Foo:  # noqa: SC005
+                pass
+            ''',
+            rules=("SC005",),
+        ) == []
+
+
 class TestWaivers:
     def test_noqa_with_rule_waives(self):
         assert rules_of("for x in {1, 2}:  # noqa: SC004\n    pass\n") == []
@@ -260,13 +328,23 @@ class TestWaivers:
 
 
 class TestScoping:
-    def test_scheduling_packages_get_all_rules(self):
-        assert set(rules_for_path("src/repro/mesh/simulator.py")) == set(RULES)
-        assert set(rules_for_path("src/repro/routing/dor.py")) == set(RULES)
+    def test_scheduling_packages_get_determinism_rules(self):
+        assert rules_for_path("src/repro/mesh/simulator.py") == DETERMINISM_RULES
+        assert rules_for_path("src/repro/routing/dor.py") == DETERMINISM_RULES
+
+    def test_infrastructure_packages_get_docstring_rule(self):
+        assert rules_for_path("src/repro/perf/bench.py") == ("SC003", "SC005")
+        assert rules_for_path("src/repro/harness/specs.py") == ("SC003", "SC005")
 
     def test_other_packages_get_assert_rule_only(self):
         assert rules_for_path("src/repro/core/bounds.py") == ("SC003",)
         assert rules_for_path("src/repro/verify/oracles.py") == ("SC003",)
+
+    def test_every_rule_is_scoped_somewhere(self):
+        scoped = set(rules_for_path("src/repro/mesh/x.py")) | set(
+            rules_for_path("src/repro/perf/x.py")
+        )
+        assert scoped == set(RULES)
 
     def test_rule_subset_respected(self):
         found = rules_of(
@@ -296,7 +374,9 @@ class TestRepoSelfScan:
 
     def test_violation_fields_are_stable(self):
         found = lint_source(
-            "import random\nx = random.random()\n", path="src/repro/mesh/x.py"
+            "import random\nx = random.random()\n",
+            path="src/repro/mesh/x.py",
+            rules=DETERMINISM_RULES,
         )
         (violation,) = found
         assert violation.fingerprint == (

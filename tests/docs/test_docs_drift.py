@@ -1,0 +1,66 @@
+"""Docs-drift guards: the README must track the tree it describes.
+
+Two invariants, both cheap and purely textual:
+
+1. every ``docs/*.md`` file is linked (by name) from the README, so new
+   documents cannot silently fall out of the entry point;
+2. every CLI subcommand the README advertises exists in ``cli.py``, and
+   every top-level subcommand ``cli.py`` registers is mentioned in the
+   README — the two lists cannot drift apart.
+"""
+
+import pathlib
+import re
+
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+README = (REPO_ROOT / "README.md").read_text()
+CLI_SOURCE = (REPO_ROOT / "src/repro/cli.py").read_text()
+
+#: Top-level subcommands registered on the main subparser (``sub``); the
+#: ``campaign_sub`` nested verbs are namespaced under ``campaign``.
+CLI_SUBCOMMANDS = re.findall(r'\bsub\.add_parser\(\s*"([a-z0-9-]+)"', CLI_SOURCE)
+
+
+class TestDocsLinked:
+    def test_docs_directory_is_nonempty(self):
+        assert (REPO_ROOT / "docs").is_dir()
+        assert list((REPO_ROOT / "docs").glob("*.md"))
+
+    def test_every_docs_file_is_referenced_from_readme(self):
+        missing = [
+            doc.name
+            for doc in sorted((REPO_ROOT / "docs").glob("*.md"))
+            if doc.name not in README
+        ]
+        assert missing == [], f"docs not referenced from README.md: {missing}"
+
+    def test_top_level_trackers_referenced_from_readme(self):
+        for name in ("EXPERIMENTS.md", "DESIGN.md"):
+            assert (REPO_ROOT / name).exists()
+            assert name in README, f"{name} not referenced from README.md"
+
+
+class TestCliListMatches:
+    def test_cli_registers_expected_commands(self):
+        # Regex sanity: the extraction found the real subparser list.
+        assert "route" in CLI_SUBCOMMANDS and "bench" in CLI_SUBCOMMANDS
+        assert len(CLI_SUBCOMMANDS) == len(set(CLI_SUBCOMMANDS))
+
+    def test_every_cli_subcommand_is_in_readme(self):
+        """Each subcommand appears in a synopsis list or a `repro X` usage."""
+        documented = set(re.findall(r"python -m repro ([a-z0-9-]+)", README))
+        for blob in re.findall(r"python -m repro \{([^}]*)\}", README):
+            documented.update(
+                n.strip() for n in blob.replace("\n", " ").split(",")
+            )
+        missing = [name for name in CLI_SUBCOMMANDS if name not in documented]
+        assert missing == [], f"cli.py subcommands absent from README.md: {missing}"
+
+    def test_readme_brace_list_matches_cli(self):
+        """The `python -m repro {...}` lists name only real subcommands."""
+        brace_lists = re.findall(r"python -m repro \{([^}]*)\}", README)
+        assert brace_lists, "README lost its `python -m repro {...}` synopsis"
+        for blob in brace_lists:
+            names = [n.strip() for n in blob.replace("\n", " ").split(",")]
+            unknown = [n for n in names if n and n not in CLI_SUBCOMMANDS]
+            assert unknown == [], f"README lists unknown subcommands: {unknown}"

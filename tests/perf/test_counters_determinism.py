@@ -1,0 +1,75 @@
+"""Bench trials through the campaign harness: deterministic where promised.
+
+The ``bench`` trial kind splits its metrics into deterministic top-level
+fields (functions of the spec alone) and a nondeterministic ``timing``
+block.  The deterministic part must agree across worker counts and across
+repeated fresh runs; the split itself must be exact — no wall-clock key
+may leak into the top level.
+"""
+
+import pytest
+
+from repro.harness import CampaignSpec, TrialSpec, run_campaign
+
+
+@pytest.fixture(autouse=True)
+def pinned_code_version(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-version")
+
+
+def bench_campaign():
+    return CampaignSpec(
+        name="bench-determinism",
+        trials=[
+            TrialSpec(kind="bench", n=8, k=2, algorithm="bounded-dor", seed=0),
+            TrialSpec(kind="bench", n=8, k=1, algorithm="hot-potato", seed=0),
+        ],
+    )
+
+
+def deterministic_part(metrics):
+    return {key: value for key, value in metrics.items() if key != "timing"}
+
+
+def test_deterministic_metrics_agree_across_worker_counts(tmp_path):
+    campaign = bench_campaign()
+    serial = run_campaign(
+        campaign, workers=1, base_dir=tmp_path / "serial",
+        fresh=True, progress=False,
+    )
+    pooled = run_campaign(
+        campaign, workers=4, base_dir=tmp_path / "pooled",
+        fresh=True, progress=False,
+    )
+    for a, b in zip(serial.results, pooled.results):
+        assert a.status == b.status == "ok"
+        assert deterministic_part(a.metrics) == deterministic_part(b.metrics)
+
+
+def test_timing_block_isolates_all_wall_clock_keys(tmp_path):
+    run = run_campaign(
+        bench_campaign(), workers=1, base_dir=tmp_path,
+        fresh=True, progress=False,
+    )
+    for trial in run.results:
+        timing = trial.metrics["timing"]
+        assert timing["wall_s"] > 0.0
+        assert timing["steps_per_s"] > 0.0
+        for phase in "abcde":
+            assert timing[f"phase_{phase}_s"] >= 0.0
+        # No wall-clock field at the top level.
+        for key in ("wall_s", "steps_per_s", "hooks_s"):
+            assert key not in trial.metrics
+
+
+def test_bench_metrics_match_route_trial_shape(tmp_path):
+    """The deterministic fields agree with a plain route trial's account."""
+    spec = TrialSpec(kind="bench", n=8, k=2, algorithm="bounded-dor", seed=0)
+    route = TrialSpec(kind="route", n=8, k=2, algorithm="bounded-dor", seed=0)
+    run = run_campaign(
+        CampaignSpec(name="bench-vs-route", trials=[spec, route]),
+        workers=1, base_dir=tmp_path, fresh=True, progress=False,
+    )
+    bench_metrics, route_metrics = (r.metrics for r in run.results)
+    for key in ("completed", "steps", "delivered", "total_moves"):
+        assert bench_metrics[key] == route_metrics[key]

@@ -1,0 +1,76 @@
+"""The optimized fast paths must be invisible in results.
+
+``BoundedDimensionOrderRouter`` opts into the context-free phase (a)
+protocol (``fast_outqueue`` / ``outqueue_from_views``).  These tests pin
+bit-identical behaviour against the reference path: the same router with
+the fast path disabled, whose ``outqueue`` drives the identical policy
+logic through a full ``NodeContext``.
+"""
+
+import pytest
+
+from repro.mesh import Mesh, Simulator
+from repro.routing import BoundedDimensionOrderRouter
+from repro.workloads import random_permutation, transpose_permutation
+
+
+class ContextPathRouter(BoundedDimensionOrderRouter):
+    """The same policy forced through the NodeContext (reference) path."""
+
+    fast_outqueue = False
+
+
+def run(router, n, workload, *, validate, seed=0):
+    mesh = Mesh(n)
+    packets = (
+        random_permutation(mesh, seed=seed)
+        if workload == "random"
+        else transpose_permutation(mesh)
+    )
+    sim = Simulator(mesh, router, packets, validate=validate)
+    return sim.run(max_steps=50_000)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("validate", [False, True])
+def test_runresult_identical_on_random_permutations(seed, validate):
+    fast = run(BoundedDimensionOrderRouter(2), 12, "random",
+               validate=validate, seed=seed)
+    reference = run(ContextPathRouter(2), 12, "random",
+                    validate=validate, seed=seed)
+    assert fast == reference  # dataclass equality: every field, bit for bit
+    assert fast.completed
+
+
+def test_runresult_identical_on_transpose():
+    fast = run(BoundedDimensionOrderRouter(2), 16, "transpose", validate=True)
+    reference = run(ContextPathRouter(2), 16, "transpose", validate=True)
+    assert fast == reference
+
+
+def test_lockstep_configurations_identical():
+    """Step-for-step: the full network configuration never diverges."""
+    mesh_a, mesh_b = Mesh(10), Mesh(10)
+    sim_fast = Simulator(
+        mesh_a, BoundedDimensionOrderRouter(2),
+        random_permutation(mesh_a, seed=3), validate=True,
+    )
+    sim_ref = Simulator(
+        mesh_b, ContextPathRouter(2),
+        random_permutation(mesh_b, seed=3), validate=True,
+    )
+    for step in range(500):
+        if not sim_fast.queues and not sim_ref.queues:
+            break
+        sim_fast.step()
+        sim_ref.step()
+        assert sim_fast.configuration() == sim_ref.configuration(), (
+            f"configurations diverged at step {step}"
+        )
+    else:
+        pytest.fail("instance did not drain within 500 steps")
+
+
+def test_fast_outqueue_flag_is_declared():
+    assert BoundedDimensionOrderRouter.fast_outqueue is True
+    assert ContextPathRouter.fast_outqueue is False
