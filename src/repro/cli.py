@@ -14,6 +14,8 @@ Subcommands:
   check against BENCH_step_throughput.json (see docs/PERFORMANCE.md)
 - ``analyze``     -- static deadlock & determinism analysis
   (``analyze cdg|lint|all``, see docs/ANALYSIS.md)
+- ``faults``      -- fault-injection availability sweep with degradation
+  metrics and overflow detection (see docs/FAULTS.md)
 
 Exit codes are uniform across subcommands: 0 success, 1 the command ran but
 found failures (stalled routing, verification findings, new lint
@@ -367,6 +369,72 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run the fault-injection sweep and print its degradation table.
+
+    Exit 1 when a trial crashed or a resilience-layer cell (conservative
+    or fault-reroute) overflowed a queue -- those algorithms are the ones
+    the sweep certifies as safe; the always-accept organizations are
+    *expected* to overflow at low availability, so their violations are
+    reported but not fatal.
+    """
+    from repro.harness import CampaignSpec, run_campaign
+
+    spec_path = args.spec or (
+        "benchmarks/specs/faults_smoke.json"
+        if args.smoke
+        else "benchmarks/specs/faults_sweep.json"
+    )
+    try:
+        campaign = CampaignSpec.from_file(spec_path)
+    except (OSError, ValueError) as exc:
+        raise _usage_error(f"cannot load faults spec: {exc}")
+    run = run_campaign(
+        campaign,
+        workers=args.workers,
+        base_dir=args.campaign_dir,
+        fresh=args.fresh,
+        progress=not args.quiet,
+    )
+
+    safe_algorithms = ("conservative-bounded-dor", "fault-reroute")
+    print(
+        f"{'cell':<46} {'avail':>5} {'deliv':>6} {'p50':>5} {'p99':>5} "
+        f"{'maxq':>4} {'drop':>5} {'rtx':>4} overflow"
+    )
+    failures = 0
+    safety_violations = 0
+    for result in run.results:
+        spec = result.spec
+        if result.status != "ok" or result.metrics is None:
+            first = (result.error or result.status).splitlines()[0]
+            print(f"  FAILED #{result.index} [{result.status}] {first}")
+            failures += 1
+            continue
+        m = result.metrics
+        name = m.get("algorithm_name", spec.algorithm)
+        label = spec.label or f"{name}/n{spec.n}/k{spec.k}/s{spec.seed}"
+        overflows = m.get("queue_bound_violations", 0)
+        p50, p99 = m.get("latency_p50"), m.get("latency_p99")
+        print(
+            f"{label:<46} {spec.availability:>5.2f} "
+            f"{m.get('delivered_fraction', 0.0):>6.3f} "
+            f"{'-' if p50 is None else p50:>5} {'-' if p99 is None else p99:>5} "
+            f"{m.get('max_queue_len', 0):>4} {m.get('dropped_packets', 0):>5} "
+            f"{m.get('retransmissions', 0):>4} "
+            f"{'YES (' + str(overflows) + ')' if overflows else 'no'}"
+        )
+        if overflows and name in safe_algorithms:
+            safety_violations += 1
+            print(f"  SAFETY: {name} must never overflow, but did ({label})")
+    verdict = "PASS" if not failures and not safety_violations else "FAIL"
+    print(
+        f"faults {verdict}: {len(run.results)} cells, {failures} failed, "
+        f"{safety_violations} safety violation(s)"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.analysis.campaigns import summarize_manifest
 
@@ -632,6 +700,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--campaign-dir", default="campaigns")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection availability sweep with degradation metrics",
+    )
+    p.add_argument(
+        "--smoke", action="store_true", help="small n=8 sweep (the CI job)"
+    )
+    p.add_argument(
+        "--spec", default=None, help="explicit faults campaign spec (overrides --smoke)"
+    )
+    p.add_argument("--workers", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--fresh", action="store_true", help="ignore cached results and re-run everything"
+    )
+    p.add_argument("--campaign-dir", default="campaigns")
+    p.add_argument("--quiet", action="store_true", help="no per-trial progress on stderr")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
         "analyze",

@@ -1,0 +1,272 @@
+"""Deterministic fault plans: link and node failures as pure functions.
+
+The paper's closing open problem asks for algorithms that extend "to the
+asynchronous and dynamic settings".  This module supplies the *dynamic*
+half of the environment: a :class:`FaultPlan` answers, for any link or
+node and any step, whether it is up -- and it answers as a **pure
+function of (seed, entity, time)**.
+
+That purity is the whole design.  The previous asynchrony stub drew link
+states from one shared sequential RNG, so a link's availability depended
+on how many *other* moves had been evaluated first: querying the same
+link twice in a step could disagree, and the fast-outqueue and
+NodeContext simulator paths could in principle observe different
+networks.  Here every draw is a counter-based hash of
+``(seed, src, direction, time)`` (splitmix64 finalizer), so:
+
+- the same link queried twice in a step always agrees;
+- query *order* is irrelevant -- runs are bit-identical across worker
+  counts and across simulator fast paths;
+- any (link, step) state can be recomputed in isolation (replay, tests).
+
+Three plan families are provided:
+
+- :class:`BernoulliLinkPlan` -- each link is independently up each step
+  with probability ``availability`` (the i.i.d. model of the stub).
+- :class:`ScheduledOutagePlan` -- explicit outage windows for named
+  links and nodes (reproducible "this link dies at step 100" scripts).
+- :class:`RenewalOutagePlan` -- MTTF/MTTR-style alternating up/down
+  windows per entity, with exponential-ish window lengths unfolded
+  deterministically from the seed.
+
+Plans compose with :class:`CompositeFaultPlan` (an entity is up only if
+every constituent plan says so) and attach to a simulator with
+:meth:`FaultPlan.attach`, which installs a ``link_filter`` that also
+fails every link into or out of a down *node*.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.mesh.directions import Direction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.mesh.simulator import Simulator
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix(h: int) -> int:
+    """The splitmix64 finalizer: a high-quality 64-bit avalanche."""
+    h &= _MASK64
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return h ^ (h >> 31)
+
+
+def counter_draw(seed: int, *counters: int) -> float:
+    """A uniform draw in [0, 1) as a pure function of its arguments.
+
+    Unlike a sequential RNG there is no hidden stream position: equal
+    arguments give equal draws regardless of how many other draws
+    happened in between.  The 53 high bits feed the mantissa, matching
+    the resolution of ``random.random``.
+    """
+    h = _mix(seed ^ _GOLDEN)
+    for c in counters:
+        h = _mix(h ^ ((c + _GOLDEN) & _MASK64))
+    return (h >> 11) / float(1 << 53)
+
+
+def link_draw(
+    seed: int, src: tuple[int, int], direction: Direction, time: int
+) -> float:
+    """The canonical per-``(seed, link, time)`` uniform draw."""
+    return counter_draw(seed, src[0], src[1], int(direction), time)
+
+
+class FaultPlan:
+    """Base class: everything is up.  Subclasses override either query.
+
+    Both queries must be pure functions of their arguments (given the
+    plan's construction parameters); the simulator and the resilience
+    layer are allowed to call them any number of times in any order.
+    """
+
+    def link_up(self, src: tuple[int, int], direction: Direction, time: int) -> bool:
+        """Is the outlink of ``src`` in ``direction`` up during ``time``?"""
+        return True
+
+    def node_up(self, node: tuple[int, int], time: int) -> bool:
+        """Is ``node`` up during step ``time``?  A down node fails every
+        link into and out of it; resident packets are dropped by the
+        resilience layer (see :mod:`repro.faults.resilience`)."""
+        return True
+
+    def attach(self, sim: "Simulator") -> "Simulator":
+        """Install this plan as ``sim.link_filter`` and return ``sim``.
+
+        The installed filter fails a scheduled move when the link itself
+        is down, or when either endpoint node is down -- so node failures
+        need no simulator support beyond the existing link hook.
+        """
+        neighbor = sim.topology.neighbor
+
+        def link_filter(
+            src: tuple[int, int], direction: Direction, time: int
+        ) -> bool:
+            if not self.link_up(src, direction, time):
+                return False
+            if not self.node_up(src, time):
+                return False
+            target = neighbor(src, direction)
+            return target is None or self.node_up(target, time)
+
+        sim.link_filter = link_filter
+        return sim
+
+
+class BernoulliLinkPlan(FaultPlan):
+    """Each link is independently up each step with probability
+    ``availability`` -- the i.i.d. approximation of asynchrony.
+
+    Args:
+        availability: Per-link per-step up-probability in (0, 1].
+        seed: Hash seed; equal seeds give bit-identical fault histories.
+    """
+
+    def __init__(self, availability: float, seed: int = 0) -> None:
+        if not 0.0 < availability <= 1.0:
+            raise ValueError(
+                f"availability must be in (0, 1], got {availability}"
+            )
+        self.availability = availability
+        self.seed = seed
+
+    def link_up(self, src: tuple[int, int], direction: Direction, time: int) -> bool:
+        if self.availability >= 1.0:
+            return True
+        return link_draw(self.seed, src, direction, time) < self.availability
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One scheduled outage window, ``start <= time < end``.
+
+    ``direction`` is None for a node outage, or the failed outlink's
+    direction for a link outage (the reverse link is independent).
+    """
+
+    node: tuple[int, int]
+    start: int
+    end: int
+    direction: Direction | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"outage window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+
+
+class ScheduledOutagePlan(FaultPlan):
+    """Explicit outage windows for named links and nodes.
+
+    The deterministic "script" plan: tests and examples state exactly
+    which entity is down when, with no randomness at all.
+    """
+
+    def __init__(self, outages: Iterable[Outage]) -> None:
+        self._link_windows: dict[tuple[tuple[int, int], Direction], list[Outage]] = {}
+        self._node_windows: dict[tuple[int, int], list[Outage]] = {}
+        for outage in outages:
+            if outage.direction is None:
+                self._node_windows.setdefault(outage.node, []).append(outage)
+            else:
+                key = (outage.node, outage.direction)
+                self._link_windows.setdefault(key, []).append(outage)
+
+    @staticmethod
+    def _covered(windows: list[Outage] | None, time: int) -> bool:
+        if windows is None:
+            return False
+        return any(w.start <= time < w.end for w in windows)
+
+    def link_up(self, src: tuple[int, int], direction: Direction, time: int) -> bool:
+        return not self._covered(self._link_windows.get((src, direction)), time)
+
+    def node_up(self, node: tuple[int, int], time: int) -> bool:
+        return not self._covered(self._node_windows.get(node), time)
+
+
+class RenewalOutagePlan(FaultPlan):
+    """MTTF/MTTR-style faults: per-entity alternating up/down windows.
+
+    Every entity (node or link, per ``scope``) runs its own renewal
+    process: up for ``1 + floor(Exp(mttf))`` steps, then down for
+    ``1 + floor(Exp(mttr))`` steps, repeating.  Window lengths are drawn
+    with :func:`counter_draw` keyed on ``(seed, entity, cycle index)``
+    and unfolded lazily into cached breakpoints -- a pure unfold, so the
+    state at any time is independent of query order.
+
+    Args:
+        mttf: Mean steps up per cycle (mean time to failure), >= 1.
+        mttr: Mean steps down per cycle (mean time to repair), >= 1.
+        seed: Hash seed.
+        scope: ``"node"`` (default) or ``"link"`` -- which entity kind
+            this plan fails.
+    """
+
+    def __init__(
+        self, mttf: float, mttr: float, seed: int = 0, scope: str = "node"
+    ) -> None:
+        if mttf < 1 or mttr < 1:
+            raise ValueError(f"mttf and mttr must be >= 1, got {mttf}, {mttr}")
+        if scope not in ("node", "link"):
+            raise ValueError(f"scope must be 'node' or 'link', got {scope!r}")
+        self.mttf = float(mttf)
+        self.mttr = float(mttr)
+        self.seed = seed
+        self.scope = scope
+        # Per-entity breakpoints: _starts[key][i] is the first step of
+        # window i; even windows are up, odd are down.  Extended lazily.
+        self._starts: dict[tuple[int, ...], list[int]] = {}
+
+    def _window_len(self, key: tuple[int, ...], index: int) -> int:
+        mean = self.mttf if index % 2 == 0 else self.mttr
+        u = counter_draw(self.seed, *key, index)
+        # Inverse-CDF exponential, floored to whole steps, minimum 1.
+        return 1 + int(-mean * math.log1p(-u))
+
+    def _up_at(self, key: tuple[int, ...], time: int) -> bool:
+        starts = self._starts.get(key)
+        if starts is None:
+            starts = self._starts.setdefault(key, [0])
+        while starts[-1] <= time:
+            starts.append(starts[-1] + self._window_len(key, len(starts) - 1))
+        # The window containing ``time`` is the last one starting at or
+        # before it; even-indexed windows are up.
+        return (bisect_left(starts, time + 1) - 1) % 2 == 0
+
+    def node_up(self, node: tuple[int, int], time: int) -> bool:
+        if self.scope != "node":
+            return True
+        return self._up_at((0, node[0], node[1]), time)
+
+    def link_up(self, src: tuple[int, int], direction: Direction, time: int) -> bool:
+        if self.scope != "link":
+            return True
+        return self._up_at((1, src[0], src[1], int(direction)), time)
+
+
+class CompositeFaultPlan(FaultPlan):
+    """Intersection of several plans: an entity is up only if every
+    constituent plan reports it up (e.g. Bernoulli link flakiness plus a
+    renewal node-outage process)."""
+
+    def __init__(self, *plans: FaultPlan) -> None:
+        if not plans:
+            raise ValueError("CompositeFaultPlan needs at least one plan")
+        self.plans = plans
+
+    def link_up(self, src: tuple[int, int], direction: Direction, time: int) -> bool:
+        return all(p.link_up(src, direction, time) for p in self.plans)
+
+    def node_up(self, node: tuple[int, int], time: int) -> bool:
+        return all(p.node_up(node, time) for p in self.plans)

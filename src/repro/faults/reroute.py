@@ -1,0 +1,157 @@
+"""Fault-aware rerouting: bounded nonminimal excursions around dead links.
+
+Section 5 proves that allowing packets to stray up to ``delta`` hops
+beyond the rectangle spanned by source and destination only weakens the
+lower bound to ``Omega(n^2 / ((delta + 1)^3 k^2))`` -- nonminimal slack
+buys routing power.  Faults are where that power pays: a minimal router
+facing a dead profitable link can only wait, while a ``delta``-bounded
+router may step *around* the failure and keep the packet moving.
+
+:class:`FaultAwareRerouteRouter` wraps any mesh router.  Scheduling is
+delegated to the inner router; any chosen move whose link the fault plan
+reports down is re-aimed at an alternate up outlink, preferring
+profitable directions and never taking the packet more than ``delta``
+hops outside its source-destination rectangle (so the
+:class:`~repro.verify.oracles.MinimalityOracle` excursion check, and with
+it the Section 5 accounting, still applies to every faulty run).
+
+The adapter is deliberately *not* destination-exchangeable: deciding
+whether a sidestep stays within the rectangle requires the destination,
+exactly the information the paper's lower-bound model withholds.  Fault
+awareness is bought with model power, and the contract metadata says so.
+Mesh only -- on a wrapping topology the excursion rectangle is undefined.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.faults.plan import FaultPlan
+from repro.mesh.directions import Direction
+from repro.mesh.interfaces import NodeContext, RoutingAlgorithm
+from repro.mesh.visibility import FullPacketView, Offer, PacketView
+
+
+def rectangle_excess(
+    pos: tuple[int, int], a: tuple[int, int], b: tuple[int, int]
+) -> int:
+    """Manhattan distance from ``pos`` to the rectangle spanned by a and b."""
+    (x, y), (ax, ay), (bx, by) = pos, a, b
+    lo_x, hi_x = min(ax, bx), max(ax, bx)
+    lo_y, hi_y = min(ay, by), max(ay, by)
+    return max(lo_x - x, 0, x - hi_x) + max(lo_y - y, 0, y - hi_y)
+
+
+class FaultAwareRerouteRouter(RoutingAlgorithm):
+    """Wrap a mesh router with dead-link sidesteps bounded by ``delta``.
+
+    Args:
+        inner: The router whose policies are delegated to.  Its inqueue
+            policy must keep queues safe on its own (use the conservative
+            variant, not Theorem 15's always-accept organization).
+        plan: The fault plan the adapter consults.  Must be the same plan
+            attached to the simulator, or the adapter would be dodging
+            imaginary failures while running into real ones.
+        delta: Maximum hops a packet may stray beyond the rectangle
+            spanned by its source and destination (Section 5's ``delta``).
+    """
+
+    name = "fault-reroute"
+    destination_exchangeable = False  # rectangle checks need the dest
+    minimal = False
+
+    def __init__(
+        self, inner: RoutingAlgorithm, plan: FaultPlan, delta: int = 1
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        super().__init__(inner.queue_spec)
+        self.inner = inner
+        self.plan = plan
+        self.delta = delta
+
+    # -- contract metadata ---------------------------------------------------
+
+    def excursion_delta(self) -> int | None:
+        return self.delta
+
+    def enumerate_transitions(self, topology, k):
+        # Sidesteps can take any turn the topology offers, so no static
+        # model tighter than "unrestricted" is sound; report UNKNOWN
+        # rather than a verdict the reroutes could violate.
+        return None
+
+    # -- delegated state -----------------------------------------------------
+
+    def initial_node_state(self, node, originating):
+        return self.inner.initial_node_state(node, originating)
+
+    def initial_packet_state(self, view: PacketView) -> Any:
+        return self.inner.initial_packet_state(view)
+
+    def after_step(self, ctx: NodeContext) -> Any:
+        return self.inner.after_step(ctx)
+
+    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
+        return self.inner.inqueue(ctx, offers)
+
+    # -- the fault-aware outqueue --------------------------------------------
+
+    def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:
+        chosen = dict(self.inner.outqueue(ctx))
+        if not chosen:
+            return chosen
+        node, now = ctx.node, ctx.time
+        dead = [d for d in chosen if not self._link_ok(node, d, now)]
+        for direction in dead:
+            view = chosen.pop(direction)
+            alt = self._sidestep(ctx, view, direction, chosen)
+            if alt is not None:
+                chosen[alt] = view
+        return chosen
+
+    def _link_ok(self, node: tuple[int, int], direction: Direction, now: int) -> bool:
+        plan = self.plan
+        if not plan.link_up(node, direction, now) or not plan.node_up(node, now):
+            return False
+        target = (node[0] + direction.dx, node[1] + direction.dy)
+        return plan.node_up(target, now)
+
+    def _sidestep(
+        self,
+        ctx: NodeContext,
+        view: PacketView,
+        dead: Direction,
+        chosen: dict[Direction, PacketView],
+    ) -> Direction | None:
+        """The best live outlink for ``view``, or None to wait in place.
+
+        Candidates must be up, unclaimed this step, and keep the packet
+        within ``delta`` of its source-destination rectangle.  The exact
+        reverse of the dead direction is never a candidate: it strictly
+        regresses and leaves the packet facing the same failure, so a
+        persistent outage would livelock the packet on one link (observed
+        with a flat source-destination rectangle, where the backward hop
+        has excess 0 and outranked the useful perpendicular sidestep).
+        Profitable directions win over excursions; among excursions,
+        smaller excess wins; direction order breaks remaining ties
+        deterministically.
+        """
+        if not isinstance(view, FullPacketView):
+            raise TypeError(
+                "fault-reroute needs full packet visibility to compute "
+                f"rectangle excursions, got {type(view).__name__}"
+            )
+        node, now = ctx.node, ctx.time
+        best: tuple[tuple[int, int, int], Direction] | None = None
+        for d in ctx.out_directions:
+            if d == dead.opposite or d in chosen or not self._link_ok(node, d, now):
+                continue
+            target = (node[0] + d.dx, node[1] + d.dy)
+            excess = rectangle_excess(target, view.source, view.dest)
+            if excess > self.delta:
+                continue
+            rank = (0 if d in view.profitable else 1, excess, int(d))
+            if best is None or rank < best[0]:
+                best = (rank, d)
+        return best[1] if best is not None else None

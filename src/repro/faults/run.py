@@ -1,0 +1,187 @@
+"""Faulty-run orchestration: one simulator, one fault plan, full telemetry.
+
+:func:`run_faulty` wires the pieces the rest of the package provides into
+a single measured run:
+
+- the plan attaches as the simulator's ``link_filter`` (a scheduled move
+  over a down link silently fails, like a refusal);
+- the verify oracles attach in ``record`` mode by default, so invariant
+  violations (queue overflow under flakiness, broken conservation) are
+  *detected and counted* instead of aborting the run -- exactly what an
+  availability sweep wants;
+- optionally a :class:`~repro.faults.resilience.ResilienceManager`
+  provides retransmission and node-outage drops;
+- degradation metrics -- delivered fraction and latency percentiles --
+  are computed over *original* packets (retransmitted copies count toward
+  their original's delivery, never as extra traffic).
+
+The result is a :class:`FaultyRunReport` whose :meth:`~FaultyRunReport.to_metrics`
+dict is deterministic: a pure function of (topology, algorithm, packets,
+plan, parameters), byte-identical across worker counts and runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResilienceManager
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import RunResult, Simulator
+from repro.mesh.topology import Topology
+from repro.verify.oracles import (
+    MinimalityOracle,
+    PacketConservationOracle,
+    QueueBoundOracle,
+    Violation,
+    attach_checker,
+)
+
+
+def percentile(values: Iterable[int], q: float) -> int | None:
+    """Nearest-rank percentile (inclusive); None on an empty input.
+
+    Nearest-rank keeps the value an actual observed latency (an integer
+    number of steps), which keeps metrics rows exactly reproducible --
+    no float interpolation to drift across platforms.
+    """
+    vals = sorted(values)
+    if not vals:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(vals)))
+    return vals[min(rank, len(vals)) - 1]
+
+
+@dataclass
+class FaultyRunReport:
+    """Everything one faulty run produced.
+
+    Attributes:
+        result: The simulator's :class:`RunResult` (``total_packets``
+            includes retransmitted copies; the degradation metrics below
+            are per-original).
+        violations: Invariant violations the oracles recorded.
+        degradation: The per-original degradation metrics (also merged
+            into ``result.counters``).
+    """
+
+    result: RunResult
+    violations: list[Violation]
+    degradation: dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        """No invariant was violated (delivery may still be partial)."""
+        return not self.violations
+
+    @property
+    def overflowed(self) -> bool:
+        """Some queue exceeded its capacity ``k`` during the run."""
+        return any(v.oracle == QueueBoundOracle.name for v in self.violations)
+
+    def to_metrics(self) -> dict[str, Any]:
+        """Flat, JSON-serializable, deterministic metrics row."""
+        r = self.result
+        counts: dict[str, int] = {}
+        for v in self.violations:
+            counts[v.oracle] = counts.get(v.oracle, 0) + 1
+        return {
+            "completed": r.completed,
+            "steps": r.steps,
+            "delivered": r.delivered,
+            "total_packets": r.total_packets,
+            "max_queue_len": r.max_queue_len,
+            "max_node_load": r.max_node_load,
+            "total_moves": r.total_moves,
+            "queue_bound_violations": counts.get(QueueBoundOracle.name, 0),
+            "conservation_violations": counts.get(
+                PacketConservationOracle.name, 0
+            ),
+            "minimality_violations": counts.get(MinimalityOracle.name, 0),
+            **self.degradation,
+        }
+
+
+def run_faulty(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    packets: Iterable[Packet],
+    plan: FaultPlan,
+    *,
+    max_steps: int,
+    retransmit_timeout: int = 0,
+    max_retransmits: int = 3,
+    oracle_mode: str = "record",
+) -> FaultyRunReport:
+    """Run ``algorithm`` on ``packets`` under ``plan`` and measure it.
+
+    Args:
+        retransmit_timeout: 0 disables the resilience layer entirely;
+            otherwise sources re-inject undelivered packets every
+            ``retransmit_timeout`` steps (at most ``max_retransmits``
+            times each) and node outages drop resident packets.
+        oracle_mode: ``record`` (default) counts violations without
+            aborting; ``strict`` raises on the first one (tests).
+
+    The simulator runs with ``validate=False``: enforcement is exactly
+    the oracles' job here, and record mode must be able to observe a
+    queue overflow rather than die on the simulator's own check.
+    """
+    original_packets = list(packets)
+    injection_time = {p.pid: p.injection_time for p in original_packets}
+
+    sim = Simulator(topology, algorithm, original_packets, validate=False)
+    plan.attach(sim)
+    checker = attach_checker(
+        sim,
+        [PacketConservationOracle(), QueueBoundOracle(), MinimalityOracle()],
+        mode=oracle_mode,
+    )
+    manager = (
+        ResilienceManager(
+            sim,
+            plan,
+            timeout=retransmit_timeout,
+            max_retransmits=max_retransmits,
+        )
+        if retransmit_timeout > 0
+        else None
+    )
+
+    if manager is None:
+        result = sim.run(max_steps=max_steps)
+    else:
+        # ``Simulator.done`` counts dropped packets as resolved, but their
+        # sources may still owe a retransmit whose deadline has not passed
+        # -- keep stepping until the manager has no future work either.
+        while sim.time < max_steps and not (sim.done and manager.settled):
+            sim.step()
+        result = sim.result()
+    checker.finish()
+
+    if manager is not None:
+        delivered_fraction = manager.delivered_fraction
+        latencies = manager.latencies()
+        extra = manager.counters()
+    else:
+        total = result.total_packets
+        delivered_fraction = result.delivered / total if total else 1.0
+        latencies = sorted(
+            t - injection_time[pid] for pid, t in result.delivery_times.items()
+        )
+        extra = {"retransmissions": 0, "dropped_by_outage": 0}
+
+    degradation: dict[str, Any] = {
+        "delivered_fraction": delivered_fraction,
+        "latency_p50": percentile(latencies, 50),
+        "latency_p99": percentile(latencies, 99),
+        "dropped_packets": len(sim.dropped),
+        **extra,
+    }
+    result.counters.update(degradation)
+    return FaultyRunReport(
+        result=result, violations=list(checker.violations), degradation=degradation
+    )

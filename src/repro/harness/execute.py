@@ -321,6 +321,56 @@ def _run_bench(spec: TrialSpec) -> dict[str, Any]:
     }
 
 
+def _run_faults(spec: TrialSpec) -> dict[str, Any]:
+    """One fault-injection cell (see repro.faults and docs/FAULTS.md).
+
+    ``availability`` drives an i.i.d. Bernoulli link plan; ``mttf``/
+    ``mttr`` add a renewal node-outage process; ``retransmit_timeout``
+    enables the resilience layer.  The oracles run in record mode, so an
+    overflow under faults is *reported* in the metrics
+    (``queue_bound_violations``), not raised -- detecting which algorithms
+    break is the point of the sweep.
+    """
+    from repro.faults import (
+        BernoulliLinkPlan,
+        CompositeFaultPlan,
+        ConservativeBoundedDimensionOrderRouter,
+        FaultAwareRerouteRouter,
+        FaultPlan,
+        RenewalOutagePlan,
+        run_faulty,
+    )
+
+    topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
+    plans: list[FaultPlan] = [BernoulliLinkPlan(spec.availability, seed=spec.seed)]
+    if spec.mttf > 0:
+        plans.append(
+            RenewalOutagePlan(spec.mttf, spec.mttr, seed=spec.seed + 1, scope="node")
+        )
+    plan = plans[0] if len(plans) == 1 else CompositeFaultPlan(*plans)
+
+    if spec.algorithm == "conservative-bounded-dor":
+        algorithm: RoutingAlgorithm = ConservativeBoundedDimensionOrderRouter(spec.k)
+    elif spec.algorithm == "fault-reroute":
+        algorithm = FaultAwareRerouteRouter(
+            ConservativeBoundedDimensionOrderRouter(spec.k), plan, delta=spec.delta
+        )
+    else:
+        algorithm = build_router(spec)
+
+    packets = build_workload(spec.workload, topology, spec.seed)
+    report = run_faulty(
+        topology,
+        algorithm,
+        packets,
+        plan,
+        max_steps=spec.max_steps,
+        retransmit_timeout=spec.retransmit_timeout,
+        max_retransmits=spec.max_retransmits,
+    )
+    return {"algorithm_name": algorithm.name, **report.to_metrics()}
+
+
 _RUNNERS = {
     "route": _run_route,
     "lower_bound": _run_lower_bound,
@@ -329,6 +379,7 @@ _RUNNERS = {
     "verify": _run_verify,
     "analyze": _run_analyze,
     "bench": _run_bench,
+    "faults": _run_faults,
 }
 
 

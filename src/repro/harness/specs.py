@@ -27,6 +27,7 @@ TRIAL_KINDS = (
     "verify",
     "analyze",
     "bench",
+    "faults",
 )
 
 ROUTE_ALGORITHMS = (
@@ -39,6 +40,10 @@ ROUTE_ALGORITHMS = (
     "randomized-adaptive",
     "bounded-excursion",
 )
+
+#: Algorithms a ``faults`` trial may exercise: every route algorithm plus
+#: the resilience-layer routers (see repro.faults).
+FAULT_ALGORITHMS = ROUTE_ALGORITHMS + ("conservative-bounded-dor", "fault-reroute")
 
 CONSTRUCTIONS = ("adaptive", "dor", "ff", "torus", "hh")
 
@@ -85,6 +90,15 @@ class TrialSpec:
     availability: float = 1.0
     max_steps: int = 1_000_000
     run_to_completion: bool = True
+    #: ``faults`` trials only: steps a source waits before re-injecting an
+    #: undelivered packet (0 disables the resilience layer).
+    retransmit_timeout: int = 0
+    #: ``faults`` trials only: retransmission budget per original packet.
+    max_retransmits: int = 3
+    #: ``faults`` trials only: mean steps up / down per node-outage renewal
+    #: cycle (both 0 disables node outages; see repro.faults.plan).
+    mttf: int = 0
+    mttr: int = 0
     label: str = ""
 
     def validate(self) -> None:
@@ -136,6 +150,38 @@ class TrialSpec:
                     f"unknown analyze router {self.algorithm!r}; "
                     f"expected one of {ROUTE_ALGORITHMS} (or empty for all)"
                 )
+        if self.kind == "faults":
+            if self.algorithm not in FAULT_ALGORITHMS:
+                raise ValueError(
+                    f"unknown faults algorithm {self.algorithm!r}; "
+                    f"expected one of {FAULT_ALGORITHMS}"
+                )
+            if self.workload not in WORKLOADS:
+                raise ValueError(
+                    f"unknown workload {self.workload!r}; expected one of {WORKLOADS}"
+                )
+            if self.algorithm == "fault-reroute" and self.torus:
+                raise ValueError(
+                    "fault-reroute requires a mesh: the excursion rectangle "
+                    "is undefined on a wrapping topology"
+                )
+        if self.retransmit_timeout < 0:
+            raise ValueError(
+                f"retransmit_timeout must be >= 0, got {self.retransmit_timeout}"
+            )
+        if self.max_retransmits < 0:
+            raise ValueError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits}"
+            )
+        if self.mttf < 0 or self.mttr < 0:
+            raise ValueError(
+                f"mttf and mttr must be >= 0, got {self.mttf}, {self.mttr}"
+            )
+        if (self.mttf > 0) != (self.mttr > 0):
+            raise ValueError(
+                "mttf and mttr must be set together (a renewal outage "
+                f"process needs both), got mttf={self.mttf}, mttr={self.mttr}"
+            )
         if self.queues not in ("central", "incoming"):
             raise ValueError(f"queues must be 'central' or 'incoming', got {self.queues!r}")
         if not 0.0 < self.availability <= 1.0:

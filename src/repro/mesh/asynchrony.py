@@ -1,74 +1,38 @@
-"""Asynchronous links: stress-testing the synchronous-model assumptions.
+"""Backward-compatible shim over :mod:`repro.faults`.
 
-The paper repeatedly flags that the fast known algorithms are "too
-specifically tailored to ... synchronous networks to be practical," and its
-closing open problem asks for algorithms that extend "to the asynchronous
-and dynamic settings."  This module provides the standard approximation of
-asynchrony: each link is independently available each step with probability
-``availability`` (seeded, reproducible).  A scheduled transmission over a
-down link silently fails -- indistinguishable from a refusal to the
-policies.
+This module used to *be* the asynchrony support: a 74-line stub with an
+i.i.d. flaky-link hook and the conservative router variant.  Both have
+grown into the first-class fault-injection subsystem at
+:mod:`repro.faults`; this shim keeps the old import paths and the
+:func:`make_async` entry point working.
 
-What this exposes (see tests and bench A5):
-
-- Algorithms whose queue safety rests on *guaranteed* ejection -- Theorem
-  15's always-accepting North/South queues, and bufferless hot-potato
-  routing -- overflow under asynchrony: the guarantee was synchrony.
-- Conservative accept-if-space algorithms remain safe (never overflow) and
-  usually just slow down.
-
-Use :func:`make_async` to attach flaky links to any simulator.
+The move also fixed a determinism bug: the old ``make_async`` drew link
+states from one shared sequential RNG, ignoring ``(src, direction,
+time)`` entirely -- so a link's availability depended on how many other
+moves had been evaluated first, and the same link queried twice in a
+step could disagree.  The replacement is a pure counter-based hash of
+``(seed, src, direction, time)`` (see
+:class:`repro.faults.BernoulliLinkPlan`), reproducible across query
+order, worker counts, and simulator fast paths.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.mesh.directions import Direction
+from repro.faults.plan import BernoulliLinkPlan
+from repro.faults.resilience import ConservativeBoundedDimensionOrderRouter
 from repro.mesh.simulator import Simulator
-from repro.routing.bounded_dor import BoundedDimensionOrderRouter
-from repro.mesh.interfaces import NodeContext
-from repro.mesh.visibility import Offer
-from typing import Iterable, Sequence
+
+__all__ = ["ConservativeBoundedDimensionOrderRouter", "make_async"]
 
 
-def make_async(
-    sim: Simulator, availability: float, seed: int = 0
-) -> Simulator:
+def make_async(sim: Simulator, availability: float, seed: int = 0) -> Simulator:
     """Attach i.i.d. Bernoulli link availability to a simulator.
+
+    Equivalent to ``BernoulliLinkPlan(availability, seed).attach(sim)``.
 
     Args:
         sim: Any simulator (the hook composes with interceptors).
         availability: Per-link per-step up-probability in (0, 1].
-        seed: RNG seed; runs are reproducible.
+        seed: Hash seed; equal seeds give bit-identical fault histories.
     """
-    if not 0.0 < availability <= 1.0:
-        raise ValueError(f"availability must be in (0, 1], got {availability}")
-    rng = np.random.default_rng(seed)
-
-    def link_up(src: tuple[int, int], direction: Direction, time: int) -> bool:
-        return bool(rng.random() < availability)
-
-    sim.link_filter = link_up
-    return sim
-
-
-class ConservativeBoundedDimensionOrderRouter(BoundedDimensionOrderRouter):
-    """Theorem 15's router with the synchrony assumption removed.
-
-    The original's North/South queues accept unconditionally because the
-    synchronous model *guarantees* they eject every step.  Under flaky
-    links that guarantee is void, so this variant accepts into every queue
-    only while it holds fewer than ``k`` packets -- always safe, at the
-    price of Theorem 15's termination proof (vertical flows can now suffer
-    the refusal stalls the always-accept rule existed to preclude).
-    """
-
-    name = "conservative-bounded-dor"
-
-    def inqueue(self, ctx: NodeContext, offers: Sequence[Offer]) -> Iterable[Offer]:
-        accepted = []
-        for off in offers:
-            if ctx.occupancy(off.came_from) < self.queue_spec.capacity:
-                accepted.append(off)
-        return accepted
+    return BernoulliLinkPlan(availability, seed=seed).attach(sim)

@@ -142,7 +142,7 @@ class Simulator:
         #: (node, direction) -> transmissions, when link recording is on.
         self.link_loads: dict[tuple[tuple[int, int], Direction], int] = {}
         #: Optional (src, direction, time) -> bool availability hook; see
-        #: repro.mesh.asynchrony.
+        #: repro.faults.plan (fault plans install their filter here).
         self.link_filter: Callable[[tuple[int, int], Direction, int], bool] | None = None
         self.spec = algorithm.queue_spec
 
@@ -153,6 +153,10 @@ class Simulator:
         self.queues: dict[tuple[int, int], dict[Any, list[Packet]]] = {}
         self.node_states: dict[tuple[int, int], Any] = {}
         self.delivery_times: dict[int, int] = {}
+        #: pid -> step at which the packet was dropped (fault handling; see
+        #: repro.faults).  Empty in fault-free runs.  Dropped packets count
+        #: as resolved for :attr:`done` and for conservation.
+        self.dropped: dict[int, int] = {}
         self.total_packets = 0
         self.total_moves = 0
         self.max_queue_len = 0
@@ -875,11 +879,63 @@ class Simulator:
                 del queues[node]
                 del sorted_nodes[bisect_left(sorted_nodes, node)]
 
+    # -- fault handling (used by repro.faults; no-ops in fault-free runs) -------
+
+    def drop_packet(self, packet: Packet) -> None:
+        """Remove an in-network packet and record it as dropped.
+
+        Dropped packets count as resolved for :attr:`done`; the faults
+        conservation invariant is ``delivered + queued + pending + dropped
+        == total``.
+        """
+        q = self._queue_of.pop(packet.pid, None)
+        if q is not None and packet in q:
+            q.remove(packet)
+        else:
+            self._remove_packet(packet.pos, packet)
+        self._node_load[packet.pos] -= 1
+        self._in_flight -= 1
+        self.dropped[packet.pid] = self.time
+        self._prune_empty((packet.pos,))
+
+    def drop_pending(self, pid: int) -> None:
+        """Drop a packet still waiting outside the network."""
+        for i, p in enumerate(self._pending):
+            if p.pid == pid:
+                del self._pending[i]
+                self.dropped[pid] = self.time
+                return
+        raise ValueError(f"packet {pid} is not pending")
+
+    def inject_packet(self, packet: Packet) -> None:
+        """Add a dynamic packet mid-run (fault-layer retransmissions).
+
+        The packet joins the pending pool and enters the network at the
+        first step strictly after its ``injection_time`` at which its
+        source queue has space -- the same rule as load-time dynamic
+        packets.
+        """
+        pid = packet.pid
+        if (
+            pid in self._queue_of
+            or pid in self.delivery_times
+            or pid in self.dropped
+            or any(p.pid == pid for p in self._pending)
+        ):
+            raise ValueError(f"duplicate packet id {pid}")
+        if not self.topology.contains(packet.source) or not self.topology.contains(
+            packet.dest
+        ):
+            raise ValueError(f"packet {pid} endpoints outside topology")
+        self.total_packets += 1
+        self._pending.append(packet)
+        self._pending.sort(key=lambda p: (p.injection_time, p.pid))
+
     # -- driving -----------------------------------------------------------------
 
     @property
     def done(self) -> bool:
-        return len(self.delivery_times) == self.total_packets
+        return len(self.delivery_times) + len(self.dropped) == self.total_packets
 
     def run(self, max_steps: int, *, raise_on_limit: bool = False) -> RunResult:
         """Step until all packets are delivered or ``max_steps`` is reached."""

@@ -264,9 +264,6 @@ class Torus(Topology):
         delta = (dst - src) % size
         if delta > size // 2:
             delta -= size
-        elif delta == size - delta and delta != 0:
-            # even size, exact halfway: keep positive representative
-            pass
         return delta
 
     def displacement(self, node: tuple[int, int], dest: tuple[int, int]) -> tuple[int, int]:

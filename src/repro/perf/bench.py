@@ -7,8 +7,11 @@ are not measurements), then reconciles the measured steps/s against
 
 - every cell run this time is compared against the stored entry under the
   same key, and a drop larger than the tolerance is a **regression**;
-- the stored file is then updated by merging: cells run this time replace
-  their stored entries, cells not run are preserved untouched.
+- when the report is clean, the stored file is updated by merging: cells
+  run this time replace their stored entries, cells not run are preserved
+  untouched.  A regressed or failed report never touches the file -- a
+  regression must keep firing on every run until the code is fixed or the
+  baseline is refreshed deliberately, not silently become the new normal.
 
 Keys are ``{algorithm}/{workload}/n{n}/k{k}/s{seed}``, so smoke and full
 matrices coexist in one file.  The tolerance (default 20%) absorbs normal
@@ -19,6 +22,7 @@ the policy on refreshing the baseline after intentional changes.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from dataclasses import dataclass, field
 from typing import Any
@@ -50,9 +54,17 @@ class BenchComparison:
 
     @property
     def change(self) -> float | None:
-        """Fractional change vs baseline (+ faster, - slower); None if new."""
-        if not self.baseline_steps_per_s:
+        """Fractional change vs baseline (+ faster, - slower); None if new.
+
+        The new-cell test is ``is None``, not falsiness: a *stored*
+        ``steps_per_s`` of 0.0 is a real (degenerate) baseline, and any
+        positive measurement against it is ``inf`` improvement, not a
+        fresh cell.
+        """
+        if self.baseline_steps_per_s is None:
             return None
+        if self.baseline_steps_per_s == 0.0:
+            return math.inf if self.steps_per_s > 0.0 else 0.0
         return (self.steps_per_s - self.baseline_steps_per_s) / self.baseline_steps_per_s
 
     @property
@@ -87,7 +99,8 @@ class BenchReport:
                 baseline, change = "(new)", ""
             else:
                 baseline = f"{c.baseline_steps_per_s:.1f}"
-                change = f"{100.0 * c.change:+.1f}%"
+                frac = c.change
+                change = f"{100.0 * frac:+.1f}%" if math.isfinite(frac) else "+inf"
                 if c.regressed:
                     change += " !"
             lines.append(
@@ -120,9 +133,15 @@ def compare_and_merge(
     Only cells measured by *this* run are compared (and, with ``update``,
     rewritten); stored entries for other cells pass through untouched, so
     a smoke run never invalidates the full matrix.
+
+    A regressed cell's stored entry is never replaced, and the file is not
+    rewritten at all unless the whole report is ok: the ratchet must keep
+    failing until the regression is fixed (or the baseline refreshed
+    deliberately), not absorb the slowdown on its first firing.
     """
     baseline = load_baseline(baseline_path)
     entries: dict[str, Any] = baseline["entries"]
+    merged: dict[str, Any] = dict(entries)
     comparisons: list[BenchComparison] = []
     failed: list[str] = []
     for trial in run.results:
@@ -134,36 +153,37 @@ def compare_and_merge(
         timing = metrics.get("timing", {})
         steps_per_s = float(timing.get("steps_per_s", 0.0))
         stored = entries.get(key)
-        comparisons.append(
-            BenchComparison(
-                key=key,
-                steps_per_s=steps_per_s,
-                baseline_steps_per_s=(
-                    float(stored["steps_per_s"]) if stored else None
-                ),
-                tolerance=tolerance,
-            )
+        comparison = BenchComparison(
+            key=key,
+            steps_per_s=steps_per_s,
+            baseline_steps_per_s=(
+                float(stored["steps_per_s"]) if stored is not None else None
+            ),
+            tolerance=tolerance,
         )
-        if update:
-            entries[key] = {
-                "steps_per_s": round(steps_per_s, 2),
-                "wall_s": round(float(timing.get("wall_s", 0.0)), 4),
-                "steps": metrics["steps"],
-                "completed": metrics["completed"],
-                "total_moves": metrics["total_moves"],
-                "scheduled_moves": metrics["scheduled_moves"],
-                "refused_moves": metrics["refused_moves"],
-                "repeats": metrics.get("repeats", 1),
-            }
-    if update:
-        document = {
-            "format": "repro-bench-v1",
-            "tolerance": tolerance,
-            "entries": {key: entries[key] for key in sorted(entries)},
+        comparisons.append(comparison)
+        if comparison.regressed:
+            continue  # keep the old entry: the ratchet must keep failing
+        merged[key] = {
+            "steps_per_s": round(steps_per_s, 2),
+            "wall_s": round(float(timing.get("wall_s", 0.0)), 4),
+            "steps": metrics["steps"],
+            "completed": metrics["completed"],
+            "total_moves": metrics["total_moves"],
+            "scheduled_moves": metrics["scheduled_moves"],
+            "refused_moves": metrics["refused_moves"],
+            "repeats": metrics.get("repeats", 1),
         }
-        baseline_path.write_text(json.dumps(document, indent=2) + "\n")
-    return BenchReport(
+    report = BenchReport(
         comparisons=comparisons,
         failed_trials=failed,
         baseline_path=baseline_path,
     )
+    if update and report.ok:
+        document = {
+            "format": "repro-bench-v1",
+            "tolerance": tolerance,
+            "entries": {key: merged[key] for key in sorted(merged)},
+        }
+        baseline_path.write_text(json.dumps(document, indent=2) + "\n")
+    return report

@@ -137,9 +137,15 @@ def attach_checker(
 
 
 class PacketConservationOracle(Oracle):
-    """Packets are conserved: pending + in-network + delivered == total,
-    no pid occupies two queues, deliveries happen at the destination, and
-    the delivered set only grows."""
+    """Packets are conserved: pending + in-network + delivered + dropped
+    == total, no pid occupies two queues, deliveries happen at the
+    destination, and the delivered set only grows.
+
+    The dropped term is conservation-modulo-dropped for faulty runs (see
+    :mod:`repro.faults`): a packet leaves the accounting only by being
+    delivered or by being explicitly recorded in ``Simulator.dropped`` --
+    in fault-free runs that dict is empty and the invariant reduces to
+    the original equality."""
 
     name = "packet-conservation"
 
@@ -160,18 +166,24 @@ class PacketConservationOracle(Oracle):
                 checker.report(
                     self, f"packet {p.pid} still queued after delivery"
                 )
+            if p.pid in sim.dropped:
+                checker.report(
+                    self, f"packet {p.pid} still queued after being dropped"
+                )
         if in_network != sim.in_flight:
             checker.report(
                 self,
                 f"in-flight counter {sim.in_flight} != queued packets {in_network}",
             )
-        total = len(sim.delivery_times) + in_network + sim.pending_count
+        total = (
+            len(sim.delivery_times) + in_network + sim.pending_count + len(sim.dropped)
+        )
         if total != sim.total_packets:
             checker.report(
                 self,
                 f"conservation broken: delivered {len(sim.delivery_times)} + "
-                f"queued {in_network} + pending {sim.pending_count} != "
-                f"total {sim.total_packets}",
+                f"queued {in_network} + pending {sim.pending_count} + "
+                f"dropped {len(sim.dropped)} != total {sim.total_packets}",
             )
         delivered_now = set(sim.delivery_times)
         if not self._delivered_seen <= delivered_now:

@@ -173,3 +173,74 @@ class TestCampaignCommands:
             main(["campaign", "show", "ghost", "--campaign-dir", str(tmp_path)])
         assert exc.value.code == 2
         assert "run it first" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_custom_spec_runs_and_reports(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "cli-faults-test")
+        spec = tmp_path / "tiny_faults.json"
+        spec.write_text(json.dumps({
+            "name": "tiny_faults",
+            "trials": [
+                {"kind": "faults", "algorithm": "conservative-bounded-dor",
+                 "n": 6, "k": 2, "availability": 0.8, "max_steps": 800},
+            ],
+        }))
+        rc = main(
+            ["faults", "--spec", str(spec),
+             "--campaign-dir", str(tmp_path / "campaigns"), "--quiet"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults PASS: 1 cells" in out
+        assert "conservative-bounded-dor" in out
+
+    def test_missing_spec_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", "--spec", str(tmp_path / "ghost.json"), "--quiet"])
+        assert exc.value.code == 2
+        assert "cannot load faults spec" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_regression_exits_nonzero_and_baseline_byte_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """End-to-end ratchet guard: `repro bench` on a slowed cell must
+
+        fail *and* leave the slowed cell's baseline entry untouched.
+        """
+        from types import SimpleNamespace
+
+        import repro.harness
+        from repro.harness.runner import TrialResult
+        from repro.harness.specs import TrialSpec
+
+        spec = TrialSpec(kind="bench", n=16, k=2, algorithm="bounded-dor", seed=0)
+
+        def fake_trial(steps_per_s):
+            return TrialResult(
+                index=0, key="x", spec=spec, status="ok",
+                metrics={
+                    "steps": 40, "completed": True, "total_moves": 1000,
+                    "scheduled_moves": 1100, "refused_moves": 100, "repeats": 3,
+                    "timing": {"steps_per_s": steps_per_s, "wall_s": 1.0},
+                },
+                error=None, wall_s=0.0, cached=False,
+            )
+
+        speeds = iter([100.0, 50.0])
+        monkeypatch.setattr(
+            repro.harness,
+            "run_campaign",
+            lambda *a, **kw: SimpleNamespace(results=[fake_trial(next(speeds))]),
+        )
+        baseline = tmp_path / "bench.json"
+        rc = main(["bench", "--smoke", "--quiet", "--baseline", str(baseline)])
+        assert rc == 0
+        before = baseline.read_bytes()
+
+        rc = main(["bench", "--smoke", "--quiet", "--baseline", str(baseline)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert baseline.read_bytes() == before

@@ -1,0 +1,97 @@
+"""Bit-identical faulty runs: across workers, repeats, and code paths."""
+
+import pytest
+
+from repro.faults import (
+    BernoulliLinkPlan,
+    ConservativeBoundedDimensionOrderRouter,
+    run_faulty,
+)
+from repro.harness import CampaignSpec, TrialSpec, run_campaign
+from repro.mesh import Mesh, Simulator
+from repro.workloads import random_permutation
+
+
+def faults_spec(**overrides):
+    fields = dict(
+        kind="faults",
+        algorithm="conservative-bounded-dor",
+        n=6,
+        k=2,
+        availability=0.8,
+        seed=0,
+        max_steps=800,
+    )
+    fields.update(overrides)
+    return TrialSpec(**fields)
+
+
+class TestRunFaultyDeterminism:
+    def test_repeated_runs_are_bit_identical(self):
+        def once():
+            topo = Mesh(8)
+            return run_faulty(
+                topo,
+                ConservativeBoundedDimensionOrderRouter(2),
+                random_permutation(topo, seed=4),
+                BernoulliLinkPlan(0.7, seed=4),
+                max_steps=1500,
+                retransmit_timeout=40,
+            ).to_metrics()
+
+        assert once() == once()
+
+    def test_filtered_path_with_full_availability_matches_unfiltered(self):
+        """availability=1.0 installs the link_filter (disabling the
+        fast offer path) but fails nothing: the filtered and unfiltered
+        simulator paths must produce the same run."""
+        topo = Mesh(6)
+        packets = random_permutation(topo, seed=9)
+
+        def run(attach_plan):
+            sim = Simulator(
+                topo,
+                ConservativeBoundedDimensionOrderRouter(2),
+                list(packets),
+                validate=False,
+            )
+            if attach_plan:
+                BernoulliLinkPlan(1.0, seed=0).attach(sim)
+                assert sim.link_filter is not None
+            result = sim.run(max_steps=500)
+            return result.steps, result.total_moves, result.delivery_times
+
+        assert run(True) == run(False)
+
+
+class TestCampaignDeterminism:
+    @pytest.fixture(autouse=True)
+    def pinned_code_version(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "faults-determinism-test")
+
+    def test_rows_identical_across_worker_counts(self, tmp_path):
+        campaign = CampaignSpec(
+            name="faults_det",
+            trials=[
+                faults_spec(),
+                faults_spec(algorithm="fault-reroute", availability=0.9),
+                faults_spec(
+                    algorithm="bounded-dor", availability=0.6, seed=1
+                ),
+                faults_spec(mttf=50, mttr=5, retransmit_timeout=30),
+            ],
+        )
+        serial = run_campaign(
+            campaign, workers=1, base_dir=tmp_path / "serial", fresh=True
+        )
+        pooled = run_campaign(
+            campaign, workers=4, base_dir=tmp_path / "pooled", fresh=True
+        )
+        assert serial.ok and pooled.ok
+        assert [t.metrics for t in serial.results] == [
+            t.metrics for t in pooled.results
+        ]
+        # The stored row files are byte-identical, not merely equal.
+        serial_rows = (tmp_path / "serial/faults_det/results.jsonl").read_bytes()
+        pooled_rows = (tmp_path / "pooled/faults_det/results.jsonl").read_bytes()
+        assert serial_rows == pooled_rows

@@ -41,6 +41,45 @@ class TestTrialSpec:
         assert again == spec
 
 
+class TestFaultsSpec:
+    def test_faults_kind_accepts_resilience_algorithms(self):
+        for algorithm in ("conservative-bounded-dor", "fault-reroute", "bounded-dor"):
+            TrialSpec(
+                kind="faults", n=8, k=2, algorithm=algorithm, availability=0.8
+            ).validate()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(kind="faults", n=8, algorithm="psychic"),
+            dict(kind="faults", n=8, algorithm="bounded-dor", workload="mystery"),
+            # The reroute adapter's excursion rectangle is undefined on a
+            # wrapping topology.
+            dict(kind="faults", n=8, algorithm="fault-reroute", torus=True),
+            dict(kind="faults", n=8, algorithm="bounded-dor", retransmit_timeout=-1),
+            dict(kind="faults", n=8, algorithm="bounded-dor", max_retransmits=-1),
+            dict(kind="faults", n=8, algorithm="bounded-dor", mttf=-5, mttr=10),
+            # mttf/mttr define one renewal process; one without the other
+            # is a half-specified plan.
+            dict(kind="faults", n=8, algorithm="bounded-dor", mttf=100),
+            dict(kind="faults", n=8, algorithm="bounded-dor", mttr=10),
+        ],
+    )
+    def test_invalid_faults_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TrialSpec.from_dict(bad)
+
+    def test_fault_fields_affect_key(self):
+        base = TrialSpec(kind="faults", n=8, algorithm="bounded-dor")
+        variants = [
+            TrialSpec(kind="faults", n=8, algorithm="bounded-dor", retransmit_timeout=50),
+            TrialSpec(kind="faults", n=8, algorithm="bounded-dor", mttf=100, mttr=10),
+            TrialSpec(kind="faults", n=8, algorithm="bounded-dor", max_retransmits=5),
+        ]
+        keys = {trial_key(s) for s in [base, *variants]}
+        assert len(keys) == len(variants) + 1
+
+
 class TestTrialKey:
     def test_label_does_not_affect_key(self):
         a = TrialSpec(kind="route", n=8, algorithm="dor", label="one")

@@ -130,6 +130,34 @@ class TestTorus:
         dx, dy = t.displacement((0, 0), (4, 0))
         assert (dx, dy) == (4, 0)
 
+    def test_axis_delta_halfway_positive_every_even_size(self):
+        """Regression for the halfway tie-break on even sizes.
+
+        ``_axis_delta`` once special-cased ``delta == size // 2`` in a
+        dead ``elif`` branch; the simplification must keep reporting the
+        tie as +size/2 (never -size/2) for every even size and origin."""
+        for size in (2, 4, 6, 8, 10):
+            half = size // 2
+            for src in range(size):
+                delta = Torus._axis_delta(src, (src + half) % size, size)
+                assert delta == half
+
+    def test_axis_delta_range_and_inverse(self):
+        for size in (4, 5, 8):
+            for src in range(size):
+                for dst in range(size):
+                    delta = Torus._axis_delta(src, dst, size)
+                    assert -size // 2 < delta <= size // 2
+                    assert (src + delta) % size == dst
+
+    def test_halfway_on_both_axes(self):
+        t = Torus(8)
+        assert t.displacement((3, 5), (7, 1)) == (4, 4)
+        assert t.distance((3, 5), (7, 1)) == 8
+        assert t.profitable_directions((3, 5), (7, 1)) == frozenset(
+            {Direction.N, Direction.E, Direction.S, Direction.W}
+        )
+
     def test_submesh_center_matches_mesh(self):
         # Inside a small central window, torus geometry agrees with the mesh.
         t, m = Torus(16), Mesh(16)

@@ -131,15 +131,53 @@ class TestCompareAndMerge:
         assert not report.ok
         assert path.read_text() == before
 
-    def test_failed_trial_reported_not_stored(self, tmp_path):
+    def test_failed_trial_reported_and_file_never_written(self, tmp_path):
         path = tmp_path / "bench.json"
         report = compare_and_merge(
             fake_run(trial(bench_spec(), 0.0, status="error")), path, tolerance=0.2
         )
         assert not report.ok
         assert report.failed_trials == ["bounded-dor/random/n16/k2/s0"]
-        assert json.loads(path.read_text())["entries"] == {}
+        assert not path.exists()  # a not-ok report must not touch the file
         assert "FAILED" in report.table()
+
+    def test_regressed_cell_keeps_its_baseline_entry(self, tmp_path):
+        """The headline ratchet fix: a regression must keep firing.
+
+        Before the fix, a regressed cell overwrote its own baseline entry
+        under ``update=True``, so the regression fired once and the
+        slowdown silently became the new normal.
+        """
+        path = tmp_path / "bench.json"
+        compare_and_merge(fake_run(trial(bench_spec(), 100.0)), path, tolerance=0.2)
+        before = path.read_text()
+        report = compare_and_merge(
+            fake_run(trial(bench_spec(), 50.0)), path, tolerance=0.2
+        )
+        assert not report.ok
+        assert path.read_text() == before  # entry (and file) unchanged
+        # The identical rerun is still a regression against the same entry.
+        again = compare_and_merge(
+            fake_run(trial(bench_spec(), 50.0)), path, tolerance=0.2
+        )
+        assert not again.ok
+        (regression,) = again.regressions
+        assert regression.baseline_steps_per_s == 100.0
+
+    def test_mixed_report_with_regression_writes_nothing(self, tmp_path):
+        """One regressed cell blocks the whole write, even for ok cells."""
+        path = tmp_path / "bench.json"
+        compare_and_merge(
+            fake_run(trial(bench_spec(), 100.0), trial(bench_spec(n=32), 25.0)),
+            path, tolerance=0.2,
+        )
+        before = path.read_text()
+        report = compare_and_merge(
+            fake_run(trial(bench_spec(), 50.0), trial(bench_spec(n=32), 26.0)),
+            path, tolerance=0.2,
+        )
+        assert not report.ok
+        assert path.read_text() == before
 
     def test_entries_sorted_for_stable_diffs(self, tmp_path):
         path = tmp_path / "bench.json"
