@@ -15,6 +15,13 @@ from repro.analysis.campaigns import (
 )
 from repro.analysis.turning_intervals import TurningInterval, TurningIntervalMonitor
 from repro.analysis.latency import LatencyStats, latency_stats, peak_throughput, throughput_series
+from repro.analysis.stats import (
+    degradation_metrics,
+    delivered_fraction,
+    latency_percentiles,
+    percentile,
+    violation_counts,
+)
 
 __all__ = [
     "fit_power_law",
@@ -35,4 +42,9 @@ __all__ = [
     "latency_stats",
     "peak_throughput",
     "throughput_series",
+    "degradation_metrics",
+    "delivered_fraction",
+    "latency_percentiles",
+    "percentile",
+    "violation_counts",
 ]

@@ -59,7 +59,7 @@ RULES: Dict[str, str] = {
 SCOPED_PACKAGES: Tuple[str, ...] = ("mesh", "routing", "tiling", "workloads")
 
 #: Packages (under src/repro) where SC005 docstring coverage applies.
-DOCSTRING_PACKAGES: Tuple[str, ...] = ("perf", "harness")
+DOCSTRING_PACKAGES: Tuple[str, ...] = ("perf", "harness", "streaming", "analysis")
 
 #: Functions on the time module that read the wall clock.
 _TIME_FUNCS = frozenset(
@@ -111,6 +111,8 @@ class LintViolation:
 
 
 class _Checker(ast.NodeVisitor):
+    """Single-module AST walk applying the SC rules enabled for its path."""
+
     def __init__(self, path: str, lines: Sequence[str], rules: Set[str]) -> None:
         self.path = path
         self.lines = lines

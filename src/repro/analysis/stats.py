@@ -1,0 +1,93 @@
+"""Shared deterministic summary statistics for measured runs.
+
+Both the fault-injection layer (:mod:`repro.faults.run`) and the
+streaming-injection layer (:mod:`repro.streaming`) reduce a run to the
+same shape of degradation row: latency percentiles over integer step
+latencies plus per-oracle violation tallies.  These helpers are the
+single implementation both layers share, so the numbers in a faults
+table and a saturation table are computed identically.
+
+Everything here is a pure function of its inputs -- no RNG, no wall
+clock, no float interpolation -- so metrics rows stay byte-identical
+across platforms and worker counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.verify.oracles import Violation
+
+
+def percentile(values: Iterable[int], q: float) -> int | None:
+    """Nearest-rank percentile (inclusive); None on an empty input.
+
+    Nearest-rank keeps the value an actual observed latency (an integer
+    number of steps), which keeps metrics rows exactly reproducible --
+    no float interpolation to drift across platforms.
+    """
+    vals = sorted(values)
+    if not vals:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(vals)))
+    return vals[min(rank, len(vals)) - 1]
+
+
+def latency_percentiles(
+    latencies: Iterable[int], qs: tuple[float, ...] = (50, 99)
+) -> dict[str, int | None]:
+    """The ``latency_pNN`` block of a degradation row.
+
+    One ``latency_pNN`` key per requested percentile, each computed with
+    the nearest-rank rule above (``None`` when nothing was delivered).
+    """
+    vals = sorted(latencies)
+    return {
+        f"latency_p{int(q) if float(q).is_integer() else q}": percentile(vals, q)
+        for q in qs
+    }
+
+
+def violation_counts(violations: Iterable[Violation]) -> dict[str, int]:
+    """Tally recorded oracle violations by oracle name.
+
+    The degradation-counter helper: record-mode runs (faults sweeps,
+    streaming runs) count violations per oracle instead of aborting, and
+    every layer must bucket them the same way for its metrics row.
+    """
+    counts: dict[str, int] = {}
+    for v in violations:
+        counts[v.oracle] = counts.get(v.oracle, 0) + 1
+    return counts
+
+
+def delivered_fraction(delivered: int, total: int) -> float:
+    """Delivered share of ``total`` packets; 1.0 for an empty instance."""
+    if total <= 0:
+        return 1.0
+    return delivered / total
+
+
+def degradation_metrics(
+    *,
+    delivered: int,
+    total: int,
+    latencies: Iterable[int],
+    dropped: int = 0,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The common degradation block: delivered fraction, p50/p99, drops.
+
+    ``extra`` entries (retransmission counters, rejection counters, ...)
+    are merged in last so a layer can extend the row without changing
+    the shared keys.
+    """
+    row: dict[str, Any] = {
+        "delivered_fraction": delivered_fraction(delivered, total),
+        **latency_percentiles(latencies, (50, 99)),
+        "dropped_packets": dropped,
+    }
+    if extra:
+        row.update(extra)
+    return row

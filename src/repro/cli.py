@@ -16,6 +16,10 @@ Subcommands:
   (``analyze cdg|lint|all``, see docs/ANALYSIS.md)
 - ``faults``      -- fault-injection availability sweep with degradation
   metrics and overflow detection (see docs/FAULTS.md)
+- ``stream``      -- open-loop saturation sweep: injection-rate ladder per
+  router with knee detection (see docs/STREAMING.md)
+- ``serve``       -- live injection service over newline-delimited JSON on
+  TCP (see docs/STREAMING.md for the wire format)
 
 Exit codes are uniform across subcommands: 0 success, 1 the command ran but
 found failures (stalled routing, verification findings, new lint
@@ -435,6 +439,107 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if verdict == "PASS" else 1
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run the saturation-sweep campaign and print the knee table.
+
+    Groups the campaign's ``streaming`` cells by (algorithm, n, arrival
+    process), orders each group by nominal rate, and reports the knee --
+    the first rate whose delivered rate falls below 95% of the offered
+    rate.  Wedged cells (overload exchange-deadlock) are findings, not
+    failures; exit 1 is reserved for crashed trials and conservation
+    violations (a rejected-packet accounting bug would show up there).
+    """
+    from repro.harness import CampaignSpec, run_campaign
+    from repro.streaming import SweepPoint, SweepResult
+
+    spec_path = args.spec or (
+        "benchmarks/specs/streaming_smoke.json"
+        if args.smoke
+        else "benchmarks/specs/streaming_sweep.json"
+    )
+    try:
+        campaign = CampaignSpec.from_file(spec_path)
+    except (OSError, ValueError) as exc:
+        raise _usage_error(f"cannot load streaming spec: {exc}")
+    run = run_campaign(
+        campaign,
+        workers=args.workers,
+        base_dir=args.campaign_dir,
+        fresh=args.fresh,
+        progress=not args.quiet,
+    )
+
+    groups: dict[tuple[str, int, str], SweepResult] = {}
+    failures = 0
+    conservation = 0
+    for result in run.results:
+        spec = result.spec
+        if result.status != "ok" or result.metrics is None:
+            first = (result.error or result.status).splitlines()[0]
+            print(f"  FAILED #{result.index} [{result.status}] {first}")
+            failures += 1
+            continue
+        key = (spec.algorithm, spec.n, spec.arrival)
+        group = groups.get(key)
+        if group is None:
+            groups[key] = group = SweepResult(
+                algorithm=spec.algorithm, n=spec.n, process=spec.arrival
+            )
+        group.points.append(SweepPoint(rate=spec.rate, metrics=result.metrics))
+        conservation += result.metrics.get("conservation_violations", 0)
+
+    print(
+        f"{'cell':<34} {'rate':>5} {'offer':>6} {'deliv':>6} {'rej':>6} "
+        f"{'p50':>5} {'p99':>5} {'outcome':>8} knee"
+    )
+    for (algorithm, n, process), group in groups.items():
+        group.points.sort(key=lambda point: point.rate)
+        knee = group.saturation_rate()
+        knee_text = f"{knee:g}" if knee is not None else "-"
+        for point in group.points:
+            m = point.metrics
+            outcome = (
+                "wedged" if m.get("stalled")
+                else "drained" if m.get("drained")
+                else "slow"
+            )
+            p50, p99 = m.get("latency_p50"), m.get("latency_p99")
+            print(
+                f"{algorithm + '/n' + str(n) + '/' + process:<34} "
+                f"{point.rate:>5g} {m['offered_rate']:>6.3f} "
+                f"{m['delivered_rate']:>6.3f} {m['rejection_fraction']:>6.1%} "
+                f"{'-' if p50 is None else p50:>5} "
+                f"{'-' if p99 is None else p99:>5} {outcome:>8} {knee_text}"
+            )
+    if conservation:
+        print(f"  CONSERVATION: {conservation} violation(s) across cells")
+    verdict = "PASS" if not failures and not conservation else "FAIL"
+    print(
+        f"stream {verdict}: {len(run.results)} cells in {len(groups)} sweeps, "
+        f"{failures} failed, {conservation} conservation violation(s)"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live injection service until a client sends ``shutdown``."""
+    import asyncio
+
+    from repro.streaming import StreamingService, serve_forever
+
+    topology = Torus(args.n) if args.torus else Mesh(args.n)
+    algorithm = ALGORITHMS[args.algorithm](args)
+    service = StreamingService(topology, algorithm)
+
+    def on_ready(host: str, port: int) -> None:
+        # Scripted clients parse this line to find an ephemeral --port 0.
+        print(f"repro serve listening on {host}:{port}", flush=True)
+
+    asyncio.run(serve_forever(service, args.host, args.port, on_ready=on_ready))
+    print("repro serve: shutdown")
+    return 0
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.analysis.campaigns import summarize_manifest
 
@@ -718,6 +823,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--campaign-dir", default="campaigns")
     p.add_argument("--quiet", action="store_true", help="no per-trial progress on stderr")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "stream",
+        help="open-loop saturation sweep with knee detection",
+    )
+    p.add_argument(
+        "--smoke", action="store_true", help="small n=8 rate ladder (the CI job)"
+    )
+    p.add_argument(
+        "--spec", default=None, help="explicit streaming campaign spec (overrides --smoke)"
+    )
+    p.add_argument("--workers", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--fresh", action="store_true", help="ignore cached results and re-run everything"
+    )
+    p.add_argument("--campaign-dir", default="campaigns")
+    p.add_argument("--quiet", action="store_true", help="no per-trial progress on stderr")
+    p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser(
+        "serve",
+        help="live NDJSON-over-TCP injection service",
+    )
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="bounded-dor")
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--queues", choices=["central", "incoming"], default="central")
+    p.add_argument("--delta", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--torus", action="store_true")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 binds an ephemeral port)"
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "analyze",

@@ -22,10 +22,10 @@ plan, parameters), byte-identical across worker counts and runs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.analysis.stats import degradation_metrics, percentile, violation_counts
 from repro.faults.plan import FaultPlan
 from repro.faults.resilience import ResilienceManager
 from repro.mesh.interfaces import RoutingAlgorithm
@@ -41,18 +41,9 @@ from repro.verify.oracles import (
 )
 
 
-def percentile(values: Iterable[int], q: float) -> int | None:
-    """Nearest-rank percentile (inclusive); None on an empty input.
-
-    Nearest-rank keeps the value an actual observed latency (an integer
-    number of steps), which keeps metrics rows exactly reproducible --
-    no float interpolation to drift across platforms.
-    """
-    vals = sorted(values)
-    if not vals:
-        return None
-    rank = max(1, math.ceil(q / 100.0 * len(vals)))
-    return vals[min(rank, len(vals)) - 1]
+# ``percentile`` moved to :mod:`repro.analysis.stats` (shared with the
+# streaming layer); re-exported here for existing importers.
+__all__ = ["FaultyRunReport", "percentile", "run_faulty"]
 
 
 @dataclass
@@ -85,9 +76,7 @@ class FaultyRunReport:
     def to_metrics(self) -> dict[str, Any]:
         """Flat, JSON-serializable, deterministic metrics row."""
         r = self.result
-        counts: dict[str, int] = {}
-        for v in self.violations:
-            counts[v.oracle] = counts.get(v.oracle, 0) + 1
+        counts = violation_counts(self.violations)
         return {
             "completed": r.completed,
             "steps": r.steps,
@@ -163,24 +152,23 @@ def run_faulty(
     checker.finish()
 
     if manager is not None:
-        delivered_fraction = manager.delivered_fraction
+        delivered, total = len(manager.delivered_at), manager.originals
         latencies = manager.latencies()
-        extra = manager.counters()
+        extra = dict(manager.counters())
     else:
-        total = result.total_packets
-        delivered_fraction = result.delivered / total if total else 1.0
+        delivered, total = result.delivered, result.total_packets
         latencies = sorted(
             t - injection_time[pid] for pid, t in result.delivery_times.items()
         )
         extra = {"retransmissions": 0, "dropped_by_outage": 0}
 
-    degradation: dict[str, Any] = {
-        "delivered_fraction": delivered_fraction,
-        "latency_p50": percentile(latencies, 50),
-        "latency_p99": percentile(latencies, 99),
-        "dropped_packets": len(sim.dropped),
-        **extra,
-    }
+    degradation = degradation_metrics(
+        delivered=delivered,
+        total=total,
+        latencies=latencies,
+        dropped=len(sim.dropped),
+        extra=extra,
+    )
     result.counters.update(degradation)
     return FaultyRunReport(
         result=result, violations=list(checker.violations), degradation=degradation

@@ -371,6 +371,30 @@ def _run_faults(spec: TrialSpec) -> dict[str, Any]:
     return {"algorithm_name": algorithm.name, **report.to_metrics()}
 
 
+def _run_streaming(spec: TrialSpec) -> dict[str, Any]:
+    """One open-loop streaming cell (see repro.streaming, docs/STREAMING.md).
+
+    ``rate``/``arrival`` configure the arrival process, ``warmup``/
+    ``measure``/``drain`` the windows.  Oracles run in record mode: a
+    wedged or overflowing network is a *result* of the sweep
+    (``stalled`` / ``queue_bound_violations``), not an error.
+    """
+    from repro.streaming import build_process, run_streaming
+
+    topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
+    algorithm = build_router(spec)
+    process = build_process(spec.arrival, spec.rate, seed=spec.seed)
+    report = run_streaming(
+        topology,
+        algorithm,
+        process,
+        warmup=spec.warmup,
+        measure=spec.measure,
+        drain=spec.drain,
+    )
+    return {"algorithm_name": algorithm.name, **report.to_metrics()}
+
+
 _RUNNERS = {
     "route": _run_route,
     "lower_bound": _run_lower_bound,
@@ -380,6 +404,7 @@ _RUNNERS = {
     "analyze": _run_analyze,
     "bench": _run_bench,
     "faults": _run_faults,
+    "streaming": _run_streaming,
 }
 
 

@@ -28,7 +28,13 @@ TRIAL_KINDS = (
     "analyze",
     "bench",
     "faults",
+    "streaming",
 )
+
+#: Arrival-process names a ``streaming`` trial may use (mirrors
+#: ``repro.streaming.arrivals.PROCESS_NAMES``; duplicated literally so the
+#: spec layer stays import-light -- a test asserts the two agree).
+STREAMING_ARRIVALS = ("poisson", "onoff", "hotspot")
 
 ROUTE_ALGORITHMS = (
     "dor",
@@ -99,6 +105,16 @@ class TrialSpec:
     #: cycle (both 0 disables node outages; see repro.faults.plan).
     mttf: int = 0
     mttr: int = 0
+    #: ``streaming`` trials only: nominal injection rate in packets per node
+    #: per step offered by the arrival process.
+    rate: float = 0.1
+    #: ``streaming`` trials only: arrival-process name (STREAMING_ARRIVALS).
+    arrival: str = "poisson"
+    #: ``streaming`` trials only: warmup / measured / drain window lengths
+    #: in steps (see repro.streaming.run).
+    warmup: int = 64
+    measure: int = 256
+    drain: int = 512
     label: str = ""
 
     def validate(self) -> None:
@@ -165,6 +181,25 @@ class TrialSpec:
                     "fault-reroute requires a mesh: the excursion rectangle "
                     "is undefined on a wrapping topology"
                 )
+        if self.kind == "streaming":
+            if self.algorithm not in ROUTE_ALGORITHMS:
+                raise ValueError(
+                    f"unknown streaming algorithm {self.algorithm!r}; "
+                    f"expected one of {ROUTE_ALGORITHMS}"
+                )
+            if self.arrival not in STREAMING_ARRIVALS:
+                raise ValueError(
+                    f"unknown arrival process {self.arrival!r}; "
+                    f"expected one of {STREAMING_ARRIVALS}"
+                )
+        if self.rate < 0.0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.measure < 1:
+            raise ValueError(f"measure must be >= 1, got {self.measure}")
+        if self.drain < 0:
+            raise ValueError(f"drain must be >= 0, got {self.drain}")
         if self.retransmit_timeout < 0:
             raise ValueError(
                 f"retransmit_timeout must be >= 0, got {self.retransmit_timeout}"

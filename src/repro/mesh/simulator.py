@@ -157,6 +157,11 @@ class Simulator:
         #: repro.faults).  Empty in fault-free runs.  Dropped packets count
         #: as resolved for :attr:`done` and for conservation.
         self.dropped: dict[int, int] = {}
+        #: pid -> step at which the packet was refused admission (open-loop
+        #: injection backpressure; see repro.streaming).  Rejected packets
+        #: never enter the network but stay in the conservation accounting:
+        #: delivered + queued + pending + dropped + rejected == total.
+        self.rejected: dict[int, int] = {}
         self.total_packets = 0
         self.total_moves = 0
         self.max_queue_len = 0
@@ -915,11 +920,33 @@ class Simulator:
         source queue has space -- the same rule as load-time dynamic
         packets.
         """
+        self._check_new_pid(packet)
+        self.total_packets += 1
+        self._pending.append(packet)
+        self._pending.sort(key=lambda p: (p.injection_time, p.pid))
+
+    def reject_packet(self, packet: Packet) -> None:
+        """Refuse a packet at admission time (open-loop backpressure).
+
+        The streaming layer offers arrivals to the network and, when the
+        source queue is full, *rejects* them instead of letting them pile
+        up in the pending pool -- the open-loop analogue of a dropped
+        call.  Rejected packets count toward ``total_packets`` and are
+        recorded in :attr:`rejected`, so packet conservation still holds
+        as delivered + queued + pending + dropped + rejected == total,
+        and :attr:`done` treats them as resolved.
+        """
+        self._check_new_pid(packet)
+        self.total_packets += 1
+        self.rejected[packet.pid] = self.time
+
+    def _check_new_pid(self, packet: Packet) -> None:
         pid = packet.pid
         if (
             pid in self._queue_of
             or pid in self.delivery_times
             or pid in self.dropped
+            or pid in self.rejected
             or any(p.pid == pid for p in self._pending)
         ):
             raise ValueError(f"duplicate packet id {pid}")
@@ -927,15 +954,15 @@ class Simulator:
             packet.dest
         ):
             raise ValueError(f"packet {pid} endpoints outside topology")
-        self.total_packets += 1
-        self._pending.append(packet)
-        self._pending.sort(key=lambda p: (p.injection_time, p.pid))
 
     # -- driving -----------------------------------------------------------------
 
     @property
     def done(self) -> bool:
-        return len(self.delivery_times) + len(self.dropped) == self.total_packets
+        return (
+            len(self.delivery_times) + len(self.dropped) + len(self.rejected)
+            == self.total_packets
+        )
 
     def run(self, max_steps: int, *, raise_on_limit: bool = False) -> RunResult:
         """Step until all packets are delivered or ``max_steps`` is reached."""

@@ -1,0 +1,52 @@
+"""Open-loop streaming injection: arrival processes, saturation sweeps,
+and the live ``repro serve`` service.
+
+The closed-loop harness answers "how fast does this instance finish?";
+this package answers "what offered load can this router sustain?".  See
+docs/STREAMING.md for the experiment protocol and the serve wire format.
+"""
+
+from repro.streaming.arrivals import (
+    ArrivalProcess,
+    DestinationModel,
+    HotspotDestinations,
+    MAX_ARRIVALS_PER_STEP,
+    OnOffArrivals,
+    PROCESS_NAMES,
+    PoissonArrivals,
+    UniformDestinations,
+    build_process,
+    poisson_count,
+)
+from repro.streaming.run import StreamingReport, offer_packet, run_streaming
+from repro.streaming.serve import StreamingService, serve_forever
+from repro.streaming.sweep import (
+    DEFAULT_RATES,
+    SweepPoint,
+    SweepResult,
+    format_sweep_markdown,
+    sweep_saturation,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "DestinationModel",
+    "HotspotDestinations",
+    "MAX_ARRIVALS_PER_STEP",
+    "OnOffArrivals",
+    "PROCESS_NAMES",
+    "PoissonArrivals",
+    "UniformDestinations",
+    "build_process",
+    "poisson_count",
+    "StreamingReport",
+    "offer_packet",
+    "run_streaming",
+    "StreamingService",
+    "serve_forever",
+    "DEFAULT_RATES",
+    "SweepPoint",
+    "SweepResult",
+    "format_sweep_markdown",
+    "sweep_saturation",
+]

@@ -1,0 +1,281 @@
+"""Continuous open-loop simulation: inject, route, measure, drain.
+
+:func:`run_streaming` drives one simulator under an
+:class:`~repro.streaming.arrivals.ArrivalProcess` instead of a fixed
+instance.  Per step, every node's arrivals are *offered* to the network
+in deterministic (column-major node) order; an arrival is **admitted**
+when its initial queue has space left this step and **rejected**
+otherwise (:meth:`Simulator.reject_packet` -- the open-loop analogue of
+a dropped call, visible to the conservation oracle).  The run is split
+into the standard three windows:
+
+- **warmup** steps fill the network to steady state (excluded from
+  every measured figure);
+- **measure** steps define the measured population: packets *offered*
+  during this window produce the offered/delivered rates and latency
+  percentiles;
+- **drain** steps stop injection and let in-flight packets finish, so
+  measured latencies are not truncated at the horizon.
+
+The verify oracles attach in ``record`` mode by default, so queue
+overflows under overload are *counted*, not fatal -- exactly what a
+saturation sweep wants to see.  Everything reported is a pure function
+of (topology, algorithm, process, windows): byte-identical across
+repeats, worker counts, and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.stats import latency_percentiles, violation_counts
+from repro.mesh.interfaces import RoutingAlgorithm
+from repro.mesh.packet import Packet
+from repro.mesh.simulator import RunResult, Simulator
+from repro.mesh.topology import Topology
+from repro.streaming.arrivals import ArrivalProcess
+from repro.verify.oracles import (
+    MinimalityOracle,
+    PacketConservationOracle,
+    QueueBoundOracle,
+    Violation,
+    attach_checker,
+)
+
+#: Consecutive zero-move steps after which the drain declares a wedge.
+#: Sustained overload can *exchange-deadlock* the central-queue routers
+#: (full neighbours refusing each other's head forever -- the documented
+#: Section 2 caveat that motivates Theorem 15's four incoming queues);
+#: a wedged network makes no move ever again, but phase-based routers may
+#: legitimately idle a few steps, hence a threshold rather than one step.
+STALL_STEPS = 16
+
+
+@dataclass
+class StreamingReport:
+    """Everything one open-loop streaming run produced.
+
+    Attributes:
+        result: The simulator's :class:`RunResult` after the drain.
+        violations: Invariant violations the record-mode oracles saw.
+        offered / admitted / rejected: Packet counts over the whole run
+            (warmup + measure; the drain injects nothing).
+        offered_measured / admitted_measured / rejected_measured /
+        delivered_measured: The same counts restricted to packets offered
+            during the measurement window (delivery may happen later).
+        nodes: Node count (the rate denominators).
+        measure: Measurement-window length in steps.
+        latencies: Sorted delivery - injection latencies of the measured,
+            delivered packets.
+        drained: True when every admitted packet was resolved before the
+            drain budget ran out.
+        stalled: True when the drain detected a wedged network (no move
+            for :data:`STALL_STEPS` consecutive steps with packets still
+            in flight) -- the overload exchange-deadlock of central-queue
+            routers, reported as data rather than an error.
+    """
+
+    result: RunResult
+    violations: list[Violation]
+    offered: int
+    admitted: int
+    rejected: int
+    offered_measured: int
+    admitted_measured: int
+    rejected_measured: int
+    delivered_measured: int
+    nodes: int
+    measure: int
+    latencies: list[int]
+    drained: bool
+    stalled: bool
+
+    @property
+    def ok(self) -> bool:
+        """No invariant was violated (delivery may still be partial)."""
+        return not self.violations
+
+    @property
+    def offered_rate(self) -> float:
+        """Empirical offered packets per node per step, measured window."""
+        return self.offered_measured / (self.nodes * self.measure)
+
+    @property
+    def delivered_rate(self) -> float:
+        """Delivered packets per node per step, of the measured offers."""
+        return self.delivered_measured / (self.nodes * self.measure)
+
+    @property
+    def rejection_fraction(self) -> float:
+        """Share of measured offers refused at admission."""
+        if self.offered_measured == 0:
+            return 0.0
+        return self.rejected_measured / self.offered_measured
+
+    def to_metrics(self) -> dict[str, Any]:
+        """Flat, JSON-serializable, deterministic metrics row."""
+        counts = violation_counts(self.violations)
+        return {
+            "steps": self.result.steps,
+            "offered_packets": self.offered,
+            "admitted_packets": self.admitted,
+            "rejected_packets": self.rejected,
+            "offered_measured": self.offered_measured,
+            "admitted_measured": self.admitted_measured,
+            "rejected_measured": self.rejected_measured,
+            "delivered_measured": self.delivered_measured,
+            "offered_rate": self.offered_rate,
+            "delivered_rate": self.delivered_rate,
+            "rejection_fraction": self.rejection_fraction,
+            "drained": self.drained,
+            "stalled": self.stalled,
+            "max_queue_len": self.result.max_queue_len,
+            "max_node_load": self.result.max_node_load,
+            "total_moves": self.result.total_moves,
+            **latency_percentiles(self.latencies, (50, 95, 99)),
+            "queue_bound_violations": counts.get(QueueBoundOracle.name, 0),
+            "conservation_violations": counts.get(
+                PacketConservationOracle.name, 0
+            ),
+            "minimality_violations": counts.get(MinimalityOracle.name, 0),
+        }
+
+
+def offer_packet(
+    sim: Simulator,
+    packet: Packet,
+    space_left: dict[tuple[tuple[int, int], Any], int],
+) -> bool:
+    """Offer one packet for admission; admit or reject, return admitted.
+
+    The admission rule is purely local: the packet is admitted iff the
+    queue it would initially join (``queue_spec.initial_key`` of its
+    profitable directions at the source) still has space *this step*,
+    counting earlier same-step admissions.  ``space_left`` carries that
+    same-step accounting -- callers must pass a fresh dict at every step
+    boundary.  Rejections go through :meth:`Simulator.reject_packet`, so
+    they stay visible to the conservation oracle.
+    """
+    spec = sim.algorithm.queue_spec
+    key = spec.initial_key(
+        sim.topology.profitable_directions(packet.source, packet.dest)
+    )
+    slot = (packet.source, key)
+    space = space_left.get(slot)
+    if space is None:
+        node_queues = sim.queues.get(packet.source)
+        occupied = len(node_queues.get(key, ())) if node_queues else 0
+        space = spec.capacity - occupied
+    space_left[slot] = space - 1
+    if space <= 0:
+        sim.reject_packet(packet)
+        return False
+    sim.inject_packet(packet)
+    return True
+
+
+def run_streaming(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    process: ArrivalProcess,
+    *,
+    warmup: int,
+    measure: int,
+    drain: int,
+    oracle_mode: str = "record",
+    plan: Any | None = None,
+) -> StreamingReport:
+    """Route ``process``'s open-loop traffic through ``algorithm``.
+
+    Args:
+        warmup: Steps of injection before measurement starts, >= 0.
+        measure: Steps of measured injection, >= 1.
+        drain: Steps without injection to let in-flight packets finish,
+            >= 0.  The run stops early once every packet is resolved.
+        oracle_mode: ``record`` (default) counts violations without
+            aborting; ``strict`` raises on the first one (tests); ``off``
+            disables the oracles.
+        plan: Optional :class:`repro.faults.plan.FaultPlan` attached as
+            the link filter -- streaming under faults composes freely.
+
+    The simulator runs with ``validate=False`` for the same reason the
+    faults layer does: observing overload-induced overflows is the
+    oracles' job, and record mode must outlive them.
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if measure < 1:
+        raise ValueError(f"measure must be >= 1, got {measure}")
+    if drain < 0:
+        raise ValueError(f"drain must be >= 0, got {drain}")
+
+    sim = Simulator(topology, algorithm, [], validate=False)
+    if plan is not None:
+        plan.attach(sim)
+    checker = attach_checker(
+        sim,
+        [PacketConservationOracle(), QueueBoundOracle(), MinimalityOracle()],
+        mode=oracle_mode,
+    )
+
+    nodes = list(topology.nodes())
+    horizon = warmup + measure
+    next_pid = 0
+    injected_at: dict[int, int] = {}
+    offered = admitted = rejected = 0
+    offered_m = admitted_m = rejected_m = 0
+
+    for t in range(horizon):
+        in_measure = t >= warmup
+        # Fresh same-step admission accounting at every step boundary, so
+        # a burst cannot overbook the queue it lands in (see offer_packet).
+        space_left: dict[tuple[tuple[int, int], Any], int] = {}
+        for node in nodes:
+            for dst in process.arrivals(topology, node, t):
+                offered += 1
+                packet = Packet(next_pid, node, dst, injection_time=t)
+                next_pid += 1
+                took = offer_packet(sim, packet, space_left)
+                if took:
+                    injected_at[packet.pid] = t
+                    admitted += 1
+                else:
+                    rejected += 1
+                if in_measure:
+                    offered_m += 1
+                    admitted_m += int(took)
+                    rejected_m += int(not took)
+        sim.step()
+
+    deadline = horizon + drain
+    idle = 0
+    while not sim.done and sim.time < deadline and idle < STALL_STEPS:
+        moves_before = sim.total_moves
+        sim.step()
+        idle = idle + 1 if sim.total_moves == moves_before else 0
+    stalled = not sim.done and idle >= STALL_STEPS
+    checker.finish()
+
+    delivery = sim.delivery_times
+    latencies = sorted(
+        delivery[pid] - t0
+        for pid, t0 in injected_at.items()
+        if t0 >= warmup and pid in delivery
+    )
+    return StreamingReport(
+        result=sim.result(),
+        violations=list(checker.violations),
+        offered=offered,
+        admitted=admitted,
+        rejected=rejected,
+        offered_measured=offered_m,
+        admitted_measured=admitted_m,
+        rejected_measured=rejected_m,
+        delivered_measured=len(latencies),
+        nodes=len(nodes),
+        measure=measure,
+        latencies=latencies,
+        drained=sim.done,
+        stalled=stalled,
+    )

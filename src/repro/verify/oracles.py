@@ -138,14 +138,18 @@ def attach_checker(
 
 class PacketConservationOracle(Oracle):
     """Packets are conserved: pending + in-network + delivered + dropped
-    == total, no pid occupies two queues, deliveries happen at the
-    destination, and the delivered set only grows.
+    + rejected == total, no pid occupies two queues, deliveries happen at
+    the destination, and the delivered set only grows.
 
     The dropped term is conservation-modulo-dropped for faulty runs (see
     :mod:`repro.faults`): a packet leaves the accounting only by being
-    delivered or by being explicitly recorded in ``Simulator.dropped`` --
-    in fault-free runs that dict is empty and the invariant reduces to
-    the original equality."""
+    delivered or by being explicitly recorded in ``Simulator.dropped``.
+    The rejected term is its admission-time analogue for open-loop
+    streaming runs (see :mod:`repro.streaming`): a packet refused at the
+    source under backpressure is recorded in ``Simulator.rejected`` and
+    never enters the network, but stays in the accounting.  In closed-loop
+    fault-free runs both dicts are empty and the invariant reduces to the
+    original equality."""
 
     name = "packet-conservation"
 
@@ -170,20 +174,29 @@ class PacketConservationOracle(Oracle):
                 checker.report(
                     self, f"packet {p.pid} still queued after being dropped"
                 )
+            if p.pid in sim.rejected:
+                checker.report(
+                    self, f"packet {p.pid} queued despite admission rejection"
+                )
         if in_network != sim.in_flight:
             checker.report(
                 self,
                 f"in-flight counter {sim.in_flight} != queued packets {in_network}",
             )
         total = (
-            len(sim.delivery_times) + in_network + sim.pending_count + len(sim.dropped)
+            len(sim.delivery_times)
+            + in_network
+            + sim.pending_count
+            + len(sim.dropped)
+            + len(sim.rejected)
         )
         if total != sim.total_packets:
             checker.report(
                 self,
                 f"conservation broken: delivered {len(sim.delivery_times)} + "
                 f"queued {in_network} + pending {sim.pending_count} + "
-                f"dropped {len(sim.dropped)} != total {sim.total_packets}",
+                f"dropped {len(sim.dropped)} + rejected {len(sim.rejected)} "
+                f"!= total {sim.total_packets}",
             )
         delivered_now = set(sim.delivery_times)
         if not self._delivered_seen <= delivered_now:

@@ -1,0 +1,87 @@
+"""The shared stats helpers both faults and streaming reduce through."""
+
+import pytest
+
+from repro.analysis.stats import (
+    degradation_metrics,
+    delivered_fraction,
+    latency_percentiles,
+    percentile,
+    violation_counts,
+)
+from repro.verify.oracles import Violation
+
+
+class TestPercentile:
+    def test_nearest_rank_basics(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 50) == 5
+        assert percentile(values, 99) == 10
+        assert percentile(values, 100) == 10
+        assert percentile(values, 1) == 1
+
+    def test_result_is_an_observed_value(self):
+        values = [3, 7, 100]
+        for q in (1, 25, 50, 75, 99):
+            assert percentile(values, q) in values
+
+    def test_empty_is_none(self):
+        assert percentile([], 50) is None
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_faults_reexport_is_the_same_function(self):
+        """The extraction moved percentile out of repro.faults.run; the
+        legacy import path must keep working and agree."""
+        from repro.faults.run import percentile as faults_percentile
+
+        assert faults_percentile is percentile
+
+
+class TestLatencyPercentiles:
+    def test_default_keys(self):
+        row = latency_percentiles([1, 2, 3])
+        assert set(row) == {"latency_p50", "latency_p99"}
+
+    def test_custom_quantiles(self):
+        row = latency_percentiles(range(1, 101), (50, 95, 99))
+        assert row == {"latency_p50": 50, "latency_p95": 95, "latency_p99": 99}
+
+    def test_empty_gives_nones(self):
+        assert latency_percentiles([]) == {"latency_p50": None, "latency_p99": None}
+
+
+class TestViolationCounts:
+    def test_buckets_by_oracle(self):
+        violations = [
+            Violation("queue-bound", 1, "a"),
+            Violation("queue-bound", 2, "b"),
+            Violation("conservation", 2, "c"),
+        ]
+        assert violation_counts(violations) == {"queue-bound": 2, "conservation": 1}
+
+    def test_empty(self):
+        assert violation_counts([]) == {}
+
+
+class TestDegradation:
+    def test_delivered_fraction_empty_instance(self):
+        assert delivered_fraction(0, 0) == 1.0
+        assert delivered_fraction(3, 4) == 0.75
+
+    def test_row_shape_and_extra_merge(self):
+        row = degradation_metrics(
+            delivered=3,
+            total=4,
+            latencies=[2, 5, 9],
+            dropped=1,
+            extra={"retransmissions": 7},
+        )
+        assert row == {
+            "delivered_fraction": 0.75,
+            "latency_p50": 5,
+            "latency_p99": 9,
+            "dropped_packets": 1,
+            "retransmissions": 7,
+        }

@@ -202,6 +202,54 @@ class TestFaultsCommand:
         assert "cannot load faults spec" in capsys.readouterr().err
 
 
+class TestStreamCommand:
+    def test_custom_spec_runs_and_reports_knee_table(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "cli-stream-test")
+        spec = tmp_path / "tiny_stream.json"
+        spec.write_text(json.dumps({
+            "name": "tiny_stream",
+            "trials": [
+                {"kind": "streaming", "algorithm": "bounded-dor", "n": 8,
+                 "k": 4, "rate": 0.05, "warmup": 4, "measure": 16,
+                 "drain": 64},
+                {"kind": "streaming", "algorithm": "bounded-dor", "n": 8,
+                 "k": 4, "rate": 0.6, "warmup": 4, "measure": 16,
+                 "drain": 64},
+            ],
+        }))
+        rc = main(
+            ["stream", "--spec", str(spec),
+             "--campaign-dir", str(tmp_path / "campaigns"), "--quiet"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stream PASS: 2 cells in 1 sweeps" in out
+        assert "bounded-dor/n8/poisson" in out
+
+    def test_missing_spec_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "--spec", str(tmp_path / "ghost.json"), "--quiet"])
+        assert exc.value.code == 2
+        assert "cannot load streaming spec" in capsys.readouterr().err
+
+    def test_serve_bad_algorithm_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["serve", "--algorithm", "psychic"])
+        assert exc.value.code == 2
+
+    def test_help_lists_all_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("route", "lower-bound", "section6", "bounds", "verify",
+                        "campaign", "bench", "faults", "stream", "serve",
+                        "analyze"):
+            assert command in out
+
+
 class TestBenchCommand:
     def test_regression_exits_nonzero_and_baseline_byte_identical(
         self, tmp_path, capsys, monkeypatch

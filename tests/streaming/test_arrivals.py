@@ -1,0 +1,167 @@
+"""Purity and edge-case tests for the open-loop arrival processes.
+
+Mirrors tests/faults/test_plan.py: every arrival decision must be a pure
+function of ``(seed, source, time)`` -- independent of query order,
+repetition, interleaving, and (by construction) worker count.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.specs import STREAMING_ARRIVALS
+from repro.mesh import Mesh
+from repro.streaming import (
+    HotspotDestinations,
+    MAX_ARRIVALS_PER_STEP,
+    OnOffArrivals,
+    PROCESS_NAMES,
+    PoissonArrivals,
+    UniformDestinations,
+    build_process,
+    poisson_count,
+)
+
+MESH = Mesh(8)
+
+nodes = st.tuples(
+    st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+)
+seeds = st.integers(min_value=0, max_value=2**31)
+times = st.integers(min_value=0, max_value=10**5)
+
+
+class TestPoissonCount:
+    def test_zero_rate_is_silent(self):
+        assert poisson_count(0.5, 0.0) == 0
+
+    def test_monotone_in_u(self):
+        counts = [poisson_count(u / 100.0, 2.0) for u in range(100)]
+        assert counts == sorted(counts)
+
+    def test_capped(self):
+        assert poisson_count(1.0 - 1e-15, 1e6) == MAX_ARRIVALS_PER_STEP
+
+
+class TestPurity:
+    @given(seed=seeds, source=nodes, time=times)
+    @settings(max_examples=60, deadline=None)
+    def test_poisson_arrivals_pure(self, seed, source, time):
+        """Repeating a query after unrelated interleaved queries -- the
+        worker-count/query-order independence property."""
+        proc = PoissonArrivals(0.7, seed=seed)
+        first = proc.arrivals(MESH, source, time)
+        proc.arrivals(MESH, (0, 0), time + 1)
+        proc.arrivals(MESH, source, time + 17)
+        assert proc.arrivals(MESH, source, time) == first
+        # A fresh instance (another worker) agrees exactly.
+        assert PoissonArrivals(0.7, seed=seed).arrivals(MESH, source, time) == first
+
+    @given(seed=seeds, source=nodes, time=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_onoff_arrivals_order_independent(self, seed, source, time):
+        """The lazy window unfold must not depend on visit order: querying
+        time T directly equals querying 0..T sequentially."""
+        direct = OnOffArrivals(1.0, 4.0, 3.0, seed=seed)
+        sequential = OnOffArrivals(1.0, 4.0, 3.0, seed=seed)
+        for t in range(0, time + 1, max(1, time // 7)):
+            sequential.arrivals(MESH, source, t)
+        assert direct.arrivals(MESH, source, time) == sequential.arrivals(
+            MESH, source, time
+        )
+
+    @given(seed=seeds, source=nodes, time=times)
+    @settings(max_examples=60, deadline=None)
+    def test_destinations_never_source(self, seed, source, time):
+        proc = PoissonArrivals(2.0, seed=seed)
+        for dest in proc.arrivals(MESH, source, time):
+            assert dest != source
+            assert MESH.contains(dest)
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_worker_split_reassembles_identically(self, seed):
+        """Computing arrivals per-node in any partition (what a parallel
+        sweep does) reassembles to the same global batch."""
+        proc = PoissonArrivals(0.5, seed=seed)
+        whole = {
+            node: proc.arrivals(MESH, node, 3) for node in MESH.nodes()
+        }
+        shards = [PoissonArrivals(0.5, seed=seed) for _ in range(4)]
+        for i, node in enumerate(sorted(MESH.nodes(), reverse=True)):
+            assert shards[i % 4].arrivals(MESH, node, 3) == whole[node]
+
+
+class TestEdgeCases:
+    def test_rate_zero_poisson_is_silent(self):
+        proc = PoissonArrivals(0.0, seed=1)
+        assert proc.mean_rate() == 0.0
+        for node in MESH.nodes():
+            assert proc.arrivals(MESH, node, 0) == ()
+
+    def test_rate_zero_onoff_is_silent(self):
+        proc = OnOffArrivals(0.0, 4.0, 4.0, seed=1)
+        for t in range(50):
+            assert proc.arrivals(MESH, (3, 3), t) == ()
+
+    def test_burst_length_one_gives_alternating_windows(self):
+        """Mean window length 1 is deterministic: on/off alternate every
+        step, the single-step-burst edge case."""
+        proc = OnOffArrivals(5.0, 1.0, 1.0, seed=7)
+        states = [proc.is_on((2, 5), t) for t in range(10)]
+        assert states == [True, False] * 5
+
+    def test_hotspot_fraction_one_sends_everything_hot(self):
+        model = HotspotDestinations(1.0, hotspot=(4, 4), seed=3)
+        proc = PoissonArrivals(3.0, destinations=model, seed=3)
+        seen = set()
+        for node in MESH.nodes():
+            for t in range(20):
+                seen.update(proc.arrivals(MESH, node, t))
+        # Only traffic *from* the hotspot may target other nodes.
+        hot_sources = {
+            d
+            for t in range(20)
+            for d in proc.arrivals(MESH, (4, 4), t)
+        }
+        assert seen - hot_sources == {(4, 4)}
+
+    def test_hotspot_fraction_zero_is_uniform(self):
+        hot = HotspotDestinations(0.0, hotspot=(4, 4), seed=3)
+        uni = UniformDestinations(seed=3)
+        for t in range(30):
+            assert hot.draw(MESH, (1, 2), t, 0) == uni.draw(MESH, (1, 2), t, 0)
+
+    def test_hotspot_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            HotspotDestinations(1.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(-0.1)
+        with pytest.raises(ValueError, match="rate"):
+            OnOffArrivals(-1.0, 4.0, 4.0)
+
+    def test_short_windows_rejected(self):
+        with pytest.raises(ValueError, match="burst_len"):
+            OnOffArrivals(1.0, 0.5, 4.0)
+
+    def test_onoff_mean_rate_discounts_gaps(self):
+        proc = OnOffArrivals(1.0, 8.0, 8.0)
+        assert proc.mean_rate() == pytest.approx(0.5)
+
+
+class TestBuildProcess:
+    def test_names_agree_with_spec_layer(self):
+        """STREAMING_ARRIVALS is duplicated in the spec layer to keep it
+        import-light; this is the promised agreement check."""
+        assert STREAMING_ARRIVALS == PROCESS_NAMES
+
+    def test_builds_every_name(self):
+        for name in PROCESS_NAMES:
+            proc = build_process(name, 0.3, seed=5)
+            assert proc.arrivals(MESH, (0, 0), 0) is not None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            build_process("fractal", 0.3)

@@ -1,0 +1,177 @@
+"""The live injection service: state machine, socket round-trip, CLI.
+
+No pytest-asyncio in the toolchain, so async tests drive their own event
+loop via ``asyncio.run`` inside synchronous test functions.
+"""
+
+import asyncio
+import json
+import socket
+import subprocess
+import sys
+
+from repro.mesh import Mesh
+from repro.routing import BoundedDimensionOrderRouter
+from repro.streaming import StreamingService, serve_forever
+
+
+def make_service(n=8, k=4):
+    return StreamingService(Mesh(n), BoundedDimensionOrderRouter(k))
+
+
+class TestServiceStateMachine:
+    def test_inject_step_snapshot_roundtrip(self):
+        svc = make_service()
+        resp = svc.handle({"cmd": "inject", "source": [0, 0], "dest": [7, 7], "count": 3})
+        assert resp["ok"] and resp["admitted"] + resp["rejected"] == 3
+        svc.handle({"cmd": "step", "steps": 40})
+        snap = svc.handle({"cmd": "snapshot"})["metrics"]
+        assert snap["delivered_packets"] == resp["admitted"]
+        assert snap["latency_p50"] is not None
+
+    def test_backpressure_rejects_when_source_queue_full(self):
+        svc = make_service(k=2)
+        resp = svc.handle({"cmd": "inject", "source": [0, 0], "dest": [7, 7], "count": 10})
+        # Central queue of capacity 2: at most 2 admitted per step.
+        assert resp["admitted"] == 2 and resp["rejected"] == 8
+        svc.handle({"cmd": "step", "steps": 1})
+        again = svc.handle({"cmd": "inject", "source": [0, 0], "dest": [7, 7], "count": 1})
+        assert again["ok"]  # space accounting reset at the step boundary
+
+    def test_drain_settles(self):
+        svc = make_service()
+        svc.handle({"cmd": "inject", "source": [1, 1], "dest": [6, 6], "count": 2})
+        resp = svc.handle({"cmd": "drain", "max_steps": 200})
+        assert resp["ok"] and resp["drained"] and not resp["stalled"]
+
+    def test_errors_are_responses_not_crashes(self):
+        svc = make_service()
+        for bad in (
+            {"cmd": "inject", "source": [0, 0], "dest": [0, 0]},  # same node
+            {"cmd": "inject", "source": [0, 0], "dest": [9, 9]},  # off-mesh
+            {"cmd": "inject", "source": "a", "dest": [1, 1]},  # malformed
+            {"cmd": "inject", "source": [0, 0], "dest": [1, 1], "count": 0},
+            {"cmd": "step", "steps": 10**9},  # over the clamp
+            {"cmd": "warp"},
+            ["not", "an", "object"],
+        ):
+            resp = svc.handle(bad)
+            assert resp["ok"] is False and "error" in resp
+        assert svc.handle_line(b"{nope")["ok"] is False
+        # The service survives all of it:
+        assert svc.handle({"cmd": "snapshot"})["ok"]
+
+    def test_conservation_in_snapshot(self):
+        svc = make_service(k=2)
+        svc.handle({"cmd": "inject", "source": [0, 0], "dest": [7, 7], "count": 10})
+        svc.handle({"cmd": "drain", "max_steps": 200})
+        snap = svc.handle({"cmd": "snapshot"})["metrics"]
+        assert (
+            snap["delivered_packets"] + snap["rejected_packets"] + snap["in_flight"]
+            == snap["offered_packets"]
+        )
+        assert snap["conservation_violations"] == 0
+
+
+class TestSocketRoundTrip:
+    def test_thousand_packets_over_the_wire(self):
+        """The acceptance scenario: >= 1000 packets injected over the
+        socket, stepped to settlement, latency percentiles in the final
+        snapshot."""
+
+        async def scenario():
+            svc = make_service(n=8, k=4)
+            ready = asyncio.Event()
+            addr = {}
+
+            def on_ready(host, port):
+                addr["host"], addr["port"] = host, port
+                ready.set()
+
+            server = asyncio.create_task(serve_forever(svc, port=0, on_ready=on_ready))
+            await ready.wait()
+            reader, writer = await asyncio.open_connection(addr["host"], addr["port"])
+
+            async def rpc(obj):
+                writer.write((json.dumps(obj) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            admitted = 0
+            pairs = [([x, y], [7 - x, 7 - y]) for x in range(8) for y in range(4)]
+            while admitted < 1000:
+                for source, dest in pairs:
+                    resp = await rpc(
+                        {"cmd": "inject", "source": source, "dest": dest, "count": 2}
+                    )
+                    assert resp["ok"]
+                    admitted += resp["admitted"]
+                await rpc({"cmd": "step", "steps": 4})
+            drain = await rpc({"cmd": "drain", "max_steps": 2000})
+            assert drain["drained"]
+            snap = (await rpc({"cmd": "snapshot"}))["metrics"]
+            bye = await rpc({"cmd": "shutdown"})
+            assert bye["bye"]
+            writer.close()
+            await server
+            return admitted, snap
+
+        admitted, snap = asyncio.run(scenario())
+        assert admitted >= 1000
+        assert snap["delivered_packets"] == snap["admitted_packets"] == admitted
+        assert snap["drained"] is True
+        for q in ("latency_p50", "latency_p95", "latency_p99"):
+            assert isinstance(snap[q], int)
+
+    def test_shutdown_stops_server(self):
+        async def scenario():
+            svc = make_service()
+            ready = asyncio.Event()
+            addr = {}
+            server = asyncio.create_task(
+                serve_forever(
+                    svc, port=0, on_ready=lambda h, p: (addr.update(p=p), ready.set())
+                )
+            )
+            await ready.wait()
+            reader, writer = await asyncio.open_connection("127.0.0.1", addr["p"])
+            writer.write(b'{"cmd": "shutdown"}\n')
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+            await asyncio.wait_for(server, timeout=5)
+
+        asyncio.run(scenario())
+
+
+class TestServeCli:
+    def test_cli_subprocess_socket_smoke(self, tmp_path):
+        """start -> inject -> snapshot -> shutdown against the real CLI
+        process, parsing the announced ephemeral port."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--n", "8", "--k", "4", "--port", "0"],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "repro serve listening on " in banner
+            host, port = banner.strip().rsplit(" ", 1)[-1].split(":")
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                f = sock.makefile("rw")
+
+                def rpc(obj):
+                    f.write(json.dumps(obj) + "\n")
+                    f.flush()
+                    return json.loads(f.readline())
+
+                resp = rpc({"cmd": "inject", "source": [0, 0], "dest": [7, 7], "count": 4})
+                assert resp["ok"] and resp["admitted"] == 4
+                rpc({"cmd": "drain", "max_steps": 200})
+                snap = rpc({"cmd": "snapshot"})["metrics"]
+                assert snap["delivered_packets"] == 4
+                assert rpc({"cmd": "shutdown"})["bye"]
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()

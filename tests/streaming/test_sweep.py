@@ -1,0 +1,97 @@
+"""Saturation-sweep shape: monotone rise below the knee, knee detection."""
+
+from repro.mesh import Mesh
+from repro.routing import BoundedDimensionOrderRouter
+from repro.streaming import (
+    SweepPoint,
+    SweepResult,
+    format_sweep_markdown,
+    sweep_saturation,
+)
+
+
+def fake_point(rate, offered, delivered, stalled=False, drained=True):
+    return SweepPoint(
+        rate=rate,
+        metrics={
+            "offered_rate": offered,
+            "delivered_rate": delivered,
+            "rejection_fraction": 1.0 - (delivered / offered if offered else 1.0),
+            "latency_p50": 5,
+            "latency_p99": 12,
+            "stalled": stalled,
+            "drained": drained,
+        },
+    )
+
+
+class TestKneeDetection:
+    def test_knee_is_first_shortfall(self):
+        result = SweepResult(algorithm="x", n=8, process="poisson")
+        result.points = [
+            fake_point(0.05, 0.05, 0.05),
+            fake_point(0.2, 0.2, 0.19),
+            fake_point(0.4, 0.4, 0.21),  # < 95% of offered: the knee
+            fake_point(0.8, 0.8, 0.2),
+        ]
+        assert result.saturation_rate() == 0.4
+
+    def test_no_knee_when_network_keeps_up(self):
+        result = SweepResult(algorithm="x", n=8, process="poisson")
+        result.points = [fake_point(0.05, 0.05, 0.05), fake_point(0.1, 0.1, 0.099)]
+        assert result.saturation_rate() is None
+
+    def test_zero_offered_rung_skipped(self):
+        result = SweepResult(algorithm="x", n=8, process="poisson")
+        result.points = [fake_point(0.0, 0.0, 0.0), fake_point(0.1, 0.1, 0.1)]
+        assert result.saturation_rate() is None
+
+
+class TestSweep:
+    def test_small_sweep_monotone_then_knee(self):
+        """Below the knee, delivered tracks offered; the run is cheap
+        (n=8, three rungs) but exercises the full path."""
+        result = sweep_saturation(
+            Mesh(8),
+            BoundedDimensionOrderRouter(4),
+            algorithm_name="bounded-dor",
+            rates=(0.05, 0.2, 0.8),
+            warmup=8,
+            measure=48,
+            drain=256,
+        )
+        delivered = [p.metrics["delivered_rate"] for p in result.points]
+        offered = [p.metrics["offered_rate"] for p in result.points]
+        # Monotone rise below saturation...
+        assert delivered[0] < delivered[1]
+        assert delivered[0] == offered[0]
+        # ...then a knee: the top rung cannot keep up with its offer.
+        assert delivered[2] < 0.95 * offered[2]
+        assert result.saturation_rate() == 0.8
+
+    def test_sweep_deterministic(self):
+        kwargs = dict(
+            algorithm_name="bounded-dor",
+            rates=(0.05, 0.4),
+            warmup=8,
+            measure=32,
+            drain=128,
+        )
+        a = sweep_saturation(Mesh(8), BoundedDimensionOrderRouter(2), **kwargs)
+        b = sweep_saturation(Mesh(8), BoundedDimensionOrderRouter(2), **kwargs)
+        assert a.to_rows() == b.to_rows()
+
+
+class TestMarkdown:
+    def test_table_shape_and_outcomes(self):
+        result = SweepResult(algorithm="x", n=8, process="poisson")
+        result.points = [
+            fake_point(0.05, 0.05, 0.05),
+            fake_point(0.8, 0.8, 0.01, stalled=True, drained=False),
+        ]
+        table = format_sweep_markdown([result])
+        lines = table.splitlines()
+        assert lines[0].startswith("| algorithm ")
+        assert len(lines) == 2 + 2  # header + rule + one row per rung
+        assert "drained" in lines[2] and "wedged" in lines[3]
+        assert all(line.count("|") == lines[0].count("|") for line in lines)
