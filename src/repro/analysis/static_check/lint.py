@@ -24,13 +24,15 @@ SC004  No iteration over unordered sets: ``for``/comprehension iteration or
 SC005  Docstring coverage: every module and every class must carry a
        docstring.  Applies to the infrastructure packages (``perf``,
        ``harness``), whose contracts -- measurement protocols, cache-key
-       semantics -- live in prose the code alone cannot carry.
+       semantics -- live in prose the code alone cannot carry, plus the
+       array-backend modules listed in ``DOCSTRING_MODULES``.
 ====== ======================================================================
 
 SC003 applies to all of ``src/repro``; SC001/SC002/SC004 to the simulation
 packages (``mesh``, ``routing``, ``tiling``, ``workloads``), where
 nondeterminism can reach packet scheduling; SC005 to the infrastructure
-packages (``perf``, ``harness``).  A finding can be waived in
+packages (``perf``, ``harness``) and the ``DOCSTRING_MODULES`` list
+(array engine/state, engine-equivalence harness).  A finding can be waived in
 place with a ``# noqa: SC00x`` comment on the offending line; waivers with
 no rule list (bare ``# noqa``) waive every rule on that line.  Pre-existing
 findings live in the checked-in baseline (see ``baseline.py``) so CI fails
@@ -60,6 +62,17 @@ SCOPED_PACKAGES: Tuple[str, ...] = ("mesh", "routing", "tiling", "workloads")
 
 #: Packages (under src/repro) where SC005 docstring coverage applies.
 DOCSTRING_PACKAGES: Tuple[str, ...] = ("perf", "harness", "streaming", "analysis")
+
+#: Individual modules (repro-relative) that get SC005 on top of their
+#: package's rule set: the array backend and its equivalence gate live in
+#: packages outside DOCSTRING_PACKAGES but are infrastructure in the same
+#: sense -- their memory-layout and bit-identity contracts must be written
+#: down where the code is.
+DOCSTRING_MODULES: Tuple[str, ...] = (
+    "mesh/array_engine.py",
+    "mesh/array_state.py",
+    "verify/engine_equivalence.py",
+)
 
 #: Functions on the time module that read the wall clock.
 _TIME_FUNCS = frozenset(
@@ -408,12 +421,17 @@ def rules_for_path(relative: str) -> Tuple[str, ...]:
     parts = Path(relative).parts
     if "repro" in parts:
         idx = parts.index("repro")
+        inside = "/".join(parts[idx + 1:])
         if len(parts) > idx + 1:
             package = parts[idx + 1]
             if package in SCOPED_PACKAGES:
+                if inside in DOCSTRING_MODULES:
+                    return ("SC001", "SC002", "SC003", "SC004", "SC005")
                 return ("SC001", "SC002", "SC003", "SC004")
             if package in DOCSTRING_PACKAGES:
                 return ("SC003", "SC005")
+        if inside in DOCSTRING_MODULES:
+            return ("SC003", "SC005")
     return ("SC003",)
 
 

@@ -88,10 +88,15 @@ def make_workload(name: str, topology, seed: int):
 
 
 def cmd_route(args: argparse.Namespace) -> int:
+    if args.engine == "array" and args.availability < 1.0:
+        raise _usage_error(
+            "--engine array does not support --availability < 1.0 "
+            "(link filters run on the reference engine only)"
+        )
     topology = Torus(args.n) if args.torus else Mesh(args.n)
     algorithm = ALGORITHMS[args.algorithm](args)
     packets = make_workload(args.workload, topology, args.seed)
-    sim = Simulator(topology, algorithm, packets)
+    sim = Simulator(topology, algorithm, packets, engine=args.engine)
     if args.availability < 1.0:
         from repro.mesh.asynchrony import make_async
 
@@ -105,11 +110,17 @@ def cmd_route(args: argparse.Namespace) -> int:
     else:
         result = sim.run(max_steps=args.max_steps)
     status = "delivered" if result.completed else "STALLED"
+    # Report the engine that actually ran: "array" silently falls back
+    # to "reference" for routers the backend has not ported.
+    engine_tag = (
+        f" [{sim.engine_name} engine]" if args.engine != "reference" else ""
+    )
     print(
         f"{algorithm.name} on {topology!r} / {args.workload}: {status} "
         f"{result.delivered}/{result.total_packets} in {result.steps} steps "
         f"(diameter {topology.diameter}), max queue {result.max_queue_len}, "
         f"max node load {result.max_node_load}, {result.total_moves} moves"
+        f"{engine_tag}"
     )
     if args.profile:
         print()
@@ -213,6 +224,35 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_engines(args: argparse.Namespace, progress) -> int:
+    """The ``verify --engines`` mode: array-vs-reference lockstep matrix."""
+    from repro.verify import ARRAY_PORTED, LOCKSTEP_FAMILIES, run_engine_matrix
+
+    reports = run_engine_matrix(
+        routers=tuple(args.routers) if args.routers else ARRAY_PORTED,
+        families=tuple(args.families) if args.families else LOCKSTEP_FAMILIES,
+        sizes=tuple(args.n) if args.n else (8, 16),
+        ks=tuple(args.k) if args.k else (1, 2),
+        seeds=tuple(range(args.seeds)) if args.seeds else (0,),
+        max_steps=args.budget,
+        progress=progress,
+    )
+    findings = 0
+    for r in reports:
+        status = "ok" if r.ok else "; ".join(r.findings)
+        findings += len(r.findings)
+        print(
+            f"{r.router:<12} {r.family:<12} n={r.n:<3} k={r.k} seed={r.seed}: "
+            f"{r.steps} lockstep steps, {status}"
+        )
+    verdict = "PASS" if findings == 0 else "FAIL"
+    print(
+        f"verify --engines {verdict}: {len(reports)} cells, "
+        f"{findings} finding(s)"
+    )
+    return 0 if findings == 0 else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import FAMILIES, REGISTRY, run_verification
 
@@ -241,6 +281,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             )
 
     progress = None if args.quiet else lambda msg: print(f"verify: {msg}", file=sys.stderr)
+    if args.engines:
+        return _verify_engines(args, progress)
     kwargs = dict(
         sizes=sizes,
         ks=ks,
@@ -334,7 +376,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import compare_and_merge
 
     spec_path = args.spec or (
-        "benchmarks/specs/bench_smoke.json"
+        "benchmarks/specs/bench_array_smoke.json"
+        if args.engine == "array"
+        else "benchmarks/specs/bench_smoke.json"
         if args.smoke
         else "benchmarks/specs/bench_throughput.json"
     )
@@ -675,6 +719,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--torus", action="store_true")
     p.add_argument("--max-steps", type=int, default=1_000_000)
     p.add_argument(
+        "--engine",
+        choices=["reference", "array"],
+        default="reference",
+        help="step engine: the per-packet reference simulator or the "
+        "vectorized array backend (falls back to reference for unported "
+        "routers; the output reports which engine ran)",
+    )
+    p.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile; print per-phase wall times and hot spots",
@@ -742,6 +794,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-probes", action="store_true", help="skip the EX-swap and Section 6 probes"
     )
+    p.add_argument(
+        "--engines",
+        action="store_true",
+        help="lockstep array-vs-reference engine equivalence matrix instead "
+        "of the differential sweep (compares every step's configuration; "
+        "--routers/--families/--n/--k/--seeds narrow the grid)",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="with --engines: cap every lockstep cell at this many steps "
+        "(a bounded prefix is a sound gate since every step is compared; "
+        "default runs each cell to its own step budget)",
+    )
     p.add_argument("--quiet", action="store_true", help="no per-cell progress on stderr")
     p.set_defaults(func=cmd_verify)
 
@@ -782,6 +849,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--smoke", action="store_true", help="fast n=16 matrix (the CI job)"
+    )
+    p.add_argument(
+        "--engine",
+        choices=["reference", "array"],
+        default="reference",
+        help="array selects the array-backend matrix "
+        "(benchmarks/specs/bench_array_smoke.json); baseline keys are "
+        "engine-prefixed so the two engines never ratchet each other",
     )
     p.add_argument(
         "--spec", default=None, help="explicit bench campaign spec (overrides --smoke)"

@@ -96,7 +96,7 @@ def _run_route(spec: TrialSpec) -> dict[str, Any]:
     topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
     algorithm = build_router(spec)
     packets = build_workload(spec.workload, topology, spec.seed)
-    sim = Simulator(topology, algorithm, packets)
+    sim = Simulator(topology, algorithm, packets, engine=spec.engine)
     if spec.availability < 1.0:
         from repro.mesh.asynchrony import make_async
 
@@ -104,6 +104,7 @@ def _run_route(spec: TrialSpec) -> dict[str, Any]:
     result = sim.run(max_steps=spec.max_steps)
     return {
         "algorithm_name": algorithm.name,
+        "engine": sim.engine_name,
         "completed": result.completed,
         "steps": result.steps,
         "delivered": result.delivered,
@@ -272,20 +273,22 @@ def _run_bench(spec: TrialSpec) -> dict[str, Any]:
     ``repro bench`` command always does) -- a cached timing is not a
     measurement.
 
-    Repetition policy: best-of-3 for n < 128; a single run at n >= 128,
-    where cells are slow and the longer run self-averages.
+    Repetition policy: best-of-3 at every size (the former single-run
+    policy at n >= 128 made large-cell baselines noisier than small ones).
     """
     from repro.perf import StepInstrumentation
 
     topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
-    repeats = 3 if spec.n < 128 else 1
+    repeats = 3
     best_result = None
     best_name = ""
+    engine_name = spec.engine
     for _ in range(repeats):
         algorithm = build_router(spec)
         packets = build_workload(spec.workload, topology, spec.seed)
-        sim = Simulator(topology, algorithm, packets, validate=False)
+        sim = Simulator(topology, algorithm, packets, validate=False, engine=spec.engine)
         sim.instrument = StepInstrumentation()
+        engine_name = sim.engine_name
         result = sim.run(max_steps=spec.max_steps)
         if (
             best_result is None
@@ -302,6 +305,7 @@ def _run_bench(spec: TrialSpec) -> dict[str, Any]:
     )
     return {
         "algorithm_name": best_name,
+        "engine": engine_name,
         "completed": best_result.completed,
         "steps": best_result.steps,
         "delivered": best_result.delivered,
@@ -391,6 +395,7 @@ def _run_streaming(spec: TrialSpec) -> dict[str, Any]:
         warmup=spec.warmup,
         measure=spec.measure,
         drain=spec.drain,
+        engine=spec.engine,
     )
     return {"algorithm_name": algorithm.name, **report.to_metrics()}
 

@@ -103,8 +103,17 @@ def _alarm(timeout_s: float | None) -> Iterator[None]:
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    deadline = time.monotonic() + timeout_s
     try:
         yield
+        # If the alarm lands while the interpreter is inside a context
+        # that swallows exceptions (a GC callback, some C extension
+        # code), the raise is silently discarded ("Exception ignored
+        # in ...") and the trial runs on.  Reaching this point past the
+        # deadline means exactly that happened, so enforce the budget
+        # here, where the raise cannot be swallowed.
+        if time.monotonic() >= deadline:
+            raise TrialTimeoutError(f"trial exceeded {timeout_s}s")
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)

@@ -68,6 +68,11 @@ WORKLOADS = ("random", "partial", "transpose", "bit-reversal", "rotation")
 #: Workload families a ``verify`` trial may fuzz (see repro.verify).
 VERIFY_FAMILIES = ("permutation", "hh", "torus", "dynamic")
 
+#: Step engines a simulator-driving trial may request (see
+#: ``Simulator(engine=...)``; "array" falls back to "reference" for
+#: unported routers).
+ENGINES = ("reference", "array")
+
 #: Engines an ``analyze`` trial may run (see repro.analysis.static_check).
 ANALYZE_ENGINES = ("cdg", "lint", "all")
 
@@ -115,6 +120,11 @@ class TrialSpec:
     warmup: int = 64
     measure: int = 256
     drain: int = 512
+    #: Step engine: "reference" (the per-packet-object simulator) or
+    #: "array" (the vectorized backend; silently falls back to the
+    #: reference engine for routers it has not ported).  Honoured by
+    #: ``route``, ``bench``, and ``streaming`` trials.
+    engine: str = "reference"
     label: str = ""
 
     def validate(self) -> None:
@@ -219,6 +229,13 @@ class TrialSpec:
             )
         if self.queues not in ("central", "incoming"):
             raise ValueError(f"queues must be 'central' or 'incoming', got {self.queues!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.engine == "array" and self.availability < 1.0:
+            raise ValueError(
+                "engine='array' does not support degraded availability "
+                "(link filters run on the reference engine only)"
+            )
         if not 0.0 < self.availability <= 1.0:
             raise ValueError(f"availability must be in (0, 1], got {self.availability}")
         if self.max_steps < 1:

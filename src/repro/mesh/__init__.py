@@ -34,7 +34,20 @@ from repro.mesh.errors import (
     SimulationLimitError,
 )
 
+
+def __getattr__(name: str):
+    # Lazy: the array backend pulls in numpy and the routing package, so it
+    # is imported only when actually requested (``Simulator(engine="array")``
+    # also imports it lazily, at dispatch time).
+    if name == "ArraySimulator":
+        from repro.mesh.array_engine import ArraySimulator
+
+        return ArraySimulator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ArraySimulator",
     "Direction",
     "DIRECTIONS",
     "Mesh",

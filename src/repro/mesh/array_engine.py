@@ -1,0 +1,790 @@
+"""The vectorized array-backend step engine.
+
+:class:`ArraySimulator` re-implements the reference
+:class:`~repro.mesh.simulator.Simulator` step loop over the
+structure-of-arrays state of :mod:`repro.mesh.array_state`: each phase
+(outqueue selection, inqueue acceptance, transmit) is a handful of batched
+numpy operations instead of a Python loop over nodes and packets.  It is
+**bit-identical** to the reference engine -- same configurations after
+every step, same counters, same ``RunResult`` -- which the equivalence
+harness (:mod:`repro.verify.engine_equivalence`), the golden step tables,
+and the hypothesis lockstep suite enforce.
+
+Only the *ported* routers run here -- bounded dimension-order, hot-potato,
+and central-queue dimension-order, each as a :class:`RouterKernel` -- and
+only on plain ``Mesh``/``Torus`` topologies without interceptors.
+``Simulator(engine="array")`` dispatches through
+:func:`resolve_array_class` and silently falls back to the reference
+engine for everything else, so callers can request the array engine
+unconditionally.
+
+The compatibility surface (``queues``, ``configuration()``,
+``iter_packets`` and the observer hooks) is provided by materializing
+Packet objects on demand; the hot path never touches them, so a run
+without observers stays fully vectorized.  See docs/PERFORMANCE.md for
+the memory layout, the porting checklist, and the equivalence-gate
+protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.mesh.array_state import LOWBIT_DIR, OPP, ArrayState, GridGeometry
+from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.errors import QueueOverflowError
+from repro.mesh.packet import Packet
+from repro.mesh.queues import CENTRAL
+from repro.mesh.simulator import ScheduledMove, Simulator, StepRecord
+from repro.mesh.topology import Mesh, Torus, Topology
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class RouterKernel:
+    """Vectorized scheduling policy of one ported router.
+
+    A kernel supplies the router-specific phases over the shared
+    :class:`ArrayState`: ``schedule`` (phase (a): at most one packet per
+    outlink), ``accept`` (phase (c): which scheduled moves enter their
+    target), and ``after_step`` (phase (e): packet-state updates).  The
+    engine owns everything else -- injection, transmit, counters, maxima.
+
+    Class attributes declare the queue regime: ``num_keys`` (1 central / 4
+    incoming) and ``track_age`` (packet state is an integer age).
+    """
+
+    num_keys = 1
+    track_age = False
+
+    def __init__(self, engine: "ArraySimulator") -> None:
+        self.engine = engine
+
+    def schedule(self, act: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Phase (a): return (packet slots, source flat ids, directions)."""
+        raise NotImplementedError
+
+    def accept(
+        self,
+        pkt: np.ndarray,
+        src: np.ndarray,
+        dirs: np.ndarray,
+        tgt: np.ndarray,
+        came: np.ndarray,
+    ) -> np.ndarray:
+        """Phase (c): boolean acceptance mask over the scheduled moves."""
+        raise NotImplementedError
+
+    def after_step(self) -> None:
+        """Phase (e): packet-state updates from end-of-step contents."""
+
+
+class BoundedDorKernel(RouterKernel):
+    """Theorem 15 bounded dimension-order (four incoming queues of size k).
+
+    Straight-continuing packets (sitting in the queue opposite the
+    outlink) have priority per outlink, FIFO within a class; the fallback
+    scans the node's *other* queues in queue-creation order -- the
+    reference engine's dict insertion order, mirrored by
+    ``ArrayState.key_rank``.  N/S inqueues always accept; E/W accept only
+    below capacity.
+    """
+
+    num_keys = 4
+
+    def schedule(self, act: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        st = self.engine._state
+        dx, dy = st.displacement(act)
+        desired = st.desired_direction(dx, dy)
+        # Packed slot (node << 4 | queue key << 2 | desired direction); the
+        # FIFO-first packet per slot is the only candidate per slot.
+        slot = (st.posf[act] << 4) | (st.qkey[act] << 2) | desired
+        order = np.lexsort((st.qseq[act], slot))
+        slot_s = slot[order]
+        first = np.empty(len(slot_s), dtype=bool)
+        first[0] = True
+        first[1:] = slot_s[1:] != slot_s[:-1]
+        cand = act[order[first]]
+        cslot = slot_s[first]
+        cnode = cslot >> 4
+        ckey = (cslot >> 2) & 3
+        cdir = cslot & 3
+        # Straight candidates (key is the opposite inlink of the outlink)
+        # outrank every fallback; fallbacks tie-break by queue-creation
+        # order, exactly the reference outqueue's dict-order scan.
+        straight = ckey == OPP[cdir]
+        prio = np.where(straight, -1, st.key_rank[cnode, ckey])
+        nd = (cnode << 2) | cdir
+        order2 = np.lexsort((prio, nd))
+        nd_s = nd[order2]
+        first2 = np.empty(len(nd_s), dtype=bool)
+        first2[0] = True
+        first2[1:] = nd_s[1:] != nd_s[:-1]
+        sel = order2[first2]
+        return cand[sel], cnode[sel], cdir[sel]
+
+    def accept(self, pkt, src, dirs, tgt, came):
+        st = self.engine._state
+        vertical = (came == Direction.N.value) | (came == Direction.S.value)
+        return vertical | (st.occ[tgt, came] < self.engine.spec.capacity)
+
+
+class CentralDorKernel(RouterKernel):
+    """Dimension-order with one central queue: FIFO out, rotating accept."""
+
+    num_keys = 1
+
+    def schedule(self, act: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        st = self.engine._state
+        dx, dy = st.displacement(act)
+        desired = st.desired_direction(dx, dy)
+        slot = (st.posf[act] << 2) | desired
+        order = np.lexsort((st.qseq[act], slot))
+        slot_s = slot[order]
+        first = np.empty(len(slot_s), dtype=bool)
+        first[0] = True
+        first[1:] = slot_s[1:] != slot_s[:-1]
+        cand = act[order[first]]
+        cslot = slot_s[first]
+        return cand, cslot >> 2, cslot & 3
+
+    def accept(self, pkt, src, dirs, tgt, came):
+        engine = self.engine
+        st = engine._state
+        free = engine.spec.capacity - st.occ[tgt, 0]
+        # Rotating round-robin priority (rotation_order(time)); within each
+        # target, the first ``free`` offers in that priority are accepted.
+        prio = (came - (engine.time & 3)) & 3
+        order = np.lexsort((prio, tgt))
+        tgt_s = tgt[order]
+        newg = np.empty(len(tgt_s), dtype=bool)
+        newg[0] = True
+        newg[1:] = tgt_s[1:] != tgt_s[:-1]
+        starts = np.flatnonzero(newg)
+        grp = np.cumsum(newg) - 1
+        posg = np.arange(len(tgt_s), dtype=np.int64) - starts[grp]
+        acc = np.empty(len(tgt_s), dtype=bool)
+        acc[order] = posg < free[order]
+        return acc
+
+
+class HotPotatoKernel(RouterKernel):
+    """Age-based deflection: oldest first, profitable else rotating free link."""
+
+    num_keys = 1
+    track_age = True
+
+    def schedule(self, act: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        engine = self.engine
+        st = engine._state
+        node = st.posf[act]
+        # Rank within each node by (-age, pid): the reference outqueue's
+        # processing order.  Ranks are 0..(packets at node - 1).
+        order = np.lexsort((st.pids[act], -st.age[act], node))
+        slots = act[order]
+        snode = node[order]
+        newg = np.empty(len(snode), dtype=bool)
+        newg[0] = True
+        newg[1:] = snode[1:] != snode[:-1]
+        starts = np.flatnonzero(newg)
+        grp = np.cumsum(newg) - 1
+        rank = np.arange(len(snode), dtype=np.int64) - starts[grp]
+        un = snode[newg]
+        pmask = st.profitable_mask(slots)
+        taken = np.zeros(len(un), dtype=np.int64)
+        cdir = np.full(len(slots), -1, dtype=np.int64)
+        max_rank = int(rank.max())
+        # Pass 1: in rank order, each packet takes its lowest free
+        # profitable outlink (sorted(profitable) is ascending direction
+        # value, i.e. the lowest set bit of the 4-bit mask).
+        for r in range(max_rank + 1):
+            idx = np.flatnonzero(rank == r)
+            if len(idx) == 0:
+                break  # ranks are contiguous per node
+            nn = grp[idx]
+            free = pmask[idx] & ~taken[nn]
+            d = LOWBIT_DIR[free & -free]
+            placed = d >= 0
+            cdir[idx[placed]] = d[placed]
+            taken[nn[placed]] |= 1 << d[placed]
+        # Pass 2: deflection, still in rank order, onto the first free
+        # outlink in rotation_order(time) preference.
+        out = st.geom.out_mask[un]
+        pref = engine.time & 3
+        for r in range(max_rank + 1):
+            idx = np.flatnonzero((rank == r) & (cdir < 0))
+            if len(idx) == 0:
+                continue
+            nn = grp[idx]
+            free = out[nn] & ~taken[nn]
+            # Rotate the free mask so bit j means direction (j + pref) % 4;
+            # the lowest set bit is then the first free preferred direction.
+            rot = ((free >> pref) | (free << (4 - pref))) & 15
+            dd = LOWBIT_DIR[rot & -rot]
+            placed = dd >= 0
+            d = (dd[placed] + pref) & 3
+            cdir[idx[placed]] = d
+            taken[nn[placed]] |= 1 << d
+        sel = cdir >= 0
+        return slots[sel], snode[sel], cdir[sel]
+
+    def accept(self, pkt, src, dirs, tgt, came):
+        return np.ones(len(pkt), dtype=bool)  # bufferless: accept everything
+
+    def after_step(self) -> None:
+        engine = self.engine
+        act = engine._act
+        if act.size:
+            engine._state.age[act] += 1  # everyone in the network ages
+
+
+class ArraySimulator(Simulator):
+    """Array-backend drop-in for :class:`~repro.mesh.simulator.Simulator`.
+
+    Construct through ``Simulator(..., engine="array")`` -- the dispatch
+    in ``Simulator.__new__`` instantiates this class when the router is
+    ported and the run shape is supported, and silently falls back to the
+    reference engine otherwise.  Unsupported at construction time:
+    interceptors and link-load recording (the factory never routes those
+    here); unsupported at run time: link filters and packet drops (these
+    raise).
+
+    The observable surface matches the reference engine exactly:
+    ``queues`` materializes Packet objects lazily (cached per step), so
+    inherited ``configuration()``/``iter_packets``/``result()`` and the
+    verify oracles work unchanged; :meth:`step` returns the transmitted
+    ``ScheduledMove`` list only when post-step hooks are attached (it is
+    empty otherwise -- building it would put a Python loop back on the
+    hot path).
+    """
+
+    engine_name = "array"
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: Any,
+        packets: Iterable[Packet],
+        *,
+        interceptor: Any = None,
+        validate: bool = True,
+        record_series: bool = False,
+        record_link_loads: bool = False,
+        engine: str = "array",
+    ) -> None:
+        if interceptor is not None:
+            raise ValueError("array engine does not support interceptors")
+        if record_link_loads:
+            raise ValueError("array engine does not support link-load recording")
+        kernel_cls = _KERNELS.get(type(algorithm))
+        if kernel_cls is None:
+            raise ValueError(
+                f"router {algorithm.name!r} is not ported to the array engine"
+            )
+        self.topology = topology
+        self.algorithm = algorithm
+        self.interceptor = None
+        self.validate = validate
+        self.record_series = record_series
+        self.record_link_loads = False
+        self.link_loads: dict = {}
+        self.link_filter = None
+        self.spec = algorithm.queue_spec
+        self.time = 0
+        self.node_states: dict = {}
+        self.delivery_times: dict[int, int] = {}
+        self.dropped: dict[int, int] = {}
+        self.rejected: dict[int, int] = {}
+        self.total_packets = 0
+        self.total_moves = 0
+        self.max_queue_len = 0
+        self.max_node_load = 0
+        self.scheduled_moves = 0
+        self.refused_moves = 0
+        self.injected_packets = 0
+        self.instrument: Any = None
+        self.series: list[StepRecord] = []
+        self._pending: list[Packet] = []
+        self._pending_dirty = False
+        self._in_flight = 0
+        self.pre_step_hooks: list = []
+        self.post_step_hooks: list = []
+        self._central = self.spec.kind == "central"
+        self._height = topology.height
+        self._kernel = kernel_cls(self)
+        self._state = ArrayState(
+            GridGeometry(topology), kernel_cls.num_keys, kernel_cls.track_age
+        )
+        self._packet_of: list[Packet] = []  # slot -> Packet
+        self._slot_of: dict[int, int] = {}  # pid -> slot (in-network only)
+        self._known_pids: set[int] = set()
+        self._act = _EMPTY  # slots currently in the network
+        self._seq = 0
+        self._mat: dict | None = None  # cached materialized queues
+        self._load_packets(packets)
+
+    # -- construction ------------------------------------------------------
+
+    def _flat(self, node: tuple[int, int]) -> int:
+        return node[0] * self._height + node[1]
+
+    def _node_tuple(self, flat: int) -> tuple[int, int]:
+        return (flat // self._height, flat % self._height)
+
+    def _key_object(self, kidx: int) -> Any:
+        return CENTRAL if self._central else DIRECTIONS[kidx]
+
+    def _load_packets(self, packets: Iterable[Packet]) -> None:
+        topology = self.topology
+        st = self._state
+        spec = self.spec
+        seen: set[int] = set()
+        originating: dict[tuple[int, int], list[Packet]] = {}
+        for p in packets:
+            if p.pid in seen:
+                raise ValueError(f"duplicate packet id {p.pid}")
+            seen.add(p.pid)
+            if not topology.contains(p.source) or not topology.contains(p.dest):
+                raise ValueError(f"packet {p.pid} endpoints outside topology")
+            self.total_packets += 1
+            if p.injection_time > 0:
+                self._pending.append(p)
+                continue
+            p.pos = p.source
+            if p.source == p.dest:
+                self.delivery_times[p.pid] = 0
+                continue
+            originating.setdefault(p.source, []).append(p)
+        self._known_pids = seen
+        self._pending.sort(key=lambda p: (p.injection_time, p.pid))
+        act: list[int] = []
+        max_pid = -1
+        for node, plist in originating.items():
+            plist.sort(key=lambda p: p.pid)
+            flat = self._flat(node)
+            for p in plist:
+                profitable = topology.profitable_directions(node, p.dest)
+                if st.track_age:
+                    p.state = 0
+                key = spec.initial_key(profitable)
+                kidx = 0 if self._central else int(key)
+                # Load-time FIFO sequence = pid: per-queue load order is
+                # pid-ascending, matching the reference append order.
+                act.append(self._admit(p, flat, kidx, p.pid))
+                if p.pid > max_pid:
+                    max_pid = p.pid
+            if self.validate:
+                self._check_node_capacity(flat, node)
+            self._note_flat_load(flat)
+        self._act = np.array(act, dtype=np.int64) if act else _EMPTY
+        self._seq = max_pid + 1
+
+    def _admit(self, p: Packet, flat: int, kidx: int, qseq: int) -> int:
+        """Place one packet into (flat, kidx) with sequence ``qseq``."""
+        st = self._state
+        slot = st.new_slot(p.pid, flat, self._flat(p.dest), kidx, qseq)
+        self._packet_of.append(p)
+        self._slot_of[p.pid] = slot
+        st.occ[flat, kidx] += 1
+        st.load[flat] += 1
+        self._in_flight += 1
+        if st.key_rank is not None and st.key_rank[flat, kidx] < 0:
+            # First packet ever queued under this key since the node last
+            # emptied: it takes the next creation rank (the reference
+            # engine's dict key insertion order).
+            st.key_rank[flat, kidx] = st.key_count[flat]
+            st.key_count[flat] += 1
+        return slot
+
+    def _check_node_capacity(self, flat: int, node: tuple[int, int]) -> None:
+        st = self._state
+        capacity = self.spec.capacity
+        over = [k for k in range(st.num_keys) if st.occ[flat, k] > capacity]
+        if over:
+            # Report the key the reference engine would: first over-capacity
+            # queue in creation order.
+            if st.key_rank is not None:
+                over.sort(key=lambda k: int(st.key_rank[flat, k]))
+            k = over[0]
+            raise QueueOverflowError(
+                self.algorithm.name,
+                node,
+                self._key_object(k),
+                int(st.occ[flat, k]),
+                capacity,
+            )
+
+    def _note_flat_load(self, flat: int) -> None:
+        st = self._state
+        q = int(st.occ[flat].max())
+        if q > self.max_queue_len:
+            self.max_queue_len = q
+        load = int(st.load[flat])
+        if load > self.max_node_load:
+            self.max_node_load = load
+
+    # -- compatibility surface ---------------------------------------------
+
+    @property
+    def queues(self) -> dict:
+        """Materialized node -> key -> packet-list view of the array state.
+
+        Built lazily and cached until the arrays next change; mutating the
+        returned structure does not affect the simulation.
+        """
+        mat = self._mat
+        if mat is None:
+            self._mat = mat = self._materialize()
+        return mat
+
+    def _materialize(self) -> dict:
+        st = self._state
+        act = self._act
+        out: dict[tuple[int, int], dict[Any, list[Packet]]] = {}
+        if act.size == 0:
+            return out
+        order = np.lexsort((st.qseq[act], st.qkey[act], st.posf[act]))
+        slots = act[order]
+        height = self._height
+        central = self._central
+        packet_of = self._packet_of
+        pos_l = st.posf[slots].tolist()
+        key_l = st.qkey[slots].tolist()
+        age_l = st.age[slots].tolist() if st.track_age else None
+        for i, slot in enumerate(slots.tolist()):
+            p = packet_of[slot]
+            flat = pos_l[i]
+            p.pos = (flat // height, flat % height)
+            if age_l is not None:
+                p.state = age_l[i]
+            node_queues = out.get(p.pos)
+            if node_queues is None:
+                out[p.pos] = node_queues = {}
+            key = CENTRAL if central else DIRECTIONS[key_l[i]]
+            q = node_queues.get(key)
+            if q is None:
+                node_queues[key] = [p]
+            else:
+                q.append(p)
+        return out
+
+    def queue_occupancy(self, node: tuple[int, int], key: Any) -> int:
+        kidx = 0 if self._central else int(key)
+        return int(self._state.occ[self._flat(node), kidx])
+
+    def _check_new_pid(self, packet: Packet) -> None:
+        if packet.pid in self._known_pids:
+            raise ValueError(f"duplicate packet id {packet.pid}")
+        if not self.topology.contains(packet.source) or not self.topology.contains(
+            packet.dest
+        ):
+            raise ValueError(f"packet {packet.pid} endpoints outside topology")
+
+    def inject_packet(self, packet: Packet) -> None:
+        """Add a dynamic packet mid-run (same admission rule as load time)."""
+        self._check_new_pid(packet)
+        self._known_pids.add(packet.pid)
+        self.total_packets += 1
+        self._pending.append(packet)
+        self._pending_dirty = True
+
+    def reject_packet(self, packet: Packet) -> None:
+        """Refuse a packet at admission time (open-loop backpressure)."""
+        self._check_new_pid(packet)
+        self._known_pids.add(packet.pid)
+        self.total_packets += 1
+        self.rejected[packet.pid] = self.time
+
+    def drop_packet(self, packet: Packet) -> None:
+        raise NotImplementedError(
+            "array engine does not support packet drops; use engine='reference'"
+        )
+
+    def drop_pending(self, pid: int) -> None:
+        raise NotImplementedError(
+            "array engine does not support packet drops; use engine='reference'"
+        )
+
+    # -- the step ----------------------------------------------------------
+
+    def step(self) -> list[ScheduledMove]:
+        """Run one synchronous step (the reference phase order, batched)."""
+        if self.link_filter is not None:
+            raise NotImplementedError(
+                "array engine does not support link filters; use engine='reference'"
+            )
+        instr = self.instrument
+        if instr is not None:
+            instr.begin_step()
+        self.time += 1
+        if self.pre_step_hooks:
+            for hook in self.pre_step_hooks:
+                hook(self)
+            if instr is not None:
+                instr.mark("hooks")
+        if self._pending:
+            self._inject_pending()
+
+        # (a) outqueue policies, batched in the kernel.
+        act = self._act
+        if act.size:
+            sched_pkt, sched_src, sched_dir = self._kernel.schedule(act)
+        else:
+            sched_pkt = sched_src = sched_dir = _EMPTY
+        self.scheduled_moves += len(sched_pkt)
+        if instr is not None:
+            instr.mark("a")
+
+        # (b) no interceptor and no link filter by construction; minimality
+        # holds by kernel construction (desired moves are profitable).
+        if instr is not None:
+            instr.mark("b")
+
+        # (c) inqueue policies, batched in the kernel.
+        if sched_pkt.size:
+            tgt = self._state.geom.nbr_flat[sched_src, sched_dir]
+            came = OPP[sched_dir]
+            acc = self._kernel.accept(sched_pkt, sched_src, sched_dir, tgt, came)
+            apkt = sched_pkt[acc]
+            asrc = sched_src[acc]
+            adir = sched_dir[acc]
+            atgt = tgt[acc]
+            acame = came[acc]
+        else:
+            apkt = asrc = adir = atgt = acame = _EMPTY
+        self.refused_moves += len(sched_pkt) - len(apkt)
+        if instr is not None:
+            instr.mark("c")
+
+        # (d) transmit: departures, then arrivals in (target, inlink) order.
+        moves = self._transmit(apkt, asrc, adir, atgt, acame)
+        if instr is not None:
+            instr.mark("d")
+
+        # (e) packet-state updates (reference phase (e) / after_step).
+        self._kernel.after_step()
+        if instr is not None:
+            instr.mark("e")
+
+        if self.record_series:
+            self.series.append(
+                StepRecord(
+                    time=self.time,
+                    in_flight=self._in_flight,
+                    delivered_total=len(self.delivery_times),
+                    moves=len(apkt),
+                    max_queue_len=self.max_queue_len,
+                )
+            )
+        if self.post_step_hooks:
+            for hook in self.post_step_hooks:
+                hook(self, moves)
+            if instr is not None:
+                instr.mark("hooks")
+        if instr is not None:
+            instr.end_step()
+        return moves
+
+    def _transmit(
+        self,
+        apkt: np.ndarray,
+        asrc: np.ndarray,
+        adir: np.ndarray,
+        atgt: np.ndarray,
+        acame: np.ndarray,
+    ) -> list[ScheduledMove]:
+        st = self._state
+        n_acc = len(apkt)
+        self.total_moves += n_acc
+        if n_acc == 0:
+            return []
+        self._mat = None
+        # Arrival order is (target, inlink direction): targets ascending,
+        # multi-offer groups by came_from -- the reference accepted_moves
+        # order, which fixes FIFO sequence numbers and key creation order.
+        order = np.lexsort((acame, atgt))
+        apkt = apkt[order]
+        asrc = asrc[order]
+        adir = adir[order]
+        atgt = atgt[order]
+        acame = acame[order]
+        # Departures first.
+        np.subtract.at(st.occ, (asrc, st.qkey[apkt]), 1)
+        np.subtract.at(st.load, asrc, 1)
+        # Arrivals: split deliveries from survivors.
+        delivered = atgt == st.destf[apkt]
+        st.posf[apkt] = atgt
+        surv = ~delivered
+        spkt = apkt[surv]
+        stgt = atgt[surv]
+        n_surv = len(spkt)
+        if n_surv:
+            skey = acame[surv] if not self._central else np.zeros(n_surv, dtype=np.int64)
+            st.qkey[spkt] = skey
+            st.qseq[spkt] = self._seq + np.arange(n_surv, dtype=np.int64)
+            self._seq += n_surv
+            np.add.at(st.occ, (stgt, skey), 1)
+            np.add.at(st.load, stgt, 1)
+            qlen = st.occ[stgt, skey]
+            max_q = int(qlen.max())
+            if max_q > self.max_queue_len:
+                self.max_queue_len = max_q
+            max_l = int(st.load[stgt].max())
+            if max_l > self.max_node_load:
+                self.max_node_load = max_l
+            if self.validate and max_q > self.spec.capacity:
+                i = int(np.argmax(qlen > self.spec.capacity))
+                raise QueueOverflowError(
+                    self.algorithm.name,
+                    self._node_tuple(int(stgt[i])),
+                    self._key_object(int(skey[i])),
+                    int(qlen[i]),
+                    self.spec.capacity,
+                )
+            if st.key_rank is not None:
+                self._record_key_creations(stgt, skey)
+        dpkt = apkt[delivered]
+        if len(dpkt):
+            now = self.time
+            delivery_times = self.delivery_times
+            slot_of = self._slot_of
+            pids_arr = st.pids
+            for slot in dpkt.tolist():
+                delivery_times[pids_arr[slot]] = now
+                slot_of.pop(int(pids_arr[slot]), None)
+            self._in_flight -= len(dpkt)
+            st.in_net[dpkt] = False
+            act = self._act
+            self._act = act[st.in_net[act]]
+        # Prune bookkeeping: a node that sent and ended the step empty
+        # resets its queue-key creation order (the reference engine deletes
+        # the node dict, losing key insertion order).
+        if st.key_rank is not None:
+            sent = np.unique(asrc)
+            emptied = sent[st.load[sent] == 0]
+            if len(emptied):
+                st.key_rank[emptied] = -1
+                st.key_count[emptied] = 0
+        if not self.post_step_hooks:
+            return []
+        # Observers attached: materialize real ScheduledMoves (in the same
+        # (target, inlink) order the reference engine produces).
+        height = self._height
+        packet_of = self._packet_of
+        moves = []
+        for slot, src_f, d, tgt_f in zip(
+            apkt.tolist(), asrc.tolist(), adir.tolist(), atgt.tolist()
+        ):
+            p = packet_of[slot]
+            p.pos = (tgt_f // height, tgt_f % height)
+            moves.append(
+                ScheduledMove(
+                    p, (src_f // height, src_f % height), DIRECTIONS[d], p.pos
+                )
+            )
+        return moves
+
+    def _record_key_creations(self, stgt: np.ndarray, skey: np.ndarray) -> None:
+        """Assign creation ranks to queue keys first occupied this step.
+
+        ``stgt``/``skey`` are in arrival order; at most one arrival per
+        (node, key) in the incoming regime, so each new (node, key) is a
+        single creation event, ranked per node in arrival order.
+        """
+        st = self._state
+        is_new = st.key_rank[stgt, skey] < 0
+        if not bool(is_new.any()):
+            return
+        pos = np.flatnonzero(is_new)
+        node = stgt[pos]
+        key = skey[pos]
+        order = np.lexsort((pos, node))
+        node_s = node[order]
+        key_s = key[order]
+        newg = np.empty(len(node_s), dtype=bool)
+        newg[0] = True
+        newg[1:] = node_s[1:] != node_s[:-1]
+        starts = np.flatnonzero(newg)
+        grp = np.cumsum(newg) - 1
+        rank_in_node = np.arange(len(node_s), dtype=np.int64) - starts[grp]
+        st.key_rank[node_s, key_s] = st.key_count[node_s] + rank_in_node
+        np.add.at(st.key_count, node_s, 1)
+
+    def _inject_pending(self) -> None:
+        if self._pending_dirty:
+            self._pending.sort(key=lambda p: (p.injection_time, p.pid))
+            self._pending_dirty = False
+        st = self._state
+        spec = self.spec
+        capacity = spec.capacity
+        still_pending: list[Packet] = []
+        new_slots: list[int] = []
+        for p in self._pending:
+            if p.injection_time >= self.time:
+                still_pending.append(p)
+                continue
+            if p.source == p.dest:
+                self.delivery_times[p.pid] = self.time
+                continue
+            profitable = self.topology.profitable_directions(p.source, p.dest)
+            key = spec.initial_key(profitable)
+            kidx = 0 if self._central else int(key)
+            flat = self._flat(p.source)
+            if st.occ[flat, kidx] >= capacity:
+                still_pending.append(p)  # its queue is full; retry next step
+                continue
+            p.pos = p.source
+            if st.track_age:
+                p.state = 0
+            seq = self._seq
+            self._seq = seq + 1
+            new_slots.append(self._admit(p, flat, kidx, seq))
+            self.injected_packets += 1
+            self._note_flat_load(flat)
+        self._pending = still_pending
+        if new_slots:
+            self._mat = None
+            self._act = np.concatenate(
+                [self._act, np.array(new_slots, dtype=np.int64)]
+            )
+
+
+#: Exact router type -> kernel.  Exact types, not subclasses: a subclass may
+#: override policy methods the kernels do not model.
+_KERNELS: dict[type, type[RouterKernel]] = {}
+
+
+def _register_kernels() -> None:
+    from repro.routing.bounded_dor import BoundedDimensionOrderRouter
+    from repro.routing.dimension_order import DimensionOrderRouter
+    from repro.routing.hot_potato import HotPotatoRouter
+
+    _KERNELS[BoundedDimensionOrderRouter] = BoundedDorKernel
+    _KERNELS[DimensionOrderRouter] = CentralDorKernel
+    _KERNELS[HotPotatoRouter] = HotPotatoKernel
+
+
+_register_kernels()
+
+
+def ported_router_types() -> tuple[type, ...]:
+    """The router classes the array engine can run (exact types)."""
+    return tuple(_KERNELS)
+
+
+def resolve_array_class(
+    topology: Any, algorithm: Any, kwargs: dict
+) -> type[ArraySimulator] | None:
+    """The array simulator class when (topology, algorithm, kwargs) is
+    supported, else None (caller falls back to the reference engine)."""
+    if kwargs.get("interceptor") is not None:
+        return None
+    if kwargs.get("record_link_loads"):
+        return None
+    if type(topology) not in (Mesh, Torus):
+        return None
+    if type(algorithm) not in _KERNELS:
+        return None
+    return ArraySimulator

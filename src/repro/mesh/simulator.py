@@ -120,7 +120,37 @@ class Simulator:
             except in the innermost benchmark loops, where the
             :mod:`repro.verify` oracles can re-check independently).
         record_series: Record a :class:`StepRecord` per step.
+        engine: ``"reference"`` (this class) or ``"array"`` (the
+            vectorized :class:`repro.mesh.array_engine.ArraySimulator`).
+            Requesting ``"array"`` is a *hint*: runs the array engine does
+            not support (unported routers, custom topologies,
+            interceptors, link-load recording) silently fall back to the
+            reference engine.  Check :attr:`engine_name` on the
+            constructed simulator for the engine actually running.
     """
+
+    #: The engine actually running ("reference" here; the array backend
+    #: overrides this with "array").  Compare against the requested
+    #: ``engine`` argument to detect fallback.
+    engine_name = "reference"
+
+    def __new__(
+        cls,
+        topology: Topology | None = None,
+        algorithm: RoutingAlgorithm | None = None,
+        packets: Iterable[Packet] = (),
+        **kwargs: Any,
+    ) -> "Simulator":
+        engine = kwargs.get("engine", "reference")
+        if engine not in ("reference", "array"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if cls is Simulator and engine == "array":
+            from repro.mesh.array_engine import resolve_array_class
+
+            array_cls = resolve_array_class(topology, algorithm, kwargs)
+            if array_cls is not None:
+                return object.__new__(array_cls)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -132,6 +162,7 @@ class Simulator:
         validate: bool = True,
         record_series: bool = False,
         record_link_loads: bool = False,
+        engine: str = "reference",
     ) -> None:
         self.topology = topology
         self.algorithm = algorithm
@@ -360,6 +391,19 @@ class Simulator:
         for q in self.queues.get(node, {}).values():
             out.extend(q)
         return out
+
+    def queue_occupancy(self, node: tuple[int, int], key: Any) -> int:
+        """Current occupancy of one (node, queue-key) queue.
+
+        The engine-portable accessor: the array engine overrides it with a
+        direct occupancy-array read, so admission checks (the streaming
+        layer) need never materialize queue contents.
+        """
+        node_queues = self.queues.get(node)
+        if not node_queues:
+            return 0
+        q = node_queues.get(key)
+        return len(q) if q else 0
 
     @property
     def in_flight(self) -> int:

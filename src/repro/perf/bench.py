@@ -13,10 +13,13 @@ are not measurements), then reconciles the measured steps/s against
   regression must keep firing on every run until the code is fixed or the
   baseline is refreshed deliberately, not silently become the new normal.
 
-Keys are ``{algorithm}/{workload}/n{n}/k{k}/s{seed}``, so smoke and full
-matrices coexist in one file.  The tolerance (default 20%) absorbs normal
-machine noise; see docs/PERFORMANCE.md for the measurement protocol and
-the policy on refreshing the baseline after intentional changes.
+Keys are ``{engine}/{algorithm}/{workload}/n{n}/k{k}/s{seed}``, so smoke
+and full matrices coexist in one file, and the array-backend entries
+never ratchet against the reference engine's (a 20x speedup must not
+become the floor the reference engine is held to, nor vice versa).  The
+tolerance (default 20%) absorbs normal machine noise; see
+docs/PERFORMANCE.md for the measurement protocol and the policy on
+refreshing the baseline after intentional changes.
 """
 
 from __future__ import annotations
@@ -39,8 +42,16 @@ DEFAULT_TOLERANCE = 0.2
 
 
 def bench_key(spec: TrialSpec) -> str:
-    """The stable baseline key of one bench cell."""
-    return f"{spec.algorithm}/{spec.workload}/n{spec.n}/k{spec.k}/s{spec.seed}"
+    """The stable baseline key of one bench cell.
+
+    The engine leads the key so reference and array measurements are
+    separate ratchets: merging an array run never overwrites (or gets
+    compared against) the reference entry for the same cell.
+    """
+    return (
+        f"{spec.engine}/{spec.algorithm}/{spec.workload}"
+        f"/n{spec.n}/k{spec.k}/s{spec.seed}"
+    )
 
 
 @dataclass
@@ -92,7 +103,7 @@ class BenchReport:
     def table(self) -> str:
         """The human-readable result table ``repro bench`` prints."""
         lines = [
-            f"{'cell':<38} {'steps/s':>10} {'baseline':>10} {'change':>8}"
+            f"{'cell':<46} {'steps/s':>10} {'baseline':>10} {'change':>8}"
         ]
         for c in self.comparisons:
             if c.baseline_steps_per_s is None:
@@ -104,10 +115,10 @@ class BenchReport:
                 if c.regressed:
                     change += " !"
             lines.append(
-                f"{c.key:<38} {c.steps_per_s:>10.1f} {baseline:>10} {change:>8}"
+                f"{c.key:<46} {c.steps_per_s:>10.1f} {baseline:>10} {change:>8}"
             )
         for name in self.failed_trials:
-            lines.append(f"{name:<38} {'FAILED':>10}")
+            lines.append(f"{name:<46} {'FAILED':>10}")
         return "\n".join(lines)
 
 

@@ -164,9 +164,9 @@ def offer_packet(
     slot = (packet.source, key)
     space = space_left.get(slot)
     if space is None:
-        node_queues = sim.queues.get(packet.source)
-        occupied = len(node_queues.get(key, ())) if node_queues else 0
-        space = spec.capacity - occupied
+        # Engine-portable occupancy read: the array engine answers from its
+        # occupancy array without materializing queue contents.
+        space = spec.capacity - sim.queue_occupancy(packet.source, key)
     space_left[slot] = space - 1
     if space <= 0:
         sim.reject_packet(packet)
@@ -185,6 +185,7 @@ def run_streaming(
     drain: int,
     oracle_mode: str = "record",
     plan: Any | None = None,
+    engine: str = "reference",
 ) -> StreamingReport:
     """Route ``process``'s open-loop traffic through ``algorithm``.
 
@@ -198,6 +199,11 @@ def run_streaming(
             disables the oracles.
         plan: Optional :class:`repro.faults.plan.FaultPlan` attached as
             the link filter -- streaming under faults composes freely.
+            Requires the reference engine.
+        engine: Step engine (``Simulator(engine=...)``); ``"array"``
+            falls back to the reference engine for unported routers, and
+            a fault ``plan`` forces the reference engine (link filters
+            are not vectorized).
 
     The simulator runs with ``validate=False`` for the same reason the
     faults layer does: observing overload-induced overflows is the
@@ -210,7 +216,9 @@ def run_streaming(
     if drain < 0:
         raise ValueError(f"drain must be >= 0, got {drain}")
 
-    sim = Simulator(topology, algorithm, [], validate=False)
+    if plan is not None:
+        engine = "reference"  # link filters run on the reference engine only
+    sim = Simulator(topology, algorithm, [], validate=False, engine=engine)
     if plan is not None:
         plan.attach(sim)
     checker = attach_checker(

@@ -42,6 +42,13 @@ from repro.verify.differential import (
     section6_probe,
     transpose_instance,
 )
+from repro.verify.engine_equivalence import (
+    ARRAY_PORTED,
+    LOCKSTEP_FAMILIES,
+    LockstepReport,
+    lockstep_cell,
+    run_engine_matrix,
+)
 
 __all__ = [
     "InvariantChecker",
@@ -68,4 +75,9 @@ __all__ = [
     "run_verification",
     "section6_probe",
     "transpose_instance",
+    "ARRAY_PORTED",
+    "LOCKSTEP_FAMILIES",
+    "LockstepReport",
+    "lockstep_cell",
+    "run_engine_matrix",
 ]

@@ -340,6 +340,20 @@ class TestScoping:
         assert rules_for_path("src/repro/core/bounds.py") == ("SC003",)
         assert rules_for_path("src/repro/verify/oracles.py") == ("SC003",)
 
+    def test_array_backend_modules_also_get_docstring_rule(self):
+        # The array engine lives in a scheduling package and its equivalence
+        # harness in verify/, but both carry prose contracts (memory layout,
+        # bit-identity protocol), so SC005 rides on top of the package rules.
+        assert rules_for_path("src/repro/mesh/array_engine.py") == (
+            "SC001", "SC002", "SC003", "SC004", "SC005"
+        )
+        assert rules_for_path("src/repro/mesh/array_state.py") == (
+            "SC001", "SC002", "SC003", "SC004", "SC005"
+        )
+        assert rules_for_path("src/repro/verify/engine_equivalence.py") == (
+            "SC003", "SC005"
+        )
+
     def test_every_rule_is_scoped_somewhere(self):
         scoped = set(rules_for_path("src/repro/mesh/x.py")) | set(
             rules_for_path("src/repro/perf/x.py")

@@ -49,6 +49,35 @@ class TestCommands:
         rc = main(["route", "--algorithm", "hot-potato", "--n", "8"])
         assert rc == 0
 
+    def test_route_array_engine(self, capsys):
+        rc = main(["route", "--n", "8", "--engine", "array"])
+        assert rc == 0
+        assert "[array engine]" in capsys.readouterr().out
+
+    def test_route_array_engine_reports_fallback(self, capsys):
+        rc = main(
+            ["route", "--algorithm", "farthest-first", "--n", "8",
+             "--engine", "array"]
+        )
+        assert rc == 0
+        assert "[reference engine]" in capsys.readouterr().out
+
+    def test_route_array_engine_rejects_degraded_links(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["route", "--n", "8", "--engine", "array",
+                  "--availability", "0.9"])
+        assert exc.value.code == 2
+
+    def test_verify_engines_lockstep(self, capsys):
+        rc = main(
+            ["verify", "--engines", "--n", "6", "--k", "2", "--quiet",
+             "--families", "permutation", "--routers", "bounded-dor"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verify --engines PASS" in out
+        assert "lockstep steps" in out
+
     def test_lower_bound_adaptive(self, capsys):
         rc = main(
             ["lower-bound", "--construction", "adaptive", "--n", "60",

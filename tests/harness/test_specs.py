@@ -41,6 +41,37 @@ class TestTrialSpec:
         assert again == spec
 
 
+class TestEngineField:
+    def test_engine_defaults_to_reference(self):
+        spec = TrialSpec(kind="route", n=8, algorithm="bounded-dor")
+        spec.validate()
+        assert spec.engine == "reference"
+
+    def test_array_engine_accepted(self):
+        spec = TrialSpec(kind="bench", n=8, algorithm="bounded-dor", engine="array")
+        spec.validate()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            TrialSpec.from_dict(
+                dict(kind="route", n=8, algorithm="dor", engine="simd")
+            )
+
+    def test_array_engine_incompatible_with_degraded_links(self):
+        with pytest.raises(ValueError, match="reference engine only"):
+            TrialSpec.from_dict(
+                dict(
+                    kind="route", n=8, algorithm="bounded-dor",
+                    engine="array", availability=0.9,
+                )
+            )
+
+    def test_engine_affects_cache_key(self):
+        reference = TrialSpec(kind="bench", n=8, algorithm="bounded-dor")
+        array = TrialSpec(kind="bench", n=8, algorithm="bounded-dor", engine="array")
+        assert trial_key(reference, "v") != trial_key(array, "v")
+
+
 class TestFaultsSpec:
     def test_faults_kind_accepts_resilience_algorithms(self):
         for algorithm in ("conservative-bounded-dor", "fault-reroute", "bounded-dor"):

@@ -1,0 +1,152 @@
+"""Unit tests for the array-backend step engine: dispatch and guardrails.
+
+The lockstep suites prove the array engine *computes* the same thing as
+the reference engine; these tests pin the dispatch contract around it --
+when ``Simulator(engine="array")`` engages, when it silently falls back,
+and how the backend refuses features it does not model instead of
+guessing at them.
+"""
+
+import pytest
+
+from repro.mesh import Mesh, Packet, Simulator, Torus
+from repro.mesh.array_engine import ArraySimulator, ported_router_types
+from repro.routing import (
+    BoundedDimensionOrderRouter,
+    DimensionOrderRouter,
+    FarthestFirstRouter,
+    HotPotatoRouter,
+)
+from repro.workloads import random_permutation
+
+
+def make(engine="array", algorithm=None, topology=None, **kwargs):
+    topology = topology if topology is not None else Mesh(6)
+    algorithm = algorithm or BoundedDimensionOrderRouter(2)
+    packets = random_permutation(topology, seed=0)
+    return Simulator(topology, algorithm, packets, engine=engine, **kwargs)
+
+
+class TestDispatch:
+    def test_array_engine_engages_for_ported_routers(self):
+        for algorithm in (
+            BoundedDimensionOrderRouter(2),
+            DimensionOrderRouter(4),
+            HotPotatoRouter(),
+        ):
+            sim = make(algorithm=algorithm)
+            assert isinstance(sim, ArraySimulator)
+            assert sim.engine_name == "array"
+
+    def test_reference_is_the_default(self):
+        sim = Simulator(Mesh(6), BoundedDimensionOrderRouter(2), [])
+        assert not isinstance(sim, ArraySimulator)
+        assert sim.engine_name == "reference"
+
+    def test_torus_supported(self):
+        sim = make(topology=Torus(6))
+        assert sim.engine_name == "array"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            make(engine="simd")
+
+    def test_unported_router_falls_back(self):
+        sim = make(algorithm=FarthestFirstRouter(2))
+        assert sim.engine_name == "reference"
+
+    def test_router_subclass_falls_back(self):
+        """A subclass may override any policy hook; the kernel only models
+        the exact base class, so subclasses must take the reference path."""
+
+        class Tweaked(BoundedDimensionOrderRouter):
+            pass
+
+        sim = make(algorithm=Tweaked(2))
+        assert sim.engine_name == "reference"
+
+    def test_interceptor_falls_back(self):
+        sim = make(interceptor=lambda s, moves: None)
+        assert sim.engine_name == "reference"
+
+    def test_link_load_recording_falls_back(self):
+        sim = make(record_link_loads=True)
+        assert sim.engine_name == "reference"
+
+    def test_ported_types_match_public_list(self):
+        from repro.verify import ARRAY_PORTED, REGISTRY
+
+        ported = {type(REGISTRY[name].factory(2, 0)) for name in ARRAY_PORTED}
+        assert ported == set(ported_router_types())
+
+
+class TestGuardrails:
+    def test_drop_packet_unsupported(self):
+        sim = make()
+        with pytest.raises(NotImplementedError, match="reference"):
+            sim.drop_packet(Packet(999, (0, 0), (1, 1)))
+
+    def test_drop_pending_unsupported(self):
+        sim = make()
+        with pytest.raises(NotImplementedError, match="reference"):
+            sim.drop_pending(999)
+
+    def test_late_link_filter_refused_at_step_time(self):
+        """Dispatch cannot see a filter attached after construction (the
+        faults layer does exactly that), so step() must refuse loudly
+        rather than silently ignore the filter."""
+        sim = make()
+        sim.link_filter = lambda time, src, direction: True
+        with pytest.raises(NotImplementedError, match="link filters"):
+            sim.step()
+
+    def test_duplicate_pid_rejected_at_load(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Simulator(
+                Mesh(4),
+                BoundedDimensionOrderRouter(2),
+                [Packet(0, (0, 0), (1, 1)), Packet(0, (2, 2), (3, 3))],
+                engine="array",
+            )
+
+    def test_duplicate_pid_rejected_at_injection(self):
+        sim = make()
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.inject_packet(Packet(0, (0, 0), (1, 1)))
+
+
+class TestEngineAccessors:
+    def test_queue_occupancy_agrees_with_materialized_queues(self):
+        sim = make()
+        reference = Simulator(
+            Mesh(6), BoundedDimensionOrderRouter(2), random_permutation(Mesh(6), seed=0)
+        )
+        for _ in range(5):
+            sim.step()
+            reference.step()
+        for node, queues in reference.queues.items():
+            for key, queue in queues.items():
+                assert sim.queue_occupancy(node, key) == len(queue)
+                assert reference.queue_occupancy(node, key) == len(queue)
+
+    def test_queue_occupancy_empty_queue_is_zero(self):
+        sim = make()
+        reference = Simulator(Mesh(6), BoundedDimensionOrderRouter(2), [])
+        assert sim.queue_occupancy((5, 5), 0) >= 0
+        assert reference.queue_occupancy((5, 5), 0) == 0
+
+    def test_run_result_matches_reference(self):
+        topology = Mesh(6)
+        array = make()
+        reference = Simulator(
+            topology, BoundedDimensionOrderRouter(2), random_permutation(topology, seed=0)
+        )
+        ra = array.run(10_000)
+        rr = reference.run(10_000)
+        assert (ra.completed, ra.steps, ra.total_moves) == (
+            rr.completed,
+            rr.steps,
+            rr.total_moves,
+        )
+        assert ra.delivery_times == rr.delivery_times
+        assert ra.counters == rr.counters

@@ -46,7 +46,7 @@ def fake_run(*trials):
 
 class TestBenchKey:
     def test_key_shape(self):
-        assert bench_key(bench_spec()) == "bounded-dor/random/n16/k2/s0"
+        assert bench_key(bench_spec()) == "reference/bounded-dor/random/n16/k2/s0"
 
     def test_key_distinguishes_every_axis(self):
         specs = [
@@ -54,8 +54,14 @@ class TestBenchKey:
             bench_spec(n=32),
             bench_spec(k=1, algorithm="hot-potato"),
             bench_spec(seed=7),
+            bench_spec(engine="array"),
         ]
         assert len({bench_key(s) for s in specs}) == len(specs)
+
+    def test_engine_leads_the_key(self):
+        """Array and reference entries must never ratchet each other."""
+        assert bench_key(bench_spec(engine="array")).startswith("array/")
+        assert bench_key(bench_spec()).startswith("reference/")
 
 
 class TestComparison:
@@ -94,7 +100,7 @@ class TestCompareAndMerge:
         assert report.ok
         stored = json.loads(path.read_text())
         assert stored["format"] == "repro-bench-v1"
-        entry = stored["entries"]["bounded-dor/random/n16/k2/s0"]
+        entry = stored["entries"]["reference/bounded-dor/random/n16/k2/s0"]
         assert entry["steps_per_s"] == 100.0
         assert entry["repeats"] == 3
 
@@ -118,8 +124,8 @@ class TestCompareAndMerge:
         )
         compare_and_merge(fake_run(trial(bench_spec(), 110.0)), path, tolerance=0.2)
         stored = json.loads(path.read_text())["entries"]
-        assert stored["bounded-dor/random/n16/k2/s0"]["steps_per_s"] == 110.0
-        assert stored["bounded-dor/random/n32/k2/s0"]["steps_per_s"] == 25.0
+        assert stored["reference/bounded-dor/random/n16/k2/s0"]["steps_per_s"] == 110.0
+        assert stored["reference/bounded-dor/random/n32/k2/s0"]["steps_per_s"] == 25.0
 
     def test_update_false_leaves_file_untouched(self, tmp_path):
         path = tmp_path / "bench.json"
@@ -137,7 +143,7 @@ class TestCompareAndMerge:
             fake_run(trial(bench_spec(), 0.0, status="error")), path, tolerance=0.2
         )
         assert not report.ok
-        assert report.failed_trials == ["bounded-dor/random/n16/k2/s0"]
+        assert report.failed_trials == ["reference/bounded-dor/random/n16/k2/s0"]
         assert not path.exists()  # a not-ok report must not touch the file
         assert "FAILED" in report.table()
 

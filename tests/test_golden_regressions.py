@@ -22,8 +22,10 @@ from repro.routing import (
     GreedyAdaptiveRouter,
     HotPotatoRouter,
 )
+from repro.streaming import run_streaming
+from repro.streaming.arrivals import build_process
 from repro.tiling import Section6Router
-from repro.verify import REGISTRY
+from repro.verify import ARRAY_PORTED, REGISTRY
 from repro.workloads import (
     bit_reversal_permutation,
     random_permutation,
@@ -171,3 +173,93 @@ class TestGoldenStepTables:
             assert result.completed, f"{name} stalled on {workload} n={n}"
             actual[name] = result.steps
         assert actual == table
+
+
+#: Pinned n=64 outcomes for the routers the array backend has ported,
+#: as (step budget, completed, steps, delivered, total_moves,
+#: max_queue_len).  Both engines must reproduce each row exactly -- this
+#: is the golden half of the engine-equivalence gate at a size where a
+#: vectorization bug has thousands of packets to show up in.  Central
+#: dimension order wedges (exchange-deadlock) on bit-reversal at this
+#: size, so its row pins the wedged state over a capped window; no move
+#: happens after the cap, which is itself part of the pin.
+GOLDEN_N64 = {
+    ("transpose", "dor"): (1000, True, 126, 4096, 174720, 2),
+    ("transpose", "bounded-dor"): (1000, True, 188, 4096, 174720, 1),
+    ("transpose", "hot-potato"): (1000, True, 126, 4096, 174720, 2),
+    ("bit-reversal", "dor"): (300, False, 300, 3735, 152050, 4),
+    ("bit-reversal", "bounded-dor"): (1000, True, 104, 4096, 159744, 1),
+    ("bit-reversal", "hot-potato"): (1000, True, 98, 4096, 161664, 4),
+}
+
+#: Pinned open-loop streaming trace per ported router: Mesh(8), poisson
+#: arrivals at rate 0.05 seed 0, warmup 16 / measure 64 / drain 256,
+#: k=2 registry capacities.  Streaming exercises the engine paths the
+#: closed tables cannot: mid-run injection, admission-time occupancy
+#: reads, and rejection accounting.
+GOLDEN_STREAMING = {
+    "dor": {
+        "steps": 87, "offered_packets": 216, "admitted_packets": 216,
+        "rejected_packets": 0, "delivered_measured": 174,
+        "total_moves": 1206, "max_queue_len": 4,
+        "latency_p50": 6, "latency_p99": 12, "drained": True,
+    },
+    "bounded-dor": {
+        "steps": 87, "offered_packets": 216, "admitted_packets": 216,
+        "rejected_packets": 0, "delivered_measured": 174,
+        "total_moves": 1206, "max_queue_len": 2,
+        "latency_p50": 6, "latency_p99": 12, "drained": True,
+    },
+    "hot-potato": {
+        "steps": 87, "offered_packets": 216, "admitted_packets": 216,
+        "rejected_packets": 0, "delivered_measured": 174,
+        "total_moves": 1236, "max_queue_len": 3,
+        "latency_p50": 6, "latency_p99": 12, "drained": True,
+    },
+}
+
+
+class TestGoldenArrayEngineTables:
+    def test_tables_cover_exactly_the_ported_routers(self):
+        assert {r for _, r in GOLDEN_N64} == set(ARRAY_PORTED)
+        assert set(GOLDEN_STREAMING) == set(ARRAY_PORTED)
+
+    @pytest.mark.parametrize("engine", ["reference", "array"])
+    @pytest.mark.parametrize(
+        "workload,router", sorted(GOLDEN_N64), ids=lambda v: str(v)
+    )
+    def test_n64_pinned(self, workload, router, engine):
+        budget, *pinned = GOLDEN_N64[(workload, router)]
+        mesh = Mesh(64)
+        sim = Simulator(
+            mesh,
+            REGISTRY[router].factory(1, 0),
+            _WORKLOAD_GENERATORS[workload](mesh),
+            engine=engine,
+        )
+        assert sim.engine_name == engine, "ported router must not fall back"
+        result = sim.run(budget)
+        actual = (
+            result.completed,
+            result.steps,
+            result.delivered,
+            result.total_moves,
+            result.max_queue_len,
+        )
+        assert actual == tuple(pinned)
+
+    @pytest.mark.parametrize("engine", ["reference", "array"])
+    @pytest.mark.parametrize("router", sorted(GOLDEN_STREAMING))
+    def test_streaming_trace_pinned(self, router, engine):
+        report = run_streaming(
+            Mesh(8),
+            REGISTRY[router].factory(2, 0),
+            build_process("poisson", 0.05, seed=0),
+            warmup=16,
+            measure=64,
+            drain=256,
+            engine=engine,
+        )
+        metrics = report.to_metrics()
+        pinned = GOLDEN_STREAMING[router]
+        assert {key: metrics[key] for key in pinned} == pinned
