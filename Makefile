@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench examples figures outputs analyze typecheck clean
+.PHONY: install test bench examples figures outputs analyze bounds typecheck clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,10 +8,16 @@ install:
 test:
 	python -m pytest tests/
 
-# Static deadlock (CDG) + determinism (lint) analysis; fails on any
-# disagreement with the runtime expectation table or new lint violation.
+# Static deadlock (CDG) + queue-bound certification + determinism (lint)
+# analysis; fails on any disagreement with the runtime expectation table /
+# QueueBoundOracle or any new lint violation.
 analyze:
 	PYTHONPATH=src python -m repro analyze all
+
+# Just the queue-bound certifier (the Theorem 15 BOUNDED/UNBOUNDED table
+# cross-checked against the runtime QueueBoundOracle).
+bounds:
+	PYTHONPATH=src python -m repro analyze bounds
 
 # mypy --strict slice (see [tool.mypy] in pyproject.toml).  mypy is a dev
 # dependency; CI installs it, locally it is optional.

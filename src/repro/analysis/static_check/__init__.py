@@ -1,17 +1,24 @@
-"""Static deadlock & determinism analysis (see ``docs/ANALYSIS.md``).
+"""Static deadlock, queue-bound & determinism analysis (``docs/ANALYSIS.md``).
 
-Two engines, wired into ``python -m repro analyze [cdg|lint|all]``:
+Three engines, wired into ``python -m repro analyze [cdg|bounds|lint|all]``:
 
 - :mod:`repro.analysis.static_check.cdg` -- builds the channel-dependency
   graph of every registered router on the mesh and the torus from its
   symbolic :class:`~repro.mesh.transitions.TransitionModel`, runs cycle
   detection, and emits a ``DEADLOCK_FREE`` / ``CYCLIC`` / ``UNKNOWN``
-  verdict per (router, topology, n, k), cross-checked against the
-  differential runner's deadlock expectation table.
+  verdict per (router, topology, n, k), cross-checked bidirectionally
+  against the differential runner's deadlock expectation table.
+- :mod:`repro.analysis.static_check.bounds` -- the static queue-bound
+  certifier: abstract interpretation over the same transition models
+  computes a fixed-point occupancy bound per queue and issues
+  ``BOUNDED(b)`` / ``UNBOUNDED`` / ``UNKNOWN`` verdicts with concrete
+  witness chains, cross-checked in both directions against the runtime
+  ``QueueBoundOracle`` over the differential registry's cells.
 - :mod:`repro.analysis.static_check.lint` -- an AST lint pass enforcing the
-  simulator's reproducibility contract: no unseeded RNG, no wall clock in
-  step logic, no bare asserts for runtime invariants, no iteration over
-  unordered sets where order reaches packet scheduling.  Pre-existing
+  simulator's reproducibility contract (no unseeded RNG, no wall clock in
+  step logic, no bare asserts, no unordered-set iteration) plus the
+  array-kernel hazard rules SC006-SC009 (aliasing mutation, unstable
+  sorts, implicit dtypes, silent engine fallback).  Pre-existing
   violations live in a checked-in baseline
   (:mod:`repro.analysis.static_check.baseline`).
 """
@@ -20,14 +27,28 @@ from repro.analysis.static_check.cdg import (
     CYCLIC,
     DEADLOCK_FREE,
     UNKNOWN,
+    AgreementFinding,
     CdgVerdict,
     Channel,
     analyze_registry,
     analyze_router,
     build_cdg,
     check_agreement,
+    check_agreement_detailed,
     find_witness_cycle,
     tarjan_scc,
+)
+from repro.analysis.static_check.bounds import (
+    BOUNDED,
+    UNBOUNDED,
+    BoundsVerdict,
+    TransitionStep,
+    certify_algorithm,
+    certify_registry,
+    certify_router,
+    check_bounds_agreement,
+    compute_channel_bounds,
+    validate_drain_claims,
 )
 from repro.analysis.static_check.lint import LintViolation, run_lint, lint_source, RULES
 from repro.analysis.static_check.baseline import (
@@ -41,14 +62,26 @@ __all__ = [
     "CYCLIC",
     "DEADLOCK_FREE",
     "UNKNOWN",
+    "AgreementFinding",
     "CdgVerdict",
     "Channel",
     "analyze_registry",
     "analyze_router",
     "build_cdg",
     "check_agreement",
+    "check_agreement_detailed",
     "find_witness_cycle",
     "tarjan_scc",
+    "BOUNDED",
+    "UNBOUNDED",
+    "BoundsVerdict",
+    "TransitionStep",
+    "certify_algorithm",
+    "certify_registry",
+    "certify_router",
+    "check_bounds_agreement",
+    "compute_channel_bounds",
+    "validate_drain_claims",
     "LintViolation",
     "RULES",
     "run_lint",

@@ -1,12 +1,17 @@
 """Checked-in lint baseline: CI fails on *new* violations only.
 
-The baseline records the fingerprints (rule, path, stripped code line) of
-violations that predate the lint, with a count per fingerprint.  The diff
-against it classifies a fresh scan into ``new`` (fail CI) and ``fixed``
-(fingerprints in the baseline that no longer fire -- prune them with
-``python -m repro analyze lint --update-baseline``).  Keying on the code
-line rather than the line number keeps the baseline stable across
-unrelated edits to the same file.
+The baseline records the fingerprints ``(rule, path, normalized source
+snippet)`` of violations that predate the lint, with a count per
+fingerprint.  The diff against it classifies a fresh scan into ``new``
+(fail CI) and ``fixed`` (fingerprints in the baseline that no longer fire
+-- prune them with ``python -m repro analyze lint --update-baseline``).
+Keying on the whitespace-normalized snippet rather than the line number
+(or the verbatim line) keeps the baseline stable across line renumbering
+*and* pure reformatting of the offending line.
+
+Format version 2 stores the normalized snippet under ``"snippet"``;
+version-1 files (verbatim ``"code"`` lines) are migrated transparently on
+load by normalizing each entry, so a stale checkout never hard-fails.
 """
 
 from __future__ import annotations
@@ -16,12 +21,12 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, Iterable, List, Tuple
 
-from repro.analysis.static_check.lint import LintViolation
+from repro.analysis.static_check.lint import LintViolation, normalize_snippet
 
-Fingerprint = Tuple[str, str, str]  # (rule, path, code)
+Fingerprint = Tuple[str, str, str]  # (rule, path, normalized snippet)
 
-#: Baseline file format version.
-_VERSION = 1
+#: Baseline file format version (1 = verbatim code lines, migrated on load).
+_VERSION = 2
 
 
 def baseline_path(root: Path | str | None = None) -> Path:
@@ -45,16 +50,19 @@ def load_baseline(path: Path | str | None = None) -> Counter[Fingerprint]:
         return Counter()
     payload = json.loads(target.read_text(encoding="utf-8"))
     version = payload.get("version")
-    if version != _VERSION:
+    if version not in (1, _VERSION):
         raise ValueError(
             f"{target}: unsupported baseline version {version!r} "
             f"(expected {_VERSION})"
         )
     counts: Counter[Fingerprint] = Counter()
     for entry in payload.get("entries", []):
-        counts[(entry["rule"], entry["path"], entry["code"])] += int(
-            entry.get("count", 1)
-        )
+        # Version 1 stored the verbatim line under "code"; normalizing it
+        # here migrates old files to the version-2 keying transparently.
+        snippet = entry["snippet"] if version == _VERSION else entry["code"]
+        counts[
+            (entry["rule"], entry["path"], normalize_snippet(snippet))
+        ] += int(entry.get("count", 1))
     return counts
 
 
@@ -65,8 +73,8 @@ def save_baseline(
     target = Path(path) if path is not None else baseline_path()
     counts: Counter[Fingerprint] = Counter(v.fingerprint for v in violations)
     entries: List[Dict[str, object]] = [
-        {"rule": rule, "path": rel, "code": code, "count": count}
-        for (rule, rel, code), count in sorted(counts.items())
+        {"rule": rule, "path": rel, "snippet": snippet, "count": count}
+        for (rule, rel, snippet), count in sorted(counts.items())
     ]
     payload = {"version": _VERSION, "entries": entries}
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

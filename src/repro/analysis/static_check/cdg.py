@@ -349,29 +349,54 @@ def analyze_registry(
 # -- agreement with the differential expectation table -------------------------
 
 
-def check_agreement(
+#: AgreementFinding severities.
+SEVERITY_ERROR = "error"
+SEVERITY_ADVISORY = "advisory"
+
+
+@dataclass(frozen=True)
+class AgreementFinding:
+    """One CDG/differential disagreement, with a severity.
+
+    ``error`` findings mean one of the layers is provably wrong and fail
+    the analyze gate; ``advisory`` findings report a disagreement that is
+    logically permitted (a cycle is necessary for deadlock, not
+    sufficient) but worth surfacing rather than silently ignoring.
+    """
+
+    severity: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.message}"
+
+
+def check_agreement_detailed(
     verdicts: Sequence[CdgVerdict] | None = None,
     *,
     n: int = 4,
     ks: Iterable[int] = (1, 2, 4),
-) -> List[str]:
-    """Cross-check CDG verdicts against the runtime deadlock expectations.
+) -> List[AgreementFinding]:
+    """Cross-check CDG verdicts against the runtime deadlock expectations,
+    in both directions.
 
-    The two layers must agree in the only direction that is sound:
+    Errors (one of the layers is provably wrong):
 
     - ``DEADLOCK_FREE`` is a *proof*, so a statically deadlock-free router
       must be expected to complete every workload family on that topology
-      -- an expected stall there means one of the layers is wrong.
+      -- an expected stall there fails the gate.
     - Conversely, every family the differential table marks as
       deadlock/livelock-prone must sit on a ``CYCLIC`` (or ``UNKNOWN``)
       topology: the static pass must exhibit the cycle that makes the
       observed stall possible.
+    - A verdict that flips across (n, k) for the same (router, topology).
 
-    A ``CYCLIC`` verdict with all-complete expectations is *not* a finding:
-    a dependency cycle is necessary for deadlock, not sufficient, and most
-    adaptive routers drain their cycles on every workload we fuzz.
-
-    Returns human-readable disagreement strings (empty = layers agree).
+    Advisories (permitted, but no longer silently ignored): a ``CYCLIC``
+    verdict for a router the registry expects to complete every family.  A
+    dependency cycle is necessary for deadlock, not sufficient -- most
+    adaptive routers drain their cycles on every workload we fuzz -- but
+    the cell is one workload away from a wedge, so the disagreement is
+    reported instead of dropped.
     """
     from repro.verify.differential import REGISTRY
 
@@ -382,25 +407,65 @@ def check_agreement(
         by_cell.setdefault((verdict.router, verdict.topology), set()).add(
             verdict.verdict
         )
-    findings: List[str] = []
+    findings: List[AgreementFinding] = []
     for (router, topology_name), kinds in sorted(by_cell.items()):
         if len(kinds) > 1:
             findings.append(
-                f"{router}/{topology_name}: verdict unstable across (n, k): "
-                f"{sorted(kinds)}"
+                AgreementFinding(
+                    SEVERITY_ERROR,
+                    f"{router}/{topology_name}: verdict unstable across "
+                    f"(n, k): {sorted(kinds)}",
+                )
             )
             continue
         verdict_kind = next(iter(kinds))
         entry = REGISTRY.get(router)
         if entry is None:
-            findings.append(f"{router}: not in the differential registry")
+            findings.append(
+                AgreementFinding(
+                    SEVERITY_ERROR, f"{router}: not in the differential registry"
+                )
+            )
             continue
         families = MESH_FAMILIES if topology_name == "mesh" else TORUS_FAMILIES
         expected_stalls = [f for f in families if not entry.expects_completion(f)]
         if verdict_kind == DEADLOCK_FREE and expected_stalls:
             findings.append(
-                f"{router}/{topology_name}: statically DEADLOCK_FREE but the "
-                f"differential table expects stalls on {expected_stalls} -- "
-                "one of the layers is wrong"
+                AgreementFinding(
+                    SEVERITY_ERROR,
+                    f"{router}/{topology_name}: statically DEADLOCK_FREE but "
+                    f"the differential table expects stalls on "
+                    f"{expected_stalls} -- one of the layers is wrong",
+                )
+            )
+        elif verdict_kind == CYCLIC and not expected_stalls:
+            findings.append(
+                AgreementFinding(
+                    SEVERITY_ADVISORY,
+                    f"{router}/{topology_name}: statically CYCLIC but the "
+                    f"differential table expects completion of "
+                    f"{list(families)} -- the cycle has not been observed "
+                    "to close (necessary, not sufficient)",
+                )
             )
     return findings
+
+
+def check_agreement(
+    verdicts: Sequence[CdgVerdict] | None = None,
+    *,
+    n: int = 4,
+    ks: Iterable[int] = (1, 2, 4),
+) -> List[str]:
+    """The hard-error subset of :func:`check_agreement_detailed`.
+
+    Returns human-readable disagreement strings (empty = layers agree in
+    every direction that is sound).  Advisory findings -- ``CYCLIC`` with
+    all-complete expectations -- are reported separately by the detailed
+    variant and do not fail this gate.
+    """
+    return [
+        finding.message
+        for finding in check_agreement_detailed(verdicts, n=n, ks=ks)
+        if finding.severity == SEVERITY_ERROR
+    ]

@@ -26,13 +26,37 @@ SC005  Docstring coverage: every module and every class must carry a
        ``harness``), whose contracts -- measurement protocols, cache-key
        semantics -- live in prose the code alone cannot carry, plus the
        array-backend modules listed in ``DOCSTRING_MODULES``.
+SC006  No in-place mutation through array parameters: subscript stores,
+       augmented assigns, in-place ndarray methods, or ``ufunc.at`` on a
+       function parameter (or a basic-slice view of one).  The array
+       kernels receive views that alias engine state; mutating them breaks
+       the lockstep bit-identity contract.  Copy first.
+SC007  Order-sensitive reductions must pin stability: ``np.sort`` /
+       ``np.argsort`` without ``kind="stable"`` (or ``"mergesort"``), and
+       ``np.unique(..., return_index=True)``, whose tie order is
+       implementation-defined.  ``np.lexsort`` is always stable and bare
+       value-only ``np.unique`` returns a sorted set; both are exempt.
+SC008  No implicit dtypes in array construction: ``np.zeros`` / ``ones`` /
+       ``empty`` / ``full`` / ``arange`` / ``array`` without an explicit
+       ``dtype=``.  Platform-default integer widths silently change
+       occupancy arithmetic across OSes, breaking bit-identity.
+SC009  No silent engine fallback: a function calling
+       ``Simulator(..., engine=...)`` with anything but the literal
+       ``"reference"`` must read ``engine_name`` somewhere in the same
+       function -- the engine argument is a *hint* that can silently fall
+       back to the reference engine, and an unreported fallback turns a
+       20-60x array-engine run into a slow reference run no metric
+       records.
 ====== ======================================================================
 
 SC003 applies to all of ``src/repro``; SC001/SC002/SC004 to the simulation
 packages (``mesh``, ``routing``, ``tiling``, ``workloads``), where
 nondeterminism can reach packet scheduling; SC005 to the infrastructure
 packages (``perf``, ``harness``) and the ``DOCSTRING_MODULES`` list
-(array engine/state, engine-equivalence harness).  A finding can be waived in
+(array engine/state, transition models, engine-equivalence harness);
+SC006/SC007/SC008 to the numpy kernel modules in ``ARRAY_MODULES``; SC009
+to all of ``src/repro`` (dispatch sites live in the CLI, harness, and
+streaming layers, not just the kernels).  A finding can be waived in
 place with a ``# noqa: SC00x`` comment on the offending line; waivers with
 no rule list (bare ``# noqa``) waive every rule on that line.  Pre-existing
 findings live in the checked-in baseline (see ``baseline.py``) so CI fails
@@ -55,6 +79,10 @@ RULES: Dict[str, str] = {
     "SC003": "bare assert used for a runtime invariant",
     "SC004": "iteration over an unordered set",
     "SC005": "missing module or class docstring",
+    "SC006": "in-place mutation of an array parameter that may alias state",
+    "SC007": "order-sensitive reduction without a stable sort kind",
+    "SC008": "numpy array construction without an explicit dtype",
+    "SC009": "engine-hinted Simulator call without an engine_name readback",
 }
 
 #: Packages (under src/repro) where SC001/SC002/SC004 apply.
@@ -71,7 +99,26 @@ DOCSTRING_PACKAGES: Tuple[str, ...] = ("perf", "harness", "streaming", "analysis
 DOCSTRING_MODULES: Tuple[str, ...] = (
     "mesh/array_engine.py",
     "mesh/array_state.py",
+    "mesh/transitions.py",
     "verify/engine_equivalence.py",
+)
+
+#: The numpy kernel modules (repro-relative) where the array-hazard rules
+#: SC006/SC007/SC008 apply: the performance-critical surface whose aliasing,
+#: sort-stability, and dtype discipline the lockstep gate depends on.
+ARRAY_MODULES: Tuple[str, ...] = (
+    "mesh/array_engine.py",
+    "mesh/array_state.py",
+)
+
+#: numpy constructors whose dtype must be explicit (SC008).
+_DTYPE_CONSTRUCTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "array"}
+)
+
+#: ndarray methods that mutate their receiver in place (SC006).
+_INPLACE_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "resize", "setfield"}
 )
 
 #: Functions on the time module that read the wall clock.
@@ -90,6 +137,16 @@ _ORDER_INSENSITIVE = frozenset(
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<rules>[A-Z0-9,\s]+))?", re.IGNORECASE)
 
 
+def normalize_snippet(code: str) -> str:
+    """The whitespace-collapsed form of a source line used for fingerprints.
+
+    Collapsing runs of whitespace makes baseline entries survive pure
+    reformatting (re-indentation, alignment churn) that used to strand
+    them as stale.
+    """
+    return " ".join(code.split())
+
+
 @dataclass(frozen=True, order=True)
 class LintViolation:
     """One finding: a rule violated at a specific source location."""
@@ -103,8 +160,9 @@ class LintViolation:
 
     @property
     def fingerprint(self) -> Tuple[str, str, str]:
-        """Identity that survives line renumbering: (rule, path, code)."""
-        return (self.rule, self.path, self.code)
+        """Identity that survives line renumbering and reformatting:
+        (rule, path, normalized source snippet)."""
+        return (self.rule, self.path, normalize_snippet(self.code))
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -145,6 +203,9 @@ class _Checker(ast.NodeVisitor):
         self.rng_constructors: Set[str] = set()
         # Per-scope map of local names known to be set-valued.
         self.setish_stack: List[Dict[str, bool]] = [{}]
+        # Per-scope set of names aliasing a function parameter (SC006):
+        # the parameters themselves plus any basic-slice views of them.
+        self.alias_stack: List[Set[str]] = [set()]
 
     # -- helpers ------------------------------------------------------------
 
@@ -341,6 +402,7 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_call(node)
+        self._check_array_call(node)
         func = node.func
         if (
             isinstance(func, ast.Name)
@@ -352,13 +414,194 @@ class _Checker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- SC006 / SC007 / SC008: array-kernel hazards -------------------------
+
+    def _aliases(self) -> Set[str]:
+        return self.alias_stack[-1]
+
+    @staticmethod
+    def _base_name(expr: ast.expr) -> str | None:
+        """The root name of a (possibly nested) subscript expression."""
+        while isinstance(expr, ast.Subscript):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else None
+
+    @staticmethod
+    def _contains_slice(index: ast.expr) -> bool:
+        if isinstance(index, ast.Slice):
+            return True
+        if isinstance(index, ast.Tuple):
+            return any(isinstance(element, ast.Slice) for element in index.elts)
+        return False
+
+    def _is_param_view(self, expr: ast.expr) -> bool:
+        """True for a parameter name or a basic-slice view of one.
+
+        Basic slicing (``p[1:]``, ``p[:, 0:2]``) returns a view that
+        aliases the parameter; advanced (fancy/boolean) indexing and
+        scalar indexing return copies or scalars, which break the alias.
+        """
+        if isinstance(expr, ast.Name):
+            return expr.id in self._aliases()
+        if isinstance(expr, ast.Subscript) and self._is_param_view(expr.value):
+            return self._contains_slice(expr.slice)
+        return False
+
+    def _has_stable_kind(self, node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "kind" and isinstance(kw.value, ast.Constant):
+                return kw.value.value in ("stable", "mergesort")
+        return False
+
+    def _check_array_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in self.numpy_modules:
+            if func.attr in ("sort", "argsort"):
+                if not self._has_stable_kind(node):
+                    self._emit(
+                        node,
+                        "SC007",
+                        f"np.{func.attr}() without kind=\"stable\": tie order "
+                        "is implementation-defined (np.lexsort is exempt)",
+                    )
+            elif func.attr == "unique":
+                if any(
+                    kw.arg == "return_index"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in node.keywords
+                ):
+                    self._emit(
+                        node,
+                        "SC007",
+                        "np.unique(return_index=True): first-occurrence "
+                        "indices depend on sort stability",
+                    )
+            elif func.attr in _DTYPE_CONSTRUCTORS:
+                if not any(kw.arg == "dtype" for kw in node.keywords):
+                    self._emit(
+                        node,
+                        "SC008",
+                        f"np.{func.attr}() without an explicit dtype: the "
+                        "platform default breaks bit-identity",
+                    )
+            return
+        if func.attr == "argsort" and not self._has_stable_kind(node):
+            self._emit(
+                node,
+                "SC007",
+                ".argsort() without kind=\"stable\": tie order is "
+                "implementation-defined",
+            )
+            return
+        if func.attr == "at" and node.args:
+            target = self._base_name(node.args[0])
+            if target is not None and target in self._aliases():
+                self._emit(
+                    node,
+                    "SC006",
+                    f"ufunc .at() scatters into parameter {target!r} in "
+                    "place, mutating caller state; copy first",
+                )
+            return
+        if (
+            func.attr in _INPLACE_METHODS
+            and isinstance(base, ast.Name)
+            and base.id in self._aliases()
+        ):
+            self._emit(
+                node,
+                "SC006",
+                f".{func.attr}() mutates parameter {base.id!r} in place, "
+                "mutating caller state; copy first",
+            )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        offender: str | None = None
+        if isinstance(target, ast.Name) and target.id in self._aliases():
+            offender = target.id
+        elif isinstance(target, ast.Subscript):
+            candidate = self._base_name(target)
+            if candidate is not None and candidate in self._aliases():
+                offender = candidate
+        if offender is not None:
+            self._emit(
+                node,
+                "SC006",
+                f"augmented assignment mutates parameter {offender!r} in "
+                "place, mutating caller state; copy first",
+            )
+        self.generic_visit(node)
+
+    # -- SC009: silent engine fallback ---------------------------------------
+
+    def _check_sc009(self, node: ast.AST) -> None:
+        """Flag Simulator(engine=...) calls in functions that never read
+        ``engine_name`` (nested functions are checked on their own)."""
+        if "SC009" not in self.rules:
+            return
+        offending: List[ast.Call] = []
+        reads_engine_name = False
+        stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(current, ast.Attribute) and current.attr == "engine_name":
+                reads_engine_name = True
+            if isinstance(current, ast.Call):
+                func = current.func
+                callee = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else ""
+                )
+                if callee == "Simulator":
+                    for kw in current.keywords:
+                        if kw.arg != "engine":
+                            continue
+                        explicit_reference = (
+                            isinstance(kw.value, ast.Constant)
+                            and kw.value.value == "reference"
+                        )
+                        if not explicit_reference:
+                            offending.append(current)
+            stack.extend(ast.iter_child_nodes(current))
+        if reads_engine_name:
+            return
+        for call in offending:
+            self._emit(
+                call,
+                "SC009",
+                "Simulator(engine=...) may silently fall back to the "
+                "reference engine; read engine_name and report it",
+            )
+
     # -- name binding tracking ----------------------------------------------
 
     def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                mutated = self._base_name(target)
+                if mutated is not None and mutated in self._aliases():
+                    self._emit(
+                        node,
+                        "SC006",
+                        f"subscript store into parameter {mutated!r} "
+                        "mutates caller state; copy first",
+                    )
         setish = self._is_setish(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 self._scope()[target.id] = setish
+                if self._is_param_view(node.value):
+                    self._aliases().add(target.id)
+                else:
+                    self._aliases().discard(target.id)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -370,9 +613,23 @@ class _Checker(ast.NodeVisitor):
             self._scope()[node.target.id] = setish
         self.generic_visit(node)
 
+    @staticmethod
+    def _parameter_names(node: ast.AST) -> Set[str]:
+        args = getattr(node, "args", None)
+        if not isinstance(args, ast.arguments):
+            return set()
+        names = {
+            a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        }
+        return names - {"self", "cls"}
+
     def _visit_scope(self, node: ast.AST) -> None:
         self.setish_stack.append({})
+        self.alias_stack.append(self._parameter_names(node))
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_sc009(node)
         self.generic_visit(node)
+        self.alias_stack.pop()
         self.setish_stack.pop()
 
     visit_FunctionDef = _visit_scope
@@ -417,22 +674,30 @@ def lint_source(
 
 
 def rules_for_path(relative: str) -> Tuple[str, ...]:
-    """The rule set that applies to a repo-relative source path."""
+    """The rule set that applies to a repo-relative source path.
+
+    SC003 and SC009 apply everywhere under ``src/repro``; the determinism
+    rules to the simulation packages; SC005 to the infrastructure packages
+    and ``DOCSTRING_MODULES``; the array-hazard rules SC006-SC008 to the
+    numpy kernels in ``ARRAY_MODULES``.
+    """
     parts = Path(relative).parts
+    rules: List[str] = ["SC003"]
     if "repro" in parts:
         idx = parts.index("repro")
         inside = "/".join(parts[idx + 1:])
         if len(parts) > idx + 1:
             package = parts[idx + 1]
             if package in SCOPED_PACKAGES:
-                if inside in DOCSTRING_MODULES:
-                    return ("SC001", "SC002", "SC003", "SC004", "SC005")
-                return ("SC001", "SC002", "SC003", "SC004")
-            if package in DOCSTRING_PACKAGES:
-                return ("SC003", "SC005")
-        if inside in DOCSTRING_MODULES:
-            return ("SC003", "SC005")
-    return ("SC003",)
+                rules = ["SC001", "SC002", "SC003", "SC004"]
+            elif package in DOCSTRING_PACKAGES:
+                rules = ["SC003", "SC005"]
+        if inside in DOCSTRING_MODULES and "SC005" not in rules:
+            rules.append("SC005")
+        if inside in ARRAY_MODULES:
+            rules.extend(("SC006", "SC007", "SC008"))
+    rules.append("SC009")
+    return tuple(rules)
 
 
 def run_lint(root: Path | str) -> List[LintViolation]:

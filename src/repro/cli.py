@@ -12,8 +12,8 @@ Subcommands:
   (``campaign run|status|show``, see docs/HARNESS.md)
 - ``bench``       -- tracked step-throughput benchmark with regression
   check against BENCH_step_throughput.json (see docs/PERFORMANCE.md)
-- ``analyze``     -- static deadlock & determinism analysis
-  (``analyze cdg|lint|all``, see docs/ANALYSIS.md)
+- ``analyze``     -- static deadlock, queue-bound & determinism analysis
+  (``analyze cdg|bounds|lint|all``, see docs/ANALYSIS.md)
 - ``faults``      -- fault-injection availability sweep with degradation
   metrics and overflow detection (see docs/FAULTS.md)
 - ``stream``      -- open-loop saturation sweep: injection-rate ladder per
@@ -620,8 +620,11 @@ def _repo_root(args: argparse.Namespace) -> "object":
 
 
 def _analyze_cdg(args: argparse.Namespace) -> int:
-    from repro.analysis.static_check import analyze_registry, check_agreement
-    from repro.analysis.static_check.cdg import CYCLIC, TOPOLOGIES
+    from repro.analysis.static_check import (
+        analyze_registry,
+        check_agreement_detailed,
+    )
+    from repro.analysis.static_check.cdg import CYCLIC, SEVERITY_ERROR, TOPOLOGIES
 
     topologies = tuple(args.topologies) if args.topologies else TOPOLOGIES
     try:
@@ -644,13 +647,53 @@ def _analyze_cdg(args: argparse.Namespace) -> int:
             if v.verdict == CYCLIC:
                 line += "  witness: " + " -> ".join(str(c) for c in v.witness)
             print(line)
-    findings = check_agreement(verdicts)
+    detailed = check_agreement_detailed(verdicts)
+    findings = [f.message for f in detailed if f.severity == SEVERITY_ERROR]
     for finding in findings:
         print(f"DISAGREEMENT: {finding}")
+    for advisory in (f for f in detailed if f.severity != SEVERITY_ERROR):
+        print(f"ADVISORY: {advisory.message}")
     verdict = "PASS" if not findings else "FAIL"
     print(
         f"analyze cdg {verdict}: {len(verdicts)} verdicts, "
         f"{len(findings)} disagreement(s) with the runtime expectation table"
+    )
+    return 0 if not findings else 1
+
+
+def _analyze_bounds(args: argparse.Namespace) -> int:
+    from repro.analysis.static_check import certify_registry, check_bounds_agreement
+    from repro.analysis.static_check.bounds import UNBOUNDED
+    from repro.analysis.static_check.cdg import TOPOLOGIES
+
+    topologies = tuple(args.topologies) if args.topologies else TOPOLOGIES
+    try:
+        verdicts = certify_registry(
+            ns=tuple(args.n), ks=tuple(args.k),
+            topologies=topologies, routers=args.routers or None,
+        )
+    except ValueError as exc:
+        raise _usage_error(str(exc))
+    if args.json:
+        import json
+
+        print(json.dumps([v.to_dict() for v in verdicts], indent=2))
+    else:
+        for v in verdicts:
+            line = (
+                f"{v.router:<22} {v.topology:<5} n={v.n:<3} k={v.k} "
+                f"{v.describe():<26} channels={v.channels}"
+            )
+            if v.verdict == UNBOUNDED:
+                line += "  witness: " + " ; ".join(str(s) for s in v.witness)
+            print(line)
+    findings = check_bounds_agreement(verdicts, n=min(args.n), ks=tuple(args.k))
+    for finding in findings:
+        print(f"DISAGREEMENT: {finding}")
+    verdict = "PASS" if not findings else "FAIL"
+    print(
+        f"analyze bounds {verdict}: {len(verdicts)} verdicts, "
+        f"{len(findings)} disagreement(s) with the runtime QueueBoundOracle"
     )
     return 0 if not findings else 1
 
@@ -685,12 +728,14 @@ def _analyze_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.engine != "lint" and args.update_baseline:
+        raise _usage_error("--update-baseline only applies to 'analyze lint'")
     rc = 0
     if args.engine in ("cdg", "all"):
         rc = max(rc, _analyze_cdg(args))
+    if args.engine in ("bounds", "all"):
+        rc = max(rc, _analyze_bounds(args))
     if args.engine in ("lint", "all"):
-        if args.engine == "all" and args.update_baseline:
-            raise _usage_error("--update-baseline only applies to 'analyze lint'")
         rc = max(rc, _analyze_lint(args))
     return rc
 
@@ -936,13 +981,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="static deadlock (CDG) & determinism (lint) analysis",
+        help="static deadlock (CDG), queue-bound (bounds) & lint analysis",
     )
     p.add_argument(
         "engine",
-        choices=["cdg", "lint", "all"],
+        choices=["cdg", "bounds", "lint", "all"],
         help="cdg: channel-dependency-graph deadlock verdicts; "
-        "lint: AST reproducibility lint; all: both",
+        "bounds: static queue-bound certifier vs the runtime oracle; "
+        "lint: AST reproducibility lint; all: every engine",
     )
     p.add_argument("--n", type=int, nargs="+", default=[4], help="side lengths")
     p.add_argument(

@@ -217,10 +217,11 @@ def _run_verify(spec: TrialSpec) -> dict[str, Any]:
 def _run_analyze(spec: TrialSpec) -> dict[str, Any]:
     """One static-analysis cell (see repro.analysis.static_check).
 
-    ``workload`` names the engine (``cdg``, ``lint`` or ``all``) and
-    ``algorithm`` may pin the CDG sweep to one registered router.  Like
-    ``verify`` trials, a cell with findings *fails* (raises) so campaign
-    telemetry surfaces static regressions like crashed trials.
+    ``workload`` names the engine (``cdg``, ``bounds``, ``lint`` or
+    ``all``) and ``algorithm`` may pin the CDG/bounds sweep to one
+    registered router.  Like ``verify`` trials, a cell with findings
+    *fails* (raises) so campaign telemetry surfaces static regressions
+    like crashed trials.
     """
     from repro.analysis.static_check import (
         analyze_registry,
@@ -243,6 +244,10 @@ def _run_analyze(spec: TrialSpec) -> dict[str, Any]:
             v.verdict == "DEADLOCK_FREE" for v in verdicts
         )
         findings.extend(check_agreement(verdicts))
+    if spec.workload in ("bounds", "all"):
+        bounds_metrics, bounds_findings = _bounds_cell(spec)
+        metrics.update(bounds_metrics)
+        findings.extend(bounds_findings)
     if spec.workload in ("lint", "all"):
         import pathlib
 
@@ -256,6 +261,43 @@ def _run_analyze(spec: TrialSpec) -> dict[str, Any]:
         raise AssertionError(
             f"analyze {spec.workload} n={spec.n} k={spec.k}: "
             + "; ".join(findings)
+        )
+    return metrics
+
+
+def _bounds_cell(spec: TrialSpec) -> tuple[dict[str, Any], list[str]]:
+    """Shared body of ``bounds`` trials and ``analyze`` bounds cells."""
+    from repro.analysis.static_check import (
+        certify_registry,
+        check_bounds_agreement,
+    )
+
+    verdicts = certify_registry(
+        ns=(spec.n,),
+        ks=(spec.k,),
+        routers=(spec.algorithm,) if spec.algorithm else None,
+    )
+    metrics = {
+        "bounds_verdicts": len(verdicts),
+        "bounded": sum(v.verdict == "BOUNDED" for v in verdicts),
+        "unbounded": sum(v.verdict == "UNBOUNDED" for v in verdicts),
+    }
+    findings = check_bounds_agreement(verdicts, n=spec.n, ks=(spec.k,))
+    return metrics, findings
+
+
+def _run_bounds(spec: TrialSpec) -> dict[str, Any]:
+    """One queue-bound certification cell (repro.analysis.static_check.bounds).
+
+    Certifies every registered router (or the one pinned by
+    ``algorithm``) at the cell's ``(n, k)`` and cross-checks the verdicts
+    against the runtime ``QueueBoundOracle``; a disagreement raises, like
+    a failed ``verify`` trial.
+    """
+    metrics, findings = _bounds_cell(spec)
+    if findings:
+        raise AssertionError(
+            f"bounds n={spec.n} k={spec.k}: " + "; ".join(findings)
         )
     return metrics
 
@@ -407,6 +449,7 @@ _RUNNERS = {
     "sort_route": _run_sort_route,
     "verify": _run_verify,
     "analyze": _run_analyze,
+    "bounds": _run_bounds,
     "bench": _run_bench,
     "faults": _run_faults,
     "streaming": _run_streaming,

@@ -26,6 +26,7 @@ TRIAL_KINDS = (
     "sort_route",
     "verify",
     "analyze",
+    "bounds",
     "bench",
     "faults",
     "streaming",
@@ -74,7 +75,7 @@ VERIFY_FAMILIES = ("permutation", "hh", "torus", "dynamic")
 ENGINES = ("reference", "array")
 
 #: Engines an ``analyze`` trial may run (see repro.analysis.static_check).
-ANALYZE_ENGINES = ("cdg", "lint", "all")
+ANALYZE_ENGINES = ("cdg", "bounds", "lint", "all")
 
 
 @dataclass(frozen=True)
@@ -174,6 +175,12 @@ class TrialSpec:
             if self.algorithm and self.algorithm not in ROUTE_ALGORITHMS:
                 raise ValueError(
                     f"unknown analyze router {self.algorithm!r}; "
+                    f"expected one of {ROUTE_ALGORITHMS} (or empty for all)"
+                )
+        if self.kind == "bounds":
+            if self.algorithm and self.algorithm not in ROUTE_ALGORITHMS:
+                raise ValueError(
+                    f"unknown bounds router {self.algorithm!r}; "
                     f"expected one of {ROUTE_ALGORITHMS} (or empty for all)"
                 )
         if self.kind == "faults":

@@ -76,7 +76,9 @@ class GridGeometry:
                 valid = (nx >= 0) & (nx < width) & (ny >= 0) & (ny < height)
                 nbr[valid, d] = nx[valid] * height + ny[valid]
         self.nbr_flat = nbr
-        self.out_mask = ((nbr >= 0).astype(np.int64) << np.arange(4)).sum(axis=1)
+        self.out_mask = (
+            (nbr >= 0).astype(np.int64) << np.arange(4, dtype=np.int64)
+        ).sum(axis=1)
 
 
 class ArrayState:

@@ -231,18 +231,21 @@ class RoutingAlgorithm(abc.ABC):
     ) -> "TransitionModel | None":
         """The symbolic queue-transition model this algorithm can exhibit.
 
-        Used by the static channel-dependency-graph analyzer
-        (:mod:`repro.analysis.static_check`): the returned
-        :class:`~repro.mesh.transitions.TransitionModel` overapproximates
-        every turn the outqueue policy can schedule and marks which queues
-        the inqueue policy may refuse.  The default derives the turn set
-        from the :class:`RoutingContract` (dimension order > minimal >
-        unrestricted) and conservatively marks *every* queue as blockable.
+        Used by the static analyzers (:mod:`repro.analysis.static_check`):
+        the returned :class:`~repro.mesh.transitions.TransitionModel`
+        overapproximates every turn the outqueue policy can schedule, marks
+        which queues the inqueue policy may refuse, and declares any
+        per-step drain guarantees the scheduling discipline proves.  The
+        default derives the turn set from the :class:`RoutingContract`
+        (dimension order > minimal > unrestricted), conservatively marks
+        *every* queue as blockable, and claims no drain guarantees.
 
         Routers with provably always-accepting queues (Theorem 15's N/S
         queues, bufferless deflection) override this to shrink
-        ``blocking_keys``.  Return None when no sound static model exists
-        for the algorithm; the analyzer then reports ``UNKNOWN``.
+        ``blocking_keys`` and declare ``drain_keys`` / ``drain_all_keys``
+        so the queue-bound certifier can bound their occupancy.  Return
+        None when no sound static model exists for the algorithm; the
+        analyzers then report ``UNKNOWN``.
         """
         from repro.mesh.transitions import model_from_contract
 

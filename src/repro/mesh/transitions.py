@@ -39,10 +39,19 @@ QueueKey = Direction | str
 #: ``(travel_in, travel_out)``; ``travel_in`` None means freshly injected.
 Turn = tuple[Direction | None, Direction]
 
+#: Drain-guarantee strengths a model may declare for always-accepting
+#: queues (consumed by the static queue-bound certifier,
+#: :mod:`repro.analysis.static_check.bounds`):
+#: ``DRAIN_ONE`` -- at least one occupant departs every step the queue is
+#: nonempty (Theorem 15's N/S invariant); ``DRAIN_ALL`` -- every occupant
+#: departs every step (bufferless deflection).
+DRAIN_ONE = "one"
+DRAIN_ALL = "all"
+
 
 @dataclass(frozen=True)
 class TransitionModel:
-    """Everything the CDG analyzer needs to know about one router.
+    """Everything the static analyzers need to know about one router.
 
     Attributes:
         queue_kind: ``"central"`` or ``"incoming"`` (mirrors the
@@ -51,13 +60,49 @@ class TransitionModel:
             policy can ever produce, over all destinations and states.
         blocking_keys: Queue keys whose inqueue policy may *refuse* an
             offer.  Only these queues can participate in a deadlock cycle.
+        drain_keys: Always-accepting queue keys guaranteed to transmit at
+            least one occupant every step they are nonempty
+            (:data:`DRAIN_ONE`).  This is how the Theorem 15 proof
+            invariant -- a nonempty N/S queue ejects every step -- reaches
+            the queue-bound certifier: without a drain guarantee an
+            always-accepting queue has no static occupancy bound at all.
+        drain_all_keys: Always-accepting queue keys whose *every* occupant
+            departs each step (:data:`DRAIN_ALL`, bufferless deflection).
         note: Free-text provenance (which argument produced the model).
+
+    Drain guarantees are claims the certifier re-validates structurally
+    (every onward target of a draining queue must itself always accept);
+    declaring a drain guarantee on a blockable key is contradictory and
+    rejected at construction.
     """
 
     queue_kind: str
     turns: frozenset[tuple[Direction | None, Direction]]
     blocking_keys: frozenset[object]
     note: str = ""
+    drain_keys: frozenset[object] = frozenset()
+    drain_all_keys: frozenset[object] = frozenset()
+
+    def __post_init__(self) -> None:
+        claimed = self.drain_keys | self.drain_all_keys
+        contradictory = claimed & self.blocking_keys
+        if contradictory:
+            raise ValueError(
+                "a queue cannot both refuse offers and guarantee a drain: "
+                f"{sorted(str(key) for key in contradictory)}"
+            )
+        if self.drain_keys & self.drain_all_keys:
+            raise ValueError(
+                "a key cannot carry both DRAIN_ONE and DRAIN_ALL guarantees"
+            )
+
+    def drain_for(self, key: object) -> str | None:
+        """The declared drain guarantee for ``key`` (None = no guarantee)."""
+        if key in self.drain_all_keys:
+            return DRAIN_ALL
+        if key in self.drain_keys:
+            return DRAIN_ONE
+        return None
 
     def outs_for(self, travel_in: Direction | None) -> tuple[Direction, ...]:
         """Travel directions a packet that arrived travelling ``travel_in``
@@ -116,6 +161,8 @@ def model_from_contract(
     dimension_ordered: bool,
     blocking_keys: "frozenset[object] | None" = None,
     note: str = "",
+    drain_keys: "frozenset[object]" = frozenset(),
+    drain_all_keys: "frozenset[object]" = frozenset(),
 ) -> TransitionModel:
     """The symbolic transition model implied by a router's contract.
 
@@ -123,7 +170,10 @@ def model_from_contract(
     advertises (dimension order > minimal > unrestricted); ``blocking_keys``
     defaults to *every* queue of the regime -- the conservative choice --
     and routers whose inqueue policies provably always accept on some
-    queues override it.
+    queues override it.  Drain guarantees default to none (again the
+    conservative choice); routers whose scheduling discipline proves a
+    per-step ejection invariant declare it via ``drain_keys`` /
+    ``drain_all_keys`` (see :class:`TransitionModel`).
     """
     if dimension_ordered:
         turns = _dimension_order_turns()
@@ -146,4 +196,6 @@ def model_from_contract(
         turns=turns,
         blocking_keys=blocking_keys,
         note=note or f"{discipline} turns, {queue_kind} queues",
+        drain_keys=drain_keys,
+        drain_all_keys=drain_all_keys,
     )

@@ -73,6 +73,9 @@ class BoundedDimensionOrderRouter(RoutingAlgorithm):
         # The Theorem 15 proof invariant, handed to the static analyzer: a
         # nonempty N/S queue ejects every step, so those queues always
         # accept and can never be waited on.  Only E/W queues may refuse.
+        # The ejection half of the invariant (a nonempty N/S queue transmits
+        # one packet every step) is what lets the queue-bound certifier put
+        # a static capacity bound on the always-accepting queues.
         from repro.mesh.transitions import model_from_contract
 
         return model_from_contract(
@@ -81,6 +84,7 @@ class BoundedDimensionOrderRouter(RoutingAlgorithm):
             dimension_ordered=self.dimension_ordered,
             blocking_keys=frozenset({Direction.E, Direction.W}),
             note=f"{self.name}: Theorem 15 N/S queues always accept",
+            drain_keys=frozenset({Direction.N, Direction.S}),
         )
 
     # The scheduling policy needs nothing from the context beyond the per-

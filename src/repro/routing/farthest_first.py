@@ -79,6 +79,7 @@ class FarthestFirstRouter(RoutingAlgorithm):
                 dimension_ordered=self.dimension_ordered,
                 blocking_keys=frozenset({Direction.E, Direction.W}),
                 note=f"{self.name}: Theorem 15 N/S queues always accept",
+                drain_keys=frozenset({Direction.N, Direction.S}),
             )
         return model_from_contract(
             queue_kind=self.queue_spec.kind,

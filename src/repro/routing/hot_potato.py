@@ -56,6 +56,9 @@ class HotPotatoRouter(RoutingAlgorithm):
         # Bufferless deflection never refuses an offer (sends equal
         # receives), so no queue is blockable and the wait-for graph is
         # empty: statically deadlock-free, whatever turns packets take.
+        # Every occupant departs every step (deflected if necessary), which
+        # is the strongest drain guarantee the bound certifier knows.
+        from repro.mesh.queues import CENTRAL
         from repro.mesh.transitions import model_from_contract
 
         return model_from_contract(
@@ -64,6 +67,7 @@ class HotPotatoRouter(RoutingAlgorithm):
             dimension_ordered=self.dimension_ordered,
             blocking_keys=frozenset(),
             note=f"{self.name}: bufferless, inqueue always accepts",
+            drain_all_keys=frozenset({CENTRAL}),
         )
 
     def outqueue(self, ctx: NodeContext) -> Mapping[Direction, PacketView]:

@@ -74,10 +74,16 @@ class StreamingReport:
             for :data:`STALL_STEPS` consecutive steps with packets still
             in flight) -- the overload exchange-deadlock of central-queue
             routers, reported as data rather than an error.
+        engine: The step engine that *actually* ran
+            (:attr:`Simulator.engine_name`) -- the requested engine is a
+            hint that can silently fall back to the reference engine, and
+            throughput metrics are meaningless without knowing which one
+            produced them.
     """
 
     result: RunResult
     violations: list[Violation]
+    engine: str
     offered: int
     admitted: int
     rejected: int
@@ -117,6 +123,7 @@ class StreamingReport:
         """Flat, JSON-serializable, deterministic metrics row."""
         counts = violation_counts(self.violations)
         return {
+            "engine": self.engine,
             "steps": self.result.steps,
             "offered_packets": self.offered,
             "admitted_packets": self.admitted,
@@ -274,6 +281,7 @@ def run_streaming(
     return StreamingReport(
         result=sim.result(),
         violations=list(checker.violations),
+        engine=sim.engine_name,
         offered=offered,
         admitted=admitted,
         rejected=rejected,

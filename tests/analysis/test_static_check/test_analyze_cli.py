@@ -23,11 +23,35 @@ class TestAnalyzeCli:
         assert rc == 0
         assert "analyze lint PASS" in capsys.readouterr().out
 
-    def test_all_runs_both_engines(self, capsys):
+    def test_bounds_certifies_the_registry(self, capsys):
+        rc = main(["analyze", "bounds", "--n", "4", "--k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BOUNDED(b=2)" in out  # bounded-dor / farthest-first at k=2
+        assert "UNBOUNDED[wedged-backlog]" in out
+        assert "witness" in out
+        assert "0 disagreement(s) with the runtime QueueBoundOracle" in out
+        assert "analyze bounds PASS" in out
+
+    def test_bounds_json_carries_the_witness_chain(self, capsys):
+        rc = main(
+            ["analyze", "bounds", "--json", "--n", "4", "--k", "2",
+             "--routers", "dor", "--topologies", "mesh"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.rindex("]") + 1])
+        assert payload[0]["verdict"] == "UNBOUNDED"
+        assert payload[0]["reason"] == "wedged-backlog"
+        assert len(payload[0]["witness"]) == 2  # the head-on exchange
+
+    def test_all_runs_every_engine(self, capsys):
         rc = main(["analyze", "all", "--n", "4", "--k", "1"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "analyze cdg PASS" in out and "analyze lint PASS" in out
+        assert "analyze cdg PASS" in out
+        assert "analyze bounds PASS" in out
+        assert "analyze lint PASS" in out
 
     def test_json_output_is_parseable(self, capsys):
         rc = main(
@@ -93,4 +117,29 @@ class TestAnalyzeTrialKind:
     def test_bad_router_rejected_by_validate(self):
         spec = TrialSpec(kind="analyze", workload="cdg", n=4, algorithm="psychic")
         with pytest.raises(ValueError, match="unknown analyze router"):
+            spec.validate()
+
+
+class TestBoundsTrialKind:
+    def test_bounds_trial_executes(self):
+        spec = TrialSpec(kind="bounds", n=4, k=2)
+        metrics = execute_trial(spec)
+        assert metrics["bounds_verdicts"] == 16  # 8 routers x 2 topologies
+        assert metrics["bounded"] + metrics["unbounded"] == 16
+        assert metrics["bounded"] == 4  # bounded-dor, ff (mesh) + hot-potato x2
+
+    def test_router_pin(self):
+        spec = TrialSpec(kind="bounds", n=4, k=1, algorithm="hot-potato")
+        metrics = execute_trial(spec)
+        assert metrics["bounds_verdicts"] == 2
+        assert metrics["bounded"] == 2
+
+    def test_analyze_workload_bounds_runs_the_certifier(self):
+        spec = TrialSpec(kind="analyze", workload="bounds", n=4, k=2)
+        metrics = execute_trial(spec)
+        assert metrics["bounds_verdicts"] == 16
+
+    def test_bad_router_rejected_by_validate(self):
+        spec = TrialSpec(kind="bounds", n=4, algorithm="psychic")
+        with pytest.raises(ValueError, match="unknown bounds router"):
             spec.validate()

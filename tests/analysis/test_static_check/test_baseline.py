@@ -38,6 +38,49 @@ class TestRoundTrip:
         # the starting sweep's findings were fixed, not baselined).
         assert load_baseline(baseline_path()) == {}
 
+    def test_saved_entries_use_the_snippet_key(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline([violation(code="for  x   in s:")], target)
+        payload = json.loads(target.read_text())
+        assert payload["version"] == 2
+        (entry,) = payload["entries"]
+        assert entry["snippet"] == "for x in s:"  # normalized on save
+        assert "code" not in entry
+
+    def test_version_one_files_migrate_transparently(self, tmp_path):
+        # v1 stored the verbatim line under "code"; loading must rekey it
+        # to the normalized snippet so old checkouts keep suppressing.
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "SC004",
+                            "path": "src/repro/mesh/x.py",
+                            "code": "for  x   in s:",
+                            "count": 1,
+                        }
+                    ],
+                }
+            )
+        )
+        counts = load_baseline(target)
+        assert counts[("SC004", "src/repro/mesh/x.py", "for x in s:")] == 1
+        new, fixed = diff_against_baseline([violation()], target)
+        assert new == [] and fixed == []
+
+    def test_reformatted_line_keeps_its_fingerprint(self, tmp_path):
+        # The whole point of the rekeying: pure whitespace churn on the
+        # offending line must not strand the baseline entry.
+        target = tmp_path / "baseline.json"
+        save_baseline([violation(code="for x in s:")], target)
+        new, fixed = diff_against_baseline(
+            [violation(line=42, code="for   x in    s:")], target
+        )
+        assert new == [] and fixed == []
+
 
 class TestDiff:
     def test_new_violation_reported(self, tmp_path):

@@ -1,0 +1,311 @@
+"""Golden queue-bound verdicts, witness chains, and the oracle cross-check."""
+
+import json
+
+import pytest
+
+from repro.analysis.static_check import (
+    BOUNDED,
+    UNBOUNDED,
+    BoundsVerdict,
+    certify_algorithm,
+    certify_registry,
+    certify_router,
+    check_bounds_agreement,
+    compute_channel_bounds,
+    validate_drain_claims,
+)
+from repro.analysis.static_check.bounds import (
+    CLOSED_LOOP,
+    OPEN_LOOP,
+    REASON_OVERFLOW,
+    REASON_WEDGE,
+    certify_model,
+)
+from repro.analysis.static_check.cdg import UNKNOWN, make_topology
+from repro.mesh.directions import Direction
+from repro.mesh.queues import CENTRAL, QueueSpec
+from repro.mesh.topology import Mesh
+from repro.mesh.transitions import model_from_contract
+from repro.verify.differential import REGISTRY
+
+E, W, N, S = Direction.E, Direction.W, Direction.N, Direction.S
+
+#: The golden table, independent of n; ``"k"`` means the bound tracks the
+#: cell's k, a number is an absolute bound (hot-potato's central capacity).
+GOLDEN = {
+    ("dor", "mesh"): (UNBOUNDED, REASON_WEDGE, None),
+    ("dor", "torus"): (UNBOUNDED, REASON_WEDGE, None),
+    ("bounded-dor", "mesh"): (BOUNDED, "", "k"),
+    ("bounded-dor", "torus"): (UNBOUNDED, REASON_WEDGE, None),
+    ("farthest-first", "mesh"): (BOUNDED, "", "k"),
+    ("farthest-first", "torus"): (UNBOUNDED, REASON_WEDGE, None),
+    ("greedy-adaptive", "mesh"): (UNBOUNDED, REASON_WEDGE, None),
+    ("greedy-adaptive", "torus"): (UNBOUNDED, REASON_WEDGE, None),
+    ("alternating-adaptive", "mesh"): (UNBOUNDED, REASON_WEDGE, None),
+    ("alternating-adaptive", "torus"): (UNBOUNDED, REASON_WEDGE, None),
+    ("randomized-adaptive", "mesh"): (UNBOUNDED, REASON_WEDGE, None),
+    ("randomized-adaptive", "torus"): (UNBOUNDED, REASON_WEDGE, None),
+    ("bounded-excursion", "mesh"): (UNBOUNDED, REASON_WEDGE, None),
+    ("bounded-excursion", "torus"): (UNBOUNDED, REASON_WEDGE, None),
+    ("hot-potato", "mesh"): (BOUNDED, "", 4),
+    ("hot-potato", "torus"): (BOUNDED, "", 4),
+}
+
+
+class TestGoldenVerdicts:
+    @pytest.mark.parametrize("router", sorted(REGISTRY))
+    @pytest.mark.parametrize("topology", ["mesh", "torus"])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_verdict_matches_golden_table(self, router, topology, k):
+        verdict = certify_router(router, topology, 4, k)
+        kind, reason, bound = GOLDEN[(router, topology)]
+        assert verdict.verdict == kind, (
+            f"{router}/{topology} k={k}: got {verdict.describe()}"
+        )
+        assert verdict.reason == reason
+        if bound == "k":
+            assert verdict.bound == k
+        elif bound is not None:
+            assert verdict.bound == bound
+
+    def test_registry_table_is_exhaustive(self):
+        assert {r for r, _ in GOLDEN} == set(REGISTRY)
+
+    def test_no_registered_router_is_unknown(self):
+        # Every registered router exposes a transition model on both
+        # topologies, so the certifier always reaches a real verdict.
+        for verdict in certify_registry(ns=(4,), ks=(2,)):
+            assert verdict.verdict != UNKNOWN, verdict
+
+    def test_unbounded_verdicts_carry_a_witness(self):
+        for verdict in certify_registry(ns=(4,), ks=(2,)):
+            if verdict.verdict == UNBOUNDED:
+                assert len(verdict.witness) >= 1, verdict
+            else:
+                assert verdict.witness == ()
+
+    def test_verdict_stable_across_n(self):
+        for router in sorted(REGISTRY):
+            kinds = {
+                certify_router(router, "mesh", n, 2).verdict for n in (4, 8)
+            }
+            assert len(kinds) == 1, f"{router}: {kinds}"
+
+
+class TestWitnessChains:
+    def test_dor_mesh_witness_is_the_head_on_exchange(self):
+        """The PR 6 streaming wedge: two adjacent central queues head-on."""
+        verdict = certify_router("dor", "mesh", 4, 2)
+        assert verdict.reason == REASON_WEDGE
+        assert len(verdict.witness) == 2
+        a, b = verdict.witness
+        assert a.source.key == CENTRAL and a.target.key == CENTRAL
+        assert a.target == b.source and b.target == a.source
+        ax, ay = a.source.node
+        bx, by = a.target.node
+        assert abs(ax - bx) + abs(ay - by) == 1
+
+    def test_witness_steps_chain(self):
+        for verdict in certify_registry(ns=(4,), ks=(2,)):
+            steps = verdict.witness
+            for i, step in enumerate(steps):
+                assert step.target == steps[(i + 1) % len(steps)].source
+
+    def test_witness_turns_are_legal(self):
+        for router in ("greedy-adaptive", "bounded-excursion"):
+            entry = REGISTRY[router]
+            topology = make_topology("mesh", 4)
+            model = entry.factory(2, 0).enumerate_transitions(topology, 2)
+            verdict = certify_router(router, "mesh", 4, 2)
+            for step in verdict.witness:
+                assert (step.travel_in, step.travel_out) in model.turns
+                assert (
+                    topology.neighbor(step.source.node, step.travel_out)
+                    == step.target.node
+                )
+
+    def test_step_renders_with_travel_labels(self):
+        verdict = certify_router("dor", "mesh", 4, 2)
+        text = str(verdict.witness[0])
+        assert "--[" in text and "-->" in text
+
+
+class TestAbstractDomain:
+    def test_bounded_dor_mesh_every_queue_bounded_at_k(self):
+        model = REGISTRY["bounded-dor"].factory(2, 0).enumerate_transitions(
+            Mesh(4), 2
+        )
+        bounds = compute_channel_bounds(Mesh(4), model, 2)
+        assert bounds and all(b == 2 for b in bounds.values())
+
+    def test_never_blocking_model_without_drain_overflows(self):
+        # Always-accepting queues fed by transit and no drain guarantee:
+        # the fixed point hits TOP and the verdict is queue-overflow.
+        model = model_from_contract(
+            queue_kind="incoming",
+            minimal=True,
+            dimension_ordered=False,
+            blocking_keys=frozenset(),
+        )
+        bounds = compute_channel_bounds(Mesh(4), model, 2)
+        assert any(b is None for b in bounds.values())
+        verdict = certify_model(
+            model, Mesh(4), 2, router="x", topology_name="mesh", n=4, k=2
+        )
+        assert verdict.verdict == UNBOUNDED
+        assert verdict.reason == REASON_OVERFLOW
+        assert verdict.witness  # a feeder chain into the overflowing queue
+
+    def test_unsound_drain_claim_is_dropped_with_a_note(self):
+        # The N queue claims a drain, but its occupants (travelling S)
+        # may turn E into a blockable queue: the claim is unsound.
+        model = model_from_contract(
+            queue_kind="incoming",
+            minimal=True,
+            dimension_ordered=False,
+            blocking_keys=frozenset({E}),
+            drain_keys=frozenset({N}),
+        )
+        validated, notes = validate_drain_claims(model)
+        assert validated == {}
+        assert notes and "unsound" in notes[0]
+        verdict = certify_model(
+            model, Mesh(4), 2, router="x", topology_name="mesh", n=4, k=2
+        )
+        assert verdict.verdict == UNBOUNDED
+        assert "unsound" in verdict.note
+
+    def test_sound_drain_claims_survive_validation(self):
+        model = REGISTRY["bounded-dor"].factory(2, 0).enumerate_transitions(
+            Mesh(4), 2
+        )
+        validated, notes = validate_drain_claims(model)
+        assert set(validated) == {N, S}
+        assert notes == []
+
+    def test_key_bounds_cover_every_queue_key(self):
+        verdict = certify_router("bounded-dor", "mesh", 4, 2)
+        labels = dict(verdict.key_bounds)
+        assert set(labels) == {"N", "E", "S", "W"}
+        assert all(bound == 2 for bound in labels.values())
+        assert verdict.channels == 4 * 4 * 4
+
+
+class TestSemantics:
+    def test_closed_loop_drops_the_wedge_rule(self):
+        # A deadlocked batch freezes occupancy at capacity: dor on the
+        # mesh is BOUNDED closed-loop, UNBOUNDED open-loop.
+        open_v = certify_router("dor", "mesh", 4, 2, semantics=OPEN_LOOP)
+        closed_v = certify_router("dor", "mesh", 4, 2, semantics=CLOSED_LOOP)
+        assert open_v.verdict == UNBOUNDED
+        assert closed_v.verdict == BOUNDED
+        assert closed_v.bound == 4  # dor's central capacity max(k, 4)
+
+    def test_overflow_is_unbounded_under_both_semantics(self):
+        model = model_from_contract(
+            queue_kind="incoming",
+            minimal=True,
+            dimension_ordered=False,
+            blocking_keys=frozenset(),
+        )
+        for semantics in (OPEN_LOOP, CLOSED_LOOP):
+            verdict = certify_model(
+                model,
+                Mesh(4),
+                2,
+                router="x",
+                topology_name="mesh",
+                n=4,
+                k=2,
+                semantics=semantics,
+            )
+            assert verdict.verdict == UNBOUNDED
+
+    def test_unknown_semantics_rejected(self):
+        model = model_from_contract(
+            queue_kind="incoming", minimal=True, dimension_ordered=True
+        )
+        with pytest.raises(ValueError, match="unknown semantics"):
+            certify_model(
+                model,
+                Mesh(4),
+                2,
+                router="x",
+                topology_name="mesh",
+                n=4,
+                k=2,
+                semantics="weird",
+            )
+
+
+class TestUnknown:
+    def test_model_free_algorithm_is_unknown(self):
+        class Opaque:
+            queue_spec = QueueSpec(kind="central", capacity=4)
+
+            def enumerate_transitions(self, topology, k):
+                return None
+
+        verdict = certify_algorithm(Opaque(), "opaque", "mesh", 4, 2)
+        assert verdict.verdict == UNKNOWN
+        assert verdict.describe() == UNKNOWN
+        assert "no static transition model" in verdict.note
+
+
+class TestAgreement:
+    def test_full_registry_agrees_with_the_runtime_oracle(self):
+        assert check_bounds_agreement(n=4, ks=(1, 2)) == []
+
+    def test_bounded_with_expected_stall_is_flagged(self):
+        # dor is expected to stall on mesh hh/dynamic: a BOUNDED verdict
+        # for it would contradict the differential table.
+        fake = BoundsVerdict("dor", "mesh", 4, 2, BOUNDED, bound=4)
+        findings = check_bounds_agreement([fake], n=4, ks=())
+        assert len(findings) == 1
+        assert "expects stalls" in findings[0]
+
+    def test_unstable_verdicts_are_flagged(self):
+        findings = check_bounds_agreement(
+            [
+                BoundsVerdict("hot-potato", "mesh", 4, 1, BOUNDED, bound=4),
+                BoundsVerdict("hot-potato", "mesh", 4, 2, UNBOUNDED),
+            ],
+            n=4,
+            ks=(),
+        )
+        assert len(findings) == 1
+        assert "unstable" in findings[0]
+
+    def test_unregistered_router_is_flagged(self):
+        fake = BoundsVerdict("psychic", "mesh", 4, 2, BOUNDED, bound=1)
+        findings = check_bounds_agreement([fake], n=4, ks=())
+        assert findings == ["psychic: not in the differential registry"]
+
+    def test_too_small_certified_bound_is_caught_at_runtime(self):
+        # Claim hot-potato is bounded at 1: the oracle-checked runs see
+        # central occupancy up to 4 and contradict the fake certificate.
+        fake = BoundsVerdict("hot-potato", "mesh", 4, 2, BOUNDED, bound=1)
+        findings = check_bounds_agreement([fake], n=4, ks=(2,))
+        assert findings
+        assert any("exceeds the certified bound 1" in f for f in findings)
+
+
+class TestErrors:
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            certify_router("psychic", "mesh", 4, 2)
+
+    def test_unknown_registry_subset_rejected(self):
+        with pytest.raises(ValueError, match="unknown routers"):
+            certify_registry(routers=("psychic",))
+
+    def test_verdict_serializes_to_json(self):
+        for verdict in (
+            certify_router("dor", "mesh", 4, 2),
+            certify_router("bounded-dor", "mesh", 4, 2),
+        ):
+            data = verdict.to_dict()
+            json.dumps(data)  # witness steps and key bounds must encode
+            assert data["semantics"] == OPEN_LOOP
+            assert data["channels"] == verdict.channels

@@ -5,16 +5,22 @@ import pytest
 from repro.analysis.static_check import (
     CYCLIC,
     DEADLOCK_FREE,
+    AgreementFinding,
     CdgVerdict,
     Channel,
     analyze_registry,
     analyze_router,
     build_cdg,
     check_agreement,
+    check_agreement_detailed,
     find_witness_cycle,
     tarjan_scc,
 )
-from repro.analysis.static_check.cdg import make_topology
+from repro.analysis.static_check.cdg import (
+    SEVERITY_ADVISORY,
+    SEVERITY_ERROR,
+    make_topology,
+)
 from repro.mesh.directions import Direction
 from repro.mesh.queues import CENTRAL
 from repro.mesh.topology import Mesh
@@ -177,6 +183,37 @@ class TestAgreement:
         # CYCLIC yet expected to complete -- that must pass.
         fake = CdgVerdict("bounded-dor", "torus", 4, 2, CYCLIC)
         assert check_agreement([fake]) == []
+
+
+class TestDetailedAgreement:
+    def test_cyclic_but_completing_surfaces_as_advisory(self):
+        # The other direction of the cross-check: a cycle the runtime has
+        # never closed is now *reported*, not silently ignored.
+        fake = CdgVerdict("bounded-dor", "torus", 4, 2, CYCLIC)
+        findings = check_agreement_detailed([fake])
+        assert [f.severity for f in findings] == [SEVERITY_ADVISORY]
+        assert "bounded-dor/torus" in findings[0].message
+        assert "necessary, not sufficient" in findings[0].message
+
+    def test_error_wrapper_drops_advisories(self):
+        fake = CdgVerdict("bounded-dor", "torus", 4, 2, CYCLIC)
+        assert check_agreement([fake]) == []
+
+    def test_disagreements_surface_as_errors(self):
+        fake = CdgVerdict("dor", "mesh", 4, 2, DEADLOCK_FREE)
+        findings = check_agreement_detailed([fake])
+        assert [f.severity for f in findings] == [SEVERITY_ERROR]
+        assert isinstance(findings[0], AgreementFinding)
+
+    def test_registry_yields_advisories_but_no_errors(self):
+        findings = check_agreement_detailed()
+        severities = {f.severity for f in findings}
+        assert severities == {SEVERITY_ADVISORY}
+        # Every CYCLIC-but-completing (router, topology) cell is covered;
+        # dor/mesh is absent because its stalls *are* expected there.
+        cells = {f.message.split(":")[0] for f in findings}
+        assert "bounded-dor/torus" in cells
+        assert "dor/mesh" not in cells
 
 
 class TestErrors:

@@ -1,4 +1,4 @@
-"""Unit tests for the SC001-SC005 AST lint rules, plus the repo self-scan."""
+"""Unit tests for the SC001-SC009 AST lint rules, plus the repo self-scan."""
 
 import pathlib
 import textwrap
@@ -316,6 +316,213 @@ class TestSC005Docstrings:
         ) == []
 
 
+class TestSC006AliasMutation:
+    def test_subscript_store_into_parameter_flagged(self):
+        assert rules_of(
+            """
+            def kernel(occ):
+                occ[0] = 1
+            """,
+            rules=("SC006",),
+        ) == ["SC006"]
+
+    def test_basic_slice_view_keeps_the_alias(self):
+        assert rules_of(
+            """
+            def kernel(occ):
+                view = occ[1:]
+                view.fill(0)
+            """,
+            rules=("SC006",),
+        ) == ["SC006"]
+
+    def test_fancy_indexing_breaks_the_alias(self):
+        # Advanced indexing returns a copy: mutating it is local.
+        assert rules_of(
+            """
+            def kernel(occ, idx):
+                picked = occ[idx]
+                picked.fill(0)
+            """,
+            rules=("SC006",),
+        ) == []
+
+    def test_augmented_assign_on_parameter_flagged(self):
+        assert rules_of(
+            """
+            def kernel(occ, idx):
+                occ[idx] += 1
+            """,
+            rules=("SC006",),
+        ) == ["SC006"]
+
+    def test_ufunc_at_on_parameter_flagged(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def kernel(occ, idx):
+                np.add.at(occ, idx, 1)
+            """,
+            rules=("SC006",),
+        ) == ["SC006"]
+
+    def test_explicit_copy_clears_the_alias(self):
+        assert rules_of(
+            """
+            def kernel(occ):
+                occ = occ.copy()
+                occ[0] = 1
+            """,
+            rules=("SC006",),
+        ) == []
+
+    def test_local_arrays_are_free_to_mutate(self):
+        assert rules_of(
+            """
+            def kernel(n):
+                scratch = make(n)
+                scratch[0] = 1
+                scratch.sort()
+            """,
+            rules=("SC006",),
+        ) == []
+
+    def test_self_attributes_are_not_parameters(self):
+        assert rules_of(
+            """
+            class Engine:
+                def step(self, idx):
+                    self.occ[idx] = 0
+            """,
+            rules=("SC006",),
+        ) == []
+
+
+class TestSC007UnstableSorts:
+    def test_np_argsort_without_kind_flagged(self):
+        assert rules_of(
+            """
+            import numpy as np
+            order = np.argsort(keys)
+            """,
+            rules=("SC007",),
+        ) == ["SC007"]
+
+    def test_stable_kind_ok(self):
+        assert rules_of(
+            """
+            import numpy as np
+            a = np.argsort(keys, kind="stable")
+            b = np.sort(keys, kind="mergesort")
+            """,
+            rules=("SC007",),
+        ) == []
+
+    def test_method_argsort_without_kind_flagged(self):
+        assert rules_of(
+            "order = keys.argsort()\n", rules=("SC007",)
+        ) == ["SC007"]
+
+    def test_unique_with_return_index_flagged(self):
+        assert rules_of(
+            """
+            import numpy as np
+            values, first = np.unique(keys, return_index=True)
+            """,
+            rules=("SC007",),
+        ) == ["SC007"]
+
+    def test_value_only_unique_and_lexsort_exempt(self):
+        assert rules_of(
+            """
+            import numpy as np
+            values = np.unique(keys)
+            order = np.lexsort((minor, major))
+            """,
+            rules=("SC007",),
+        ) == []
+
+
+class TestSC008ImplicitDtype:
+    def test_constructors_without_dtype_flagged(self):
+        assert rules_of(
+            """
+            import numpy as np
+            a = np.zeros(4)
+            b = np.arange(10)
+            """,
+            rules=("SC008",),
+        ) == ["SC008", "SC008"]
+
+    def test_explicit_dtype_ok(self):
+        assert rules_of(
+            """
+            import numpy as np
+            a = np.zeros(4, dtype=np.int64)
+            b = np.array([1, 2], dtype=np.int8)
+            """,
+            rules=("SC008",),
+        ) == []
+
+    def test_non_numpy_names_are_ignored(self):
+        assert rules_of(
+            """
+            a = zeros(4)
+            b = helper.array([1, 2])
+            """,
+            rules=("SC008",),
+        ) == []
+
+
+class TestSC009EngineFallback:
+    def test_engine_hint_without_readback_flagged(self):
+        assert rules_of(
+            """
+            def run(topology, algorithm, packets):
+                sim = Simulator(topology, algorithm, packets, engine="array")
+                return sim.run()
+            """,
+            rules=("SC009",),
+        ) == ["SC009"]
+
+    def test_engine_name_readback_ok(self):
+        assert rules_of(
+            """
+            def run(topology, algorithm, packets):
+                sim = Simulator(topology, algorithm, packets, engine="array")
+                used = sim.engine_name
+                return used, sim.run()
+            """,
+            rules=("SC009",),
+        ) == []
+
+    def test_literal_reference_engine_is_exempt(self):
+        # Explicitly requesting the reference engine cannot fall back.
+        assert rules_of(
+            """
+            def run(topology, algorithm, packets):
+                sim = Simulator(topology, algorithm, packets, engine="reference")
+                return sim.run()
+            """,
+            rules=("SC009",),
+        ) == []
+
+    def test_nested_functions_are_checked_separately(self):
+        assert rules_of(
+            """
+            def outer(spec):
+                def inner():
+                    sim = Simulator(engine="array")
+                    return sim.engine_name
+
+                bad = Simulator(engine=spec.engine)
+                return inner(), bad.run()
+            """,
+            rules=("SC009",),
+        ) == ["SC009"]
+
+
 class TestWaivers:
     def test_noqa_with_rule_waives(self):
         assert rules_of("for x in {1, 2}:  # noqa: SC004\n    pass\n") == []
@@ -329,34 +536,52 @@ class TestWaivers:
 
 class TestScoping:
     def test_scheduling_packages_get_determinism_rules(self):
-        assert rules_for_path("src/repro/mesh/simulator.py") == DETERMINISM_RULES
-        assert rules_for_path("src/repro/routing/dor.py") == DETERMINISM_RULES
+        # SC009 rides everywhere: dispatch sites live outside the kernels.
+        assert rules_for_path("src/repro/mesh/simulator.py") == (
+            *DETERMINISM_RULES, "SC009"
+        )
+        assert rules_for_path("src/repro/routing/dor.py") == (
+            *DETERMINISM_RULES, "SC009"
+        )
 
     def test_infrastructure_packages_get_docstring_rule(self):
-        assert rules_for_path("src/repro/perf/bench.py") == ("SC003", "SC005")
-        assert rules_for_path("src/repro/harness/specs.py") == ("SC003", "SC005")
+        assert rules_for_path("src/repro/perf/bench.py") == (
+            "SC003", "SC005", "SC009"
+        )
+        assert rules_for_path("src/repro/harness/specs.py") == (
+            "SC003", "SC005", "SC009"
+        )
 
-    def test_other_packages_get_assert_rule_only(self):
-        assert rules_for_path("src/repro/core/bounds.py") == ("SC003",)
-        assert rules_for_path("src/repro/verify/oracles.py") == ("SC003",)
+    def test_other_packages_get_assert_and_engine_rules_only(self):
+        assert rules_for_path("src/repro/core/bounds.py") == ("SC003", "SC009")
+        assert rules_for_path("src/repro/verify/oracles.py") == (
+            "SC003", "SC009"
+        )
 
-    def test_array_backend_modules_also_get_docstring_rule(self):
-        # The array engine lives in a scheduling package and its equivalence
-        # harness in verify/, but both carry prose contracts (memory layout,
-        # bit-identity protocol), so SC005 rides on top of the package rules.
+    def test_transition_models_get_docstring_rule(self):
+        assert rules_for_path("src/repro/mesh/transitions.py") == (
+            *DETERMINISM_RULES, "SC005", "SC009"
+        )
+
+    def test_array_kernels_get_every_hazard_rule(self):
+        # The numpy kernels get the full stack: package determinism rules,
+        # the SC005 prose-contract rule, and the array hazards SC006-SC008.
         assert rules_for_path("src/repro/mesh/array_engine.py") == (
-            "SC001", "SC002", "SC003", "SC004", "SC005"
+            "SC001", "SC002", "SC003", "SC004", "SC005",
+            "SC006", "SC007", "SC008", "SC009",
         )
         assert rules_for_path("src/repro/mesh/array_state.py") == (
-            "SC001", "SC002", "SC003", "SC004", "SC005"
+            "SC001", "SC002", "SC003", "SC004", "SC005",
+            "SC006", "SC007", "SC008", "SC009",
         )
         assert rules_for_path("src/repro/verify/engine_equivalence.py") == (
-            "SC003", "SC005"
+            "SC003", "SC005", "SC009"
         )
 
     def test_every_rule_is_scoped_somewhere(self):
-        scoped = set(rules_for_path("src/repro/mesh/x.py")) | set(
-            rules_for_path("src/repro/perf/x.py")
+        scoped = (
+            set(rules_for_path("src/repro/mesh/array_engine.py"))
+            | set(rules_for_path("src/repro/perf/x.py"))
         )
         assert scoped == set(RULES)
 

@@ -125,3 +125,69 @@ class TestRouterOverrides:
         model = DimensionOrderRouter(4).enumerate_transitions(Mesh(4), 4)
         assert model.queue_kind == "central"
         assert model.blocking_keys == frozenset({CENTRAL})
+
+
+class TestDrainGuarantees:
+    @pytest.mark.parametrize("topology", [Mesh(4), Torus(4)])
+    def test_bounded_dor_drains_north_south(self, topology):
+        # Theorem 15: a nonempty N/S queue ejects a packet every step, so
+        # those queues never refuse yet stay bounded.
+        model = BoundedDimensionOrderRouter(2).enumerate_transitions(topology, 2)
+        assert model.drain_keys == frozenset({N, S})
+        assert model.drain_all_keys == frozenset()
+        assert model.drain_for(N) == "one"
+        assert model.drain_for(E) is None
+
+    def test_farthest_first_incoming_drains_north_south(self):
+        model = FarthestFirstRouter(2).enumerate_transitions(Mesh(4), 2)
+        assert model.drain_keys == frozenset({N, S})
+        assert model.blocking_keys == frozenset({E, W})
+
+    def test_farthest_first_central_claims_no_drain(self):
+        model = FarthestFirstRouter(2, queue_kind="central").enumerate_transitions(
+            Mesh(4), 2
+        )
+        assert model.drain_keys == frozenset()
+        assert model.drain_all_keys == frozenset()
+
+    @pytest.mark.parametrize("topology", [Mesh(4), Torus(4)])
+    def test_hot_potato_drains_everything_every_step(self, topology):
+        model = HotPotatoRouter().enumerate_transitions(topology, 1)
+        assert model.never_blocks
+        assert model.drain_all_keys == frozenset({CENTRAL})
+        assert model.drain_for(CENTRAL) == "all"
+
+    def test_adaptive_families_expose_blockable_models_without_drains(self):
+        # Satellite coverage: the contract-derived adaptive models are
+        # non-None, all-blockable, minimal-turn, and claim no drains.
+        for queue_kind in ("incoming", "central"):
+            model = GreedyAdaptiveRouter(2, queue_kind).enumerate_transitions(
+                Mesh(4), 2
+            )
+            assert isinstance(model, TransitionModel)
+            assert model.drain_keys == frozenset()
+            assert model.drain_all_keys == frozenset()
+            assert not model.never_blocks
+            assert S not in model.outs_for(N)
+
+    def test_drain_and_blocking_are_mutually_exclusive(self):
+        # A queue cannot both refuse offers and guarantee a drain: the
+        # default incoming contract blocks on all four directions.
+        with pytest.raises(ValueError, match="refuse offers and guarantee"):
+            model_from_contract(
+                queue_kind="incoming",
+                minimal=True,
+                dimension_ordered=True,
+                drain_keys=frozenset({E}),
+            )
+
+    def test_drain_one_and_drain_all_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="both DRAIN_ONE and DRAIN_ALL"):
+            model_from_contract(
+                queue_kind="incoming",
+                minimal=True,
+                dimension_ordered=True,
+                blocking_keys=frozenset({E, W}),
+                drain_keys=frozenset({N}),
+                drain_all_keys=frozenset({N}),
+            )
