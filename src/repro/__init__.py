@@ -24,6 +24,7 @@ from repro.mesh import (
     Direction,
     FullPacketView,
     Mesh,
+    MeshND,
     NodeContext,
     Offer,
     Packet,
@@ -32,13 +33,16 @@ from repro.mesh import (
     RoutingAlgorithm,
     RunResult,
     Simulator,
+    SparsePillarMesh,
     Topology,
     Torus,
+    TorusND,
 )
 from repro.routing import (
     AlternatingAdaptiveRouter,
     BoundedDimensionOrderRouter,
     BoundedExcursionRouter,
+    CreditAdaptiveRouter,
     DimensionOrderRouter,
     FarthestFirstRouter,
     GreedyAdaptiveRouter,
@@ -53,6 +57,9 @@ __all__ = [
     "Direction",
     "FullPacketView",
     "Mesh",
+    "MeshND",
+    "SparsePillarMesh",
+    "TorusND",
     "NodeContext",
     "Offer",
     "Packet",
@@ -68,6 +75,7 @@ __all__ = [
     "BoundedExcursionRouter",
     "DimensionOrderRouter",
     "FarthestFirstRouter",
+    "CreditAdaptiveRouter",
     "GreedyAdaptiveRouter",
     "HotPotatoRouter",
     "RandomizedAdaptiveRouter",

@@ -3,11 +3,13 @@
 Three engines, wired into ``python -m repro analyze [cdg|bounds|lint|all]``:
 
 - :mod:`repro.analysis.static_check.cdg` -- builds the channel-dependency
-  graph of every registered router on the mesh and the torus from its
-  symbolic :class:`~repro.mesh.transitions.TransitionModel`, runs cycle
-  detection, and emits a ``DEADLOCK_FREE`` / ``CYCLIC`` / ``UNKNOWN``
-  verdict per (router, topology, n, k), cross-checked bidirectionally
-  against the differential runner's deadlock expectation table.
+  graph of every registered router on every registered topology (2D
+  mesh/torus, the d-dimensional grids, the irregular pillar mesh) from
+  its symbolic :class:`~repro.mesh.transitions.TransitionModel`, runs
+  cycle detection, and emits a ``DEADLOCK_FREE`` / ``CYCLIC`` /
+  ``UNKNOWN`` verdict per (router, topology, n, k), cross-checked
+  bidirectionally against the differential runner's deadlock
+  expectation table.
 - :mod:`repro.analysis.static_check.bounds` -- the static queue-bound
   certifier: abstract interpretation over the same transition models
   computes a fixed-point occupancy bound per queue and issues
@@ -50,6 +52,11 @@ from repro.analysis.static_check.bounds import (
     compute_channel_bounds,
     validate_drain_claims,
 )
+from repro.analysis.static_check.report import (
+    render_markdown,
+    verdict_matrix,
+    verdict_table_markdown,
+)
 from repro.analysis.static_check.lint import LintViolation, run_lint, lint_source, RULES
 from repro.analysis.static_check.baseline import (
     baseline_path,
@@ -82,6 +89,9 @@ __all__ = [
     "check_bounds_agreement",
     "compute_channel_bounds",
     "validate_drain_claims",
+    "render_markdown",
+    "verdict_matrix",
+    "verdict_table_markdown",
     "LintViolation",
     "RULES",
     "run_lint",

@@ -55,18 +55,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.directions import Direction
+from repro.mesh.ndtopology import Port
 from repro.mesh.queues import CENTRAL, KIND_CENTRAL, KIND_INCOMING
 from repro.mesh.topology import Topology
 from repro.mesh.transitions import DRAIN_ALL, DRAIN_ONE, TransitionModel
 
 from repro.analysis.static_check.cdg import (
-    MESH_FAMILIES,
-    TORUS_FAMILIES,
+    FAMILIES_BY_TOPOLOGY,
     TOPOLOGIES,
     UNKNOWN,
     Channel,
     _central_outs,
+    _key_name,
     build_cdg,
     find_witness_cycle,
     make_topology,
@@ -86,7 +87,7 @@ REASON_WEDGE = "wedged-backlog"
 
 
 def _key_label(key: object) -> str:
-    return key.name if isinstance(key, Direction) else str(key)
+    return _key_name(key)
 
 
 @dataclass(frozen=True)
@@ -164,7 +165,7 @@ def _all_channels(topology: Topology, model: TransitionModel) -> List[Channel]:
             channels.append(Channel(node, CENTRAL))
     elif model.queue_kind == KIND_INCOMING:
         for node in topology.nodes():
-            for key in DIRECTIONS:
+            for key in topology.directions:
                 channels.append(Channel(node, key))
     else:  # pragma: no cover - QueueSpec guards the kind already
         raise ValueError(f"unknown queue kind {model.queue_kind!r}")
@@ -183,11 +184,11 @@ def _feeders(
     """
     steps: List[TransitionStep] = []
     if model.queue_kind == KIND_CENTRAL:
-        for travel in DIRECTIONS:
+        for travel in topology.directions:
             upstream = topology.neighbor(channel.node, travel.opposite)
             if upstream is None:
                 continue
-            for t_in in (None, *DIRECTIONS):
+            for t_in in (None, *topology.directions):
                 if (t_in, travel) not in model.turns:
                     continue
                 if t_in is not None and topology.neighbor(
@@ -202,14 +203,14 @@ def _feeders(
                 break  # one representative transition per inlink
         return tuple(steps)
     key = channel.key
-    if not isinstance(key, Direction):  # pragma: no cover - regime invariant
+    if not isinstance(key, (Direction, Port)):  # pragma: no cover - regime invariant
         raise ValueError(f"incoming-regime channel with key {key!r}")
     upstream = topology.neighbor(channel.node, key)
     if upstream is None:
         return ()
     travel = key.opposite  # the only travel direction that lands in this queue
     seen: set[Channel] = set()
-    for t_in in (None, *DIRECTIONS):
+    for t_in in (None, *topology.directions):
         if (t_in, travel) not in model.turns:
             continue
         if t_in is None:
@@ -265,7 +266,7 @@ def validate_drain_claims(
             # Occupants of a central queue target central queues; the claim
             # is sound iff those never refuse.
             sound = CENTRAL not in model.blocking_keys
-        elif isinstance(key, Direction):
+        elif isinstance(key, (Direction, Port)):
             travel_in = key.opposite
             targets = {
                 out.opposite for out in model.outs_for(travel_in)
@@ -365,7 +366,9 @@ def _annotate_cycle(
     steps: List[TransitionStep] = []
     for position, source in enumerate(cycle):
         target = cycle[(position + 1) % len(cycle)]
-        if model.queue_kind == KIND_INCOMING and isinstance(source.key, Direction):
+        if model.queue_kind == KIND_INCOMING and isinstance(
+            source.key, (Direction, Port)
+        ):
             travel_in: Optional[Direction] = source.key.opposite
             outs = [
                 out
@@ -381,7 +384,7 @@ def _annotate_cycle(
         for out in _central_outs(model, topology, source.node):
             if topology.neighbor(source.node, out) != target.node:
                 continue
-            for t_in in (None, *DIRECTIONS):
+            for t_in in (None, *topology.directions):
                 if (t_in, out) not in model.turns:
                     continue
                 if t_in is not None and topology.neighbor(
@@ -532,6 +535,15 @@ def certify_router(
         raise ValueError(
             f"unknown router {router!r}; expected one of {sorted(REGISTRY)}"
         )
+    if topology_name not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {topology_name!r}; expected one of {TOPOLOGIES}"
+        )
+    if not entry.supports_topology(topology_name):
+        raise ValueError(
+            f"router {router!r} is not registered on topology "
+            f"{topology_name!r}; supported: {entry.topologies}"
+        )
     algorithm = entry.factory(k, seed)
     return certify_algorithm(
         algorithm, router, topology_name, n, k, semantics=semantics
@@ -557,7 +569,10 @@ def certify_registry(
         )
     verdicts: List[BoundsVerdict] = []
     for router in names:
+        entry = REGISTRY[router]
         for topology_name in topologies:
+            if not entry.supports_topology(topology_name):
+                continue  # e.g. a compass-only 2D router on a 3D grid
             for n in ns:
                 for k in ks:
                     verdicts.append(
@@ -623,7 +638,7 @@ def check_bounds_agreement(
         if entry is None:
             findings.append(f"{router}: not in the differential registry")
             continue
-        families = MESH_FAMILIES if topology_name == "mesh" else TORUS_FAMILIES
+        families = FAMILIES_BY_TOPOLOGY[topology_name]
         expected_stalls = [f for f in families if not entry.expects_completion(f)]
         if kind == BOUNDED and expected_stalls:
             findings.append(

@@ -32,9 +32,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
-from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.directions import Direction
+from repro.mesh.ndtopology import TOPOLOGY_NAMES, Port, build_topology
 from repro.mesh.queues import CENTRAL, KIND_CENTRAL, KIND_INCOMING
-from repro.mesh.topology import Mesh, Topology, Torus
+from repro.mesh.topology import Topology
 from repro.mesh.transitions import TransitionModel
 
 #: Verdicts.
@@ -46,9 +47,25 @@ UNKNOWN = "UNKNOWN"
 MESH_FAMILIES: Tuple[str, ...] = ("permutation", "hh", "dynamic")
 TORUS_FAMILIES: Tuple[str, ...] = ("torus",)
 
-TOPOLOGIES: Tuple[str, ...] = ("mesh", "torus")
+#: Every registered analysis topology (one verdict column each).
+TOPOLOGIES: Tuple[str, ...] = TOPOLOGY_NAMES
 
-Node = Tuple[int, int]
+#: The differential workload families exercised on each topology, used by
+#: the agreement gates to pair static verdicts with runtime expectations.
+FAMILIES_BY_TOPOLOGY: Dict[str, Tuple[str, ...]] = {
+    "mesh": MESH_FAMILIES,
+    "torus": TORUS_FAMILIES,
+    "mesh3d": ("mesh3d",),
+    "torus3d": ("torus3d",),
+    "pillar": ("pillar",),
+}
+
+Node = Tuple[int, ...]
+
+
+def _key_name(key: object) -> str:
+    """Stable label for a queue key: compass name, port name, or sentinel."""
+    return key.name if isinstance(key, (Direction, Port)) else str(key)
 
 
 @dataclass(frozen=True, order=True)
@@ -56,15 +73,13 @@ class Channel:
     """One blockable queue: the unit vertex of the dependency graph."""
 
     node: Node
-    key: object  # Direction (incoming regime) or the CENTRAL sentinel
+    key: object  # Direction/Port (incoming regime) or the CENTRAL sentinel
 
     def __str__(self) -> str:
-        label = self.key.name if isinstance(self.key, Direction) else str(self.key)
-        return f"{self.node}/{label}"
+        return f"{self.node}/{_key_name(self.key)}"
 
     def to_dict(self) -> Dict[str, Any]:
-        label = self.key.name if isinstance(self.key, Direction) else str(self.key)
-        return {"node": list(self.node), "key": label}
+        return {"node": list(self.node), "key": _key_name(self.key)}
 
 
 Adjacency = Dict[Channel, Tuple[Channel, ...]]
@@ -72,11 +87,7 @@ Adjacency = Dict[Channel, Tuple[Channel, ...]]
 
 def make_topology(name: str, n: int) -> Topology:
     """The named analysis topology at side length ``n``."""
-    if name == "mesh":
-        return Mesh(n)
-    if name == "torus":
-        return Torus(n)
-    raise ValueError(f"unknown topology {name!r}; expected one of {TOPOLOGIES}")
+    return build_topology(name, n)
 
 
 def _central_outs(model: TransitionModel, topology: Topology, node: Node) -> Tuple[Direction, ...]:
@@ -87,10 +98,10 @@ def _central_outs(model: TransitionModel, topology: Topology, node: Node) -> Tup
     ones.  The union of the model's outs over all those travel-ins.
     """
     outs: set[Direction] = set(model.outs_for(None))
-    for t_in in DIRECTIONS:
+    for t_in in topology.directions:
         if topology.neighbor(node, t_in.opposite) is not None:
             outs.update(model.outs_for(t_in))
-    return tuple(d for d in DIRECTIONS if d in outs)
+    return tuple(d for d in topology.directions if d in outs)
 
 
 def build_cdg(topology: Topology, model: TransitionModel) -> Adjacency:
@@ -121,7 +132,7 @@ def build_cdg(topology: Topology, model: TransitionModel) -> Adjacency:
         return adjacency
     if model.queue_kind != KIND_INCOMING:  # pragma: no cover - QueueSpec guards
         raise ValueError(f"unknown queue kind {model.queue_kind!r}")
-    keys = tuple(d for d in DIRECTIONS if d in model.blocking_keys)
+    keys = tuple(d for d in topology.directions if d in model.blocking_keys)
     for node in topology.nodes():
         for key in keys:
             travel_in = key.opposite
@@ -317,6 +328,15 @@ def analyze_router(
         raise ValueError(
             f"unknown router {router!r}; expected one of {sorted(REGISTRY)}"
         )
+    if topology_name not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {topology_name!r}; expected one of {TOPOLOGIES}"
+        )
+    if not entry.supports_topology(topology_name):
+        raise ValueError(
+            f"router {router!r} is not registered on topology "
+            f"{topology_name!r}; supported: {entry.topologies}"
+        )
     algorithm = entry.factory(k, seed)
     return analyze_algorithm(algorithm, router, topology_name, n, k)
 
@@ -339,7 +359,10 @@ def analyze_registry(
         )
     verdicts: List[CdgVerdict] = []
     for router in names:
+        entry = REGISTRY[router]
         for topology_name in topologies:
+            if not entry.supports_topology(topology_name):
+                continue  # e.g. a compass-only 2D router on a 3D grid
             for n in ns:
                 for k in ks:
                     verdicts.append(analyze_router(router, topology_name, n, k))
@@ -427,7 +450,7 @@ def check_agreement_detailed(
                 )
             )
             continue
-        families = MESH_FAMILIES if topology_name == "mesh" else TORUS_FAMILIES
+        families = FAMILIES_BY_TOPOLOGY[topology_name]
         expected_stalls = [f for f in families if not entry.expects_completion(f)]
         if verdict_kind == DEADLOCK_FREE and expected_stalls:
             findings.append(

@@ -1,0 +1,89 @@
+"""The router x topology verdict matrix, rendered as a markdown table.
+
+Single source of truth for the table embedded in ``docs/TOPOLOGY.md``:
+``python -m repro analyze cdg --format markdown`` prints it, and the
+docs-drift test (``tests/docs/test_docs_drift.py``) regenerates it and
+diffs it against the checked-in document, so the documented verdicts can
+never drift from what the CDG analyzer and the queue-bound certifier
+actually prove about the registered routers.
+
+Each cell pairs the two static verdicts for one (router, topology) at the
+canonical analysis size (n=4, k=2): ``<CDG> / <bounds>`` -- for example
+``DEADLOCK_FREE / BOUNDED(b=2)``.  An em dash marks a pair the
+differential registry does not support (the compass-only 2D routers on
+d-dimensional topologies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.analysis.static_check.bounds import certify_router
+from repro.analysis.static_check.cdg import TOPOLOGIES, analyze_router
+
+#: Cell placeholder for (router, topology) pairs outside the registry.
+NOT_APPLICABLE = "—"
+
+#: The canonical analysis cell the documentation table is issued at.
+TABLE_N = 4
+TABLE_K = 2
+
+Cell = Tuple[str, str]
+Matrix = Dict[str, Dict[str, Cell]]
+
+
+def verdict_matrix(
+    *,
+    n: int = TABLE_N,
+    k: int = TABLE_K,
+    topologies: Tuple[str, ...] = TOPOLOGIES,
+    routers: Optional[Iterable[str]] = None,
+) -> Matrix:
+    """``{router: {topology: (cdg_verdict, bounds_description)}}`` at (n, k).
+
+    Pairs the registry does not support are absent from the inner mapping
+    (rendered as :data:`NOT_APPLICABLE` by :func:`render_markdown`).
+    """
+    from repro.verify.differential import REGISTRY
+
+    names = sorted(routers) if routers is not None else sorted(REGISTRY)
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown routers {unknown}; expected a subset of {sorted(REGISTRY)}"
+        )
+    matrix: Matrix = {}
+    for router in names:
+        entry = REGISTRY[router]
+        row: Dict[str, Cell] = {}
+        for topology_name in topologies:
+            if not entry.supports_topology(topology_name):
+                continue
+            cdg = analyze_router(router, topology_name, n, k)
+            bounds = certify_router(router, topology_name, n, k)
+            row[topology_name] = (cdg.verdict, bounds.describe())
+        matrix[router] = row
+    return matrix
+
+
+def render_markdown(
+    matrix: Mapping[str, Mapping[str, Cell]],
+    *,
+    topologies: Tuple[str, ...] = TOPOLOGIES,
+) -> str:
+    """The matrix as a GitHub-flavoured markdown table (no trailing newline)."""
+    header = "| router | " + " | ".join(topologies) + " |"
+    rule = "|" + "---|" * (len(topologies) + 1)
+    lines = [header, rule]
+    for router in sorted(matrix):
+        cells: list[str] = []
+        for topology_name in topologies:
+            cell = matrix[router].get(topology_name)
+            cells.append(f"{cell[0]} / {cell[1]}" if cell else NOT_APPLICABLE)
+        lines.append(f"| {router} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def verdict_table_markdown(*, n: int = TABLE_N, k: int = TABLE_K) -> str:
+    """The canonical documentation table (every router, every topology)."""
+    return render_markdown(verdict_matrix(n=n, k=k))

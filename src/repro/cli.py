@@ -49,11 +49,12 @@ from repro.core import (
     replay_constructed_permutation,
 )
 from repro.core.extensions import HhLowerBoundConstruction, TorusLowerBoundConstruction
-from repro.mesh import Mesh, Simulator, Torus
+from repro.mesh import TOPOLOGY_NAMES, Mesh, Simulator, Torus, build_topology
 from repro.routing import (
     AlternatingAdaptiveRouter,
     BoundedDimensionOrderRouter,
     BoundedExcursionRouter,
+    CreditAdaptiveRouter,
     DimensionOrderRouter,
     FarthestFirstRouter,
     GreedyAdaptiveRouter,
@@ -69,6 +70,7 @@ ALGORITHMS: dict[str, Callable[[argparse.Namespace], object]] = {
     "hot-potato": lambda a: HotPotatoRouter(),
     "randomized-adaptive": lambda a: RandomizedAdaptiveRouter(a.k, a.seed, a.queues),
     "bounded-excursion": lambda a: BoundedExcursionRouter(a.k, a.delta, a.queues),
+    "credit-adaptive": lambda a: CreditAdaptiveRouter(a.k),
 }
 
 
@@ -93,7 +95,19 @@ def cmd_route(args: argparse.Namespace) -> int:
             "--engine array does not support --availability < 1.0 "
             "(link filters run on the reference engine only)"
         )
-    topology = Torus(args.n) if args.torus else Mesh(args.n)
+    if args.topology and args.torus:
+        raise _usage_error("--topology and --torus are mutually exclusive")
+    if args.topology:
+        from repro.harness.specs import ND_ALGORITHMS, ND_TOPOLOGIES
+
+        if args.topology in ND_TOPOLOGIES and args.algorithm not in ND_ALGORITHMS:
+            raise _usage_error(
+                f"--topology {args.topology} requires a d-dimensional router "
+                f"({', '.join(ND_ALGORITHMS)}); {args.algorithm} routes 2D only"
+            )
+        topology = build_topology(args.topology, args.n)
+    else:
+        topology = Torus(args.n) if args.torus else Mesh(args.n)
     algorithm = ALGORITHMS[args.algorithm](args)
     packets = make_workload(args.workload, topology, args.seed)
     sim = Simulator(topology, algorithm, packets, engine=args.engine)
@@ -627,6 +641,18 @@ def _analyze_cdg(args: argparse.Namespace) -> int:
     from repro.analysis.static_check.cdg import CYCLIC, SEVERITY_ERROR, TOPOLOGIES
 
     topologies = tuple(args.topologies) if args.topologies else TOPOLOGIES
+    if args.format == "markdown":
+        from repro.analysis.static_check import render_markdown, verdict_matrix
+
+        try:
+            matrix = verdict_matrix(
+                n=args.n[0], k=args.k[0],
+                topologies=topologies, routers=args.routers or None,
+            )
+        except ValueError as exc:
+            raise _usage_error(str(exc))
+        print(render_markdown(matrix, topologies=topologies))
+        return 0
     try:
         verdicts = analyze_registry(
             ns=tuple(args.n), ks=tuple(args.k),
@@ -634,7 +660,7 @@ def _analyze_cdg(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise _usage_error(str(exc))
-    if args.json:
+    if args.json or args.format == "json":
         import json
 
         print(json.dumps([v.to_dict() for v in verdicts], indent=2))
@@ -674,7 +700,7 @@ def _analyze_bounds(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise _usage_error(str(exc))
-    if args.json:
+    if args.json or args.format == "json":
         import json
 
         print(json.dumps([v.to_dict() for v in verdicts], indent=2))
@@ -730,6 +756,11 @@ def _analyze_lint(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     if args.engine != "lint" and args.update_baseline:
         raise _usage_error("--update-baseline only applies to 'analyze lint'")
+    if args.format == "markdown" and args.engine != "cdg":
+        raise _usage_error(
+            "--format markdown only applies to 'analyze cdg' (the verdict "
+            "table already pairs each CDG verdict with its queue bound)"
+        )
     rc = 0
     if args.engine in ("cdg", "all"):
         rc = max(rc, _analyze_cdg(args))
@@ -762,6 +793,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="random")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--torus", action="store_true")
+    p.add_argument(
+        "--topology",
+        choices=list(TOPOLOGY_NAMES),
+        default="",
+        help="route on a named topology (mesh3d/torus3d/pillar need a "
+        "d-dimensional router); mutually exclusive with --torus",
+    )
     p.add_argument("--max-steps", type=int, default=1_000_000)
     p.add_argument(
         "--engine",
@@ -995,10 +1033,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--k", type=int, nargs="+", default=[1, 2, 4], help="queue capacities"
     )
     p.add_argument(
-        "--topologies", nargs="+", choices=["mesh", "torus"], help="topology subset"
+        "--topologies",
+        nargs="+",
+        choices=list(TOPOLOGY_NAMES),
+        help="topology subset",
     )
     p.add_argument("--routers", nargs="+", help="subset of registered routers")
     p.add_argument("--json", action="store_true", help="CDG verdicts as JSON")
+    p.add_argument(
+        "--format",
+        choices=["text", "json", "markdown"],
+        default="text",
+        help="markdown (cdg engine only) emits the docs/TOPOLOGY.md verdict "
+        "table at the first --n and --k; json is equivalent to --json",
+    )
     p.add_argument(
         "--root", default=None, help="repo root to lint (default: autodetect)"
     )

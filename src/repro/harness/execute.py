@@ -25,6 +25,7 @@ from repro.routing import (
     AlternatingAdaptiveRouter,
     BoundedDimensionOrderRouter,
     BoundedExcursionRouter,
+    CreditAdaptiveRouter,
     DimensionOrderRouter,
     FarthestFirstRouter,
     GreedyAdaptiveRouter,
@@ -52,8 +53,24 @@ def build_workload(name: str, topology, seed: int):
     if name == "bit-reversal":
         return bit_reversal_permutation(topology)
     if name == "rotation":
-        return rotation_permutation(topology, topology.width // 2, topology.height // 3)
+        # One shift per axis; in 2D this is the historical (w // 2, h // 3).
+        shifts = (side // (axis + 2) for axis, side in enumerate(topology.shape))
+        return rotation_permutation(topology, *shifts)
     raise ValueError(f"unknown workload {name!r}")
+
+
+def build_trial_topology(spec: TrialSpec):
+    """The topology a simulator-driving trial runs on.
+
+    ``spec.topology`` names any registered analysis topology (the validated
+    spec guarantees the algorithm can route on it); empty falls back to the
+    historical ``torus`` flag choosing between the two 2D topologies.
+    """
+    if spec.topology:
+        from repro.mesh import build_topology
+
+        return build_topology(spec.topology, spec.n)
+    return Torus(spec.n) if spec.torus else Mesh(spec.n)
 
 
 def build_router(spec: TrialSpec) -> RoutingAlgorithm:
@@ -75,6 +92,8 @@ def build_router(spec: TrialSpec) -> RoutingAlgorithm:
         return RandomizedAdaptiveRouter(spec.k, spec.seed, spec.queues)
     if a == "bounded-excursion":
         return BoundedExcursionRouter(spec.k, spec.delta, spec.queues)
+    if a == "credit-adaptive":
+        return CreditAdaptiveRouter(spec.k)
     raise ValueError(f"unknown route algorithm {a!r}")
 
 
@@ -93,7 +112,7 @@ def _victim_factory(spec: TrialSpec) -> Callable[[], RoutingAlgorithm]:
 
 
 def _run_route(spec: TrialSpec) -> dict[str, Any]:
-    topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
+    topology = build_trial_topology(spec)
     algorithm = build_router(spec)
     packets = build_workload(spec.workload, topology, spec.seed)
     sim = Simulator(topology, algorithm, packets, engine=spec.engine)
@@ -320,7 +339,7 @@ def _run_bench(spec: TrialSpec) -> dict[str, Any]:
     """
     from repro.perf import StepInstrumentation
 
-    topology = Torus(spec.n) if spec.torus else Mesh(spec.n)
+    topology = build_trial_topology(spec)
     repeats = 3
     best_result = None
     best_name = ""

@@ -46,7 +46,20 @@ ROUTE_ALGORITHMS = (
     "hot-potato",
     "randomized-adaptive",
     "bounded-excursion",
+    "credit-adaptive",
 )
+
+#: Named analysis topologies a ``route``/``bench`` trial may select
+#: (mirrors ``repro.mesh.ndtopology.TOPOLOGY_NAMES``; duplicated literally
+#: so the spec layer stays import-light -- a test asserts the two agree).
+TOPOLOGY_CHOICES = ("mesh", "torus", "mesh3d", "torus3d", "pillar")
+
+#: Topologies beyond the classic 2D pair.  The historical routers hard-code
+#: the four compass directions, so only dimension-generic algorithms are
+#: valid here (mirrors ``RouterEntry.topologies`` in the differential
+#: registry; a test asserts the two agree).
+ND_TOPOLOGIES = ("mesh3d", "torus3d", "pillar")
+ND_ALGORITHMS = ("credit-adaptive",)
 
 #: Algorithms a ``faults`` trial may exercise: every route algorithm plus
 #: the resilience-layer routers (see repro.faults).
@@ -67,7 +80,15 @@ DEFAULT_VICTIMS = {
 WORKLOADS = ("random", "partial", "transpose", "bit-reversal", "rotation")
 
 #: Workload families a ``verify`` trial may fuzz (see repro.verify).
-VERIFY_FAMILIES = ("permutation", "hh", "torus", "dynamic")
+VERIFY_FAMILIES = (
+    "permutation",
+    "hh",
+    "torus",
+    "dynamic",
+    "mesh3d",
+    "torus3d",
+    "pillar",
+)
 
 #: Step engines a simulator-driving trial may request (see
 #: ``Simulator(engine=...)``; "array" falls back to "reference" for
@@ -98,6 +119,11 @@ class TrialSpec:
     delta: int = 1
     h: int = 2
     torus: bool = False
+    #: ``route``/``bench`` trials: a named analysis topology
+    #: (TOPOLOGY_CHOICES).  Empty keeps the historical behaviour where
+    #: ``torus`` alone picks between the two 2D topologies; setting both
+    #: ``topology`` and ``torus`` is rejected as contradictory.
+    topology: str = ""
     improved: bool = False
     availability: float = 1.0
     max_steps: int = 1_000_000
@@ -138,6 +164,27 @@ class TrialSpec:
                 f"unknown {self.kind} algorithm {self.algorithm!r}; "
                 f"expected one of {ROUTE_ALGORITHMS}"
             )
+        if self.topology:
+            if self.topology not in TOPOLOGY_CHOICES:
+                raise ValueError(
+                    f"unknown topology {self.topology!r}; "
+                    f"expected one of {TOPOLOGY_CHOICES}"
+                )
+            if self.kind not in ("route", "bench"):
+                raise ValueError(
+                    f"the topology field applies to route/bench trials only, "
+                    f"got kind {self.kind!r}"
+                )
+            if self.torus:
+                raise ValueError(
+                    "set either 'topology' or 'torus', not both "
+                    "(torus=True is shorthand for topology='torus')"
+                )
+            if self.topology in ND_TOPOLOGIES and self.algorithm not in ND_ALGORITHMS:
+                raise ValueError(
+                    f"algorithm {self.algorithm!r} is 2D-only; topologies in "
+                    f"{ND_TOPOLOGIES} need one of {ND_ALGORITHMS}"
+                )
         if self.kind == "lower_bound":
             if self.construction not in CONSTRUCTIONS:
                 raise ValueError(

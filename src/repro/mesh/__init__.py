@@ -21,6 +21,16 @@ destination.
 
 from repro.mesh.directions import Direction, DIRECTIONS
 from repro.mesh.topology import Mesh, Torus, Topology
+from repro.mesh.ndtopology import (
+    MeshND,
+    NdTopology,
+    Port,
+    SparsePillarMesh,
+    TorusND,
+    TOPOLOGY_NAMES,
+    build_topology,
+    ports,
+)
 from repro.mesh.packet import Packet
 from repro.mesh.queues import QueueSpec, CENTRAL
 from repro.mesh.visibility import PacketView, FullPacketView, Offer
@@ -53,6 +63,14 @@ __all__ = [
     "Mesh",
     "Torus",
     "Topology",
+    "MeshND",
+    "NdTopology",
+    "Port",
+    "SparsePillarMesh",
+    "TorusND",
+    "TOPOLOGY_NAMES",
+    "build_topology",
+    "ports",
     "Packet",
     "QueueSpec",
     "CENTRAL",

@@ -46,6 +46,20 @@ class Direction(enum.IntEnum):
     def is_vertical(self) -> bool:
         return self in (Direction.N, Direction.S)
 
+    @property
+    def axis(self) -> int:
+        """Coordinate axis this direction moves along (x = 0, y = 1).
+
+        Shared with :class:`repro.mesh.ndtopology.Port` so d-dimensional
+        code can treat the four 2D directions as ports of a 2-axis grid.
+        """
+        return _AXIS[self]
+
+    @property
+    def sign(self) -> int:
+        """+1 for the coordinate-increasing direction, -1 for the other."""
+        return _SIGN[self]
+
     def step(self, node: tuple[int, int]) -> tuple[int, int]:
         """The coordinates one hop from ``node`` in this direction.
 
@@ -64,6 +78,8 @@ _OPPOSITE = {
     Direction.E: Direction.W,
     Direction.W: Direction.E,
 }
+_AXIS = {Direction.N: 1, Direction.E: 0, Direction.S: 1, Direction.W: 0}
+_SIGN = {Direction.N: 1, Direction.E: 1, Direction.S: -1, Direction.W: -1}
 
 #: ``OPPOSITE[d]`` is the reverse of ``d``, indexed by ``IntEnum`` value.
 #: Hot paths use this instead of the :attr:`Direction.opposite` property,

@@ -193,9 +193,33 @@ class RoutingAlgorithm(abc.ABC):
     #: True for algorithms that route strictly row-first then column (the
     #: Section 5 dimension-order constructions require this path structure).
     dimension_ordered: ClassVar[bool] = False
+    #: True for routers that steer by downstream free space.  The simulator
+    #: then calls :meth:`attach_credit_probe` with a destination-free
+    #: occupancy reader before the run starts (see docs/TOPOLOGY.md).
+    uses_credit: ClassVar[bool] = False
 
     def __init__(self, queue_spec: QueueSpec) -> None:
         self.queue_spec = queue_spec
+
+    def bind_topology(self, topology: "Topology") -> None:
+        """One-time hook: the simulator announces the topology it will run on.
+
+        Called before any packet is loaded.  Routers that adapt to dimension
+        metadata (axis count, escape axis, regularity) override this; the
+        default does nothing, so 2D routers are unaffected.
+        """
+        return None
+
+    def attach_credit_probe(self, probe: Any) -> None:
+        """Receive the simulator's downstream-occupancy reader.
+
+        ``probe(node, direction)`` returns the occupancy of the queue that a
+        packet sent from ``node`` along ``direction`` would land in, read
+        from the current configuration.  Occupancy is destination-free
+        information, so credit steering preserves destination
+        exchangeability.  Only called when :attr:`uses_credit` is True.
+        """
+        return None
 
     # -- contract metadata ---------------------------------------------------
 
@@ -255,6 +279,7 @@ class RoutingAlgorithm(abc.ABC):
             minimal=contract.minimal,
             dimension_ordered=contract.dimension_ordered,
             note=f"{contract.name}: contract-derived",
+            directions=topology.directions,
         )
 
     # -- initialization ------------------------------------------------------

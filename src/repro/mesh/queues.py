@@ -32,15 +32,16 @@ def default_incoming_initial_key(profitable: frozenset[Direction]) -> Direction:
     destination-exchangeable algorithm (Section 2 allows the initial state
     of a node to depend on the profitable outlinks of the packet that
     originates there).
+
+    The rule is dimension-agnostic (works for :class:`Direction` and for
+    d-dimensional :class:`~repro.mesh.ndtopology.Port` keys alike): take the
+    profitable direction on the lowest axis, positive side first, and use
+    its opposite as the inlink — which reduces to the historical
+    E->W, W->E, N->S, S->N table in 2D.
     """
-    if Direction.E in profitable:
-        return Direction.W
-    if Direction.W in profitable:
-        return Direction.E
-    if Direction.N in profitable:
-        return Direction.S
-    if Direction.S in profitable:
-        return Direction.N
+    if profitable:
+        travel = min(profitable, key=lambda d: (d.axis, -d.sign))
+        return travel.opposite
     # Delivered-at-source packets never actually enter a queue.
     return Direction.S
 
@@ -76,17 +77,35 @@ class QueueSpec:
         # profitable frozensets are interned by the topology layer, so this
         # cache stays tiny).
         self._central = self.kind == KIND_CENTRAL
-        self._arrival_map: dict[Direction, Any] = {
+        self._directions: tuple[Any, ...] = DIRECTIONS
+        self._arrival_map: dict[Any, Any] = {
             d: (CENTRAL if self._central else d) for d in DIRECTIONS
         }
-        self._initial_cache: dict[frozenset[Direction], Any] = {}
+        self._initial_cache: dict[frozenset[Any], Any] = {}
+
+    def bind_directions(self, directions: tuple[Any, ...]) -> None:
+        """Rebuild the per-direction tables for a topology's link set.
+
+        Called once by the simulator before any packet is loaded, so specs
+        written for the 2D compass directions work unchanged on
+        d-dimensional topologies whose links are ports.  Binding the same
+        direction tuple again is a no-op.
+        """
+        directions = tuple(directions)
+        if directions == self._directions:
+            return
+        self._directions = directions
+        self._arrival_map = {
+            d: (CENTRAL if self._central else d) for d in directions
+        }
+        self._initial_cache = {}
 
     @property
     def keys(self) -> tuple[Any, ...]:
         """All queue keys a node may use."""
         if self.kind == KIND_CENTRAL:
             return (CENTRAL,)
-        return DIRECTIONS
+        return self._directions
 
     @property
     def node_capacity(self) -> int:

@@ -23,7 +23,6 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, NamedTuple
 
-from repro.mesh.directions import OPPOSITE as _OPP
 from repro.mesh.directions import Direction
 from repro.mesh.errors import (
     InvalidScheduleError,
@@ -176,6 +175,15 @@ class Simulator:
         #: repro.faults.plan (fault plans install their filter here).
         self.link_filter: Callable[[tuple[int, int], Direction, int], bool] | None = None
         self.spec = algorithm.queue_spec
+        # Topology-as-data hooks (docs/TOPOLOGY.md): the opposite table and
+        # the queue-key vocabulary come from the topology, so d-dimensional
+        # grids run through the same step loop; routers that adapt to
+        # dimension metadata learn it here, before any packet is loaded.
+        self._opp = topology.opposites
+        self.spec.bind_directions(topology.directions)
+        algorithm.bind_topology(topology)
+        if algorithm.uses_credit:
+            algorithm.attach_credit_probe(self._downstream_occupancy)
 
         self._default_after_step = (
             type(algorithm).after_step is RoutingAlgorithm.after_step
@@ -294,6 +302,26 @@ class Simulator:
             self._check_capacity(node)
             self._note_load(node)
         self._sorted_nodes = sorted(self.queues)
+
+    # -- credit probe --------------------------------------------------------
+
+    def _downstream_occupancy(self, node: tuple[int, int], direction: Direction) -> int:
+        """Occupancy of the queue a packet sent along ``direction`` lands in.
+
+        Read from the start-of-step configuration (phase (a) never mutates
+        queues), so every node sees the same deterministic credit values
+        regardless of scheduling order.  Exposes only queue *lengths* --
+        destination-free state -- so credit-steering routers stay
+        destination-exchangeable.
+        """
+        target = self._neighbors[node][direction]
+        if target is None:
+            return 0
+        node_queues = self.queues.get(target)
+        if not node_queues:
+            return 0
+        queue = node_queues.get(self.spec._arrival_map[self._opp[direction]])
+        return len(queue) if queue else 0
 
     # -- views ---------------------------------------------------------------
 
@@ -478,7 +506,7 @@ class Simulator:
         obt_get = offers_by_target.get
         make_offer = Offer
         make_move = ScheduledMove
-        opp = _OPP
+        opp = self._opp
         node_states = self.node_states
         node_state = node_states.get
         out_dirs = self._out_dirs
@@ -608,7 +636,7 @@ class Simulator:
             offers_by_target = {}
             view_at = self._view_at
             for mv in schedule:
-                offer = Offer(view_at(mv.packet, mv.src), _OPP[mv.direction], mv.src)
+                offer = Offer(view_at(mv.packet, mv.src), opp[mv.direction], mv.src)
                 pairs = offers_by_target.get(mv.target)
                 if pairs is None:
                     offers_by_target[mv.target] = [(offer, mv)]
@@ -688,7 +716,7 @@ class Simulator:
                         accepted_moves.append(by_offer[id(accepted[0])])
                     else:
                         moves = [by_offer[id(off)] for off in accepted]
-                        moves.sort(key=lambda m: _OPP[m.direction])
+                        moves.sort(key=lambda m: opp[m.direction])
                         accepted_moves.extend(moves)
             if track_touched:
                 touched.add(target)

@@ -10,20 +10,27 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.mesh.directions import DIRECTIONS, Direction
+from repro.mesh.directions import DIRECTIONS, OPPOSITE, Direction
 
 #: Canonical instances of every profitable-outlink set.  At most one
-#: horizontal and one vertical direction can ever be profitable, so only
-#: nine distinct sets exist on the mesh (plus the torus's exact-halfway
+#: direction per axis can ever be profitable, so few distinct sets exist
+#: per topology family (nine on the 2D mesh, plus the torus's exact-halfway
 #: ties); interning them lets every (node, dest) cache entry share one
-#: frozenset object and keeps downstream dict lookups cheap.
-_INTERNED_DIRSETS: dict[frozenset[Direction], frozenset[Direction]] = {}
+#: frozenset object and keeps downstream dict lookups cheap.  The table is
+#: keyed by ``dims`` as well: d-dimensional ``Port`` keys are value-equal
+#: (and hence hash-equal) to the 2D compass ``Direction`` keys, but a
+#: port's axis/sign meaning depends on the dimension count, so sets from
+#: different dimensionalities must never share a canonical instance.
+_INTERNED_DIRSETS: dict[
+    tuple[int, frozenset[Direction]], frozenset[Direction]
+] = {}
 
 
-def _intern_dirset(dirs: frozenset[Direction]) -> frozenset[Direction]:
-    canon = _INTERNED_DIRSETS.get(dirs)
+def _intern_dirset(dirs: frozenset[Direction], dims: int = 2) -> frozenset[Direction]:
+    key = (dims, dirs)
+    canon = _INTERNED_DIRSETS.get(key)
     if canon is None:
-        canon = _INTERNED_DIRSETS.setdefault(dirs, dirs)
+        canon = _INTERNED_DIRSETS.setdefault(key, dirs)
     return canon
 
 
@@ -38,6 +45,21 @@ class Topology:
 
     #: Set by subclasses: True when links wrap around the boundary.
     wraps: bool = False
+
+    #: Topology data contract (see docs/TOPOLOGY.md).  A topology is a data
+    #: object: a node set, a per-node link table indexed by its ``directions``
+    #: tuple, and dimension metadata.  The 2D classes keep the historical
+    #: compass vocabulary; d-dimensional grids override these with ports.
+    dims: int = 2
+    #: All link directions in deterministic order; ``directions[i]`` has
+    #: integer value ``i`` so link tables can be indexed positionally.
+    directions: tuple[Direction, ...] = DIRECTIONS
+    #: ``opposites[d]`` reverses direction ``d`` (hot-path table form).
+    opposites: tuple[Direction, ...] = OPPOSITE
+    #: False for irregular variants whose link set is node-dependent beyond
+    #: plain boundary clipping (e.g. the sparse-pillar mesh).  Regularity is
+    #: what routers rely on for axis-based escape-channel arguments.
+    regular: bool = True
 
     def __init__(self, width: int, height: int | None = None) -> None:
         if height is None:
@@ -66,9 +88,9 @@ class Topology:
         nbr: list[tuple[tuple[int, int] | None, ...]] = []
         outs: list[tuple[Direction, ...]] = []
         for node in self.nodes():
-            row = tuple(self._neighbor_uncached(node, d) for d in DIRECTIONS)
+            row = tuple(self._neighbor_uncached(node, d) for d in self.directions)
             nbr.append(row)
-            outs.append(tuple(d for d in DIRECTIONS if row[d] is not None))
+            outs.append(tuple(d for d in self.directions if row[d] is not None))
         self._neighbor_flat = nbr
         self._out_dirs_flat = outs
 
@@ -94,6 +116,11 @@ class Topology:
     @property
     def num_nodes(self) -> int:
         return self.width * self.height
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Side length per coordinate axis (``(width, height)`` in 2D)."""
+        return (self.width, self.height)
 
     def nodes(self) -> Iterator[tuple[int, int]]:
         """All nodes in column-major (west-to-east, south-to-north) order."""
@@ -126,7 +153,7 @@ class Topology:
 
     def neighbors(self, node: tuple[int, int]) -> list[tuple[int, int]]:
         out = []
-        for d in DIRECTIONS:
+        for d in self.directions:
             nb = self.neighbor(node, d)
             if nb is not None:
                 out.append(nb)
@@ -151,7 +178,7 @@ class Topology:
         key = (node, dest)
         cached = self._profitable_cache.get(key)
         if cached is None:
-            cached = _intern_dirset(self._profitable_uncached(node, dest))
+            cached = _intern_dirset(self._profitable_uncached(node, dest), self.dims)
             self._profitable_cache[key] = cached
         return cached
 

@@ -106,9 +106,10 @@ class TransitionModel:
 
     def outs_for(self, travel_in: Direction | None) -> tuple[Direction, ...]:
         """Travel directions a packet that arrived travelling ``travel_in``
-        (None = injected) may depart in, in deterministic (N, E, S, W) order."""
+        (None = injected) may depart in, in deterministic value order --
+        (N, E, S, W) in 2D, port order on d-dimensional topologies."""
         outs = {out for t_in, out in self.turns if t_in == travel_in}
-        return tuple(d for d in DIRECTIONS if d in outs)
+        return tuple(sorted(outs))
 
     @property
     def never_blocks(self) -> bool:
@@ -116,41 +117,88 @@ class TransitionModel:
         return not self.blocking_keys
 
 
-def _dimension_order_turns() -> frozenset[tuple[Direction | None, Direction]]:
-    """Row-first turns: horizontal may continue or turn vertical; vertical
-    never turns back (the XY discipline of Sections 1.1 and 2)."""
+def _dimension_order_turns(
+    directions: tuple[Direction, ...] = DIRECTIONS,
+) -> frozenset[tuple[Direction | None, Direction]]:
+    """Axis-ordered turns: a packet may continue straight or turn onto any
+    strictly higher axis, never back to a lower one.  In 2D this is exactly
+    the XY discipline of Sections 1.1 and 2 (horizontal may continue or
+    turn vertical; vertical never turns back)."""
     turns: set[tuple[Direction | None, Direction]] = set()
-    for out in DIRECTIONS:
+    for out in directions:
         turns.add((None, out))  # injection may start in any direction
-    for t_in in HORIZONTAL:
+    for t_in in directions:
         turns.add((t_in, t_in))
-        for out in VERTICAL:
-            turns.add((t_in, out))
-    for t_in in VERTICAL:
-        turns.add((t_in, t_in))
+        for out in directions:
+            if out.axis > t_in.axis:
+                turns.add((t_in, out))
     return frozenset(turns)
 
 
-def _minimal_adaptive_turns() -> frozenset[tuple[Direction | None, Direction]]:
+def _minimal_adaptive_turns(
+    directions: tuple[Direction, ...] = DIRECTIONS,
+) -> frozenset[tuple[Direction | None, Direction]]:
     """All turns except reversal: a minimal move strictly decreases the
     distance to the destination, so the direction just travelled can never
     be profitable on the next hop (on the mesh and the torus alike)."""
     turns: set[tuple[Direction | None, Direction]] = set()
-    for out in DIRECTIONS:
+    for out in directions:
         turns.add((None, out))
-        for t_in in DIRECTIONS:
+        for t_in in directions:
             if out != t_in.opposite:
                 turns.add((t_in, out))
     return frozenset(turns)
 
 
-def _unrestricted_turns() -> frozenset[tuple[Direction | None, Direction]]:
+def _unrestricted_turns(
+    directions: tuple[Direction, ...] = DIRECTIONS,
+) -> frozenset[tuple[Direction | None, Direction]]:
     """Every turn including reversal (nonminimal routers may backtrack)."""
     turns: set[tuple[Direction | None, Direction]] = set()
-    for out in DIRECTIONS:
+    for out in directions:
         turns.add((None, out))
-        for t_in in DIRECTIONS:
+        for t_in in directions:
             turns.add((t_in, out))
+    return frozenset(turns)
+
+
+def escape_channel_turns(
+    directions: tuple[Direction, ...],
+) -> frozenset[tuple[Direction | None, Direction]]:
+    """The credit-adaptive discipline: negative-first adaptive axes with a
+    dimension-ordered escape channel on the highest axis.
+
+    Packets correct the adaptive axes (all but the highest) first, taking
+    every profitable *negative* adaptive direction before any positive one,
+    and enter the escape axis only when the adaptive axes are done; escape
+    traffic runs strictly straight.  The resulting turn relation is
+
+    - injection -> anything;
+    - negative adaptive in -> any non-reversal adaptive out, or escape;
+    - positive adaptive in -> positive adaptive out (no reversal), or
+      escape;
+    - escape in -> straight only.
+
+    On the mesh the blockable (adaptive) sub-relation is acyclic: chains of
+    negative moves strictly decrease the coordinate sum, positive chains
+    strictly increase it, and the bridge is one-way (negative -> positive),
+    so no wait-for cycle can close -- the d-dimensional generalisation of
+    the Theorem 15 argument.  In 2D this set coincides exactly with
+    :func:`_dimension_order_turns`.
+    """
+    last_axis = max(d.axis for d in directions)
+    turns: set[tuple[Direction | None, Direction]] = set()
+    for out in directions:
+        turns.add((None, out))
+    for t_in in directions:
+        if t_in.axis == last_axis:
+            turns.add((t_in, t_in))  # escape channel: straight only
+            continue
+        for out in directions:
+            if out == t_in.opposite:
+                continue
+            if out.axis == last_axis or t_in.sign < 0 or out.sign > 0:
+                turns.add((t_in, out))
     return frozenset(turns)
 
 
@@ -163,6 +211,7 @@ def model_from_contract(
     note: str = "",
     drain_keys: "frozenset[object]" = frozenset(),
     drain_all_keys: "frozenset[object]" = frozenset(),
+    directions: tuple[Direction, ...] = DIRECTIONS,
 ) -> TransitionModel:
     """The symbolic transition model implied by a router's contract.
 
@@ -176,19 +225,19 @@ def model_from_contract(
     ``drain_all_keys`` (see :class:`TransitionModel`).
     """
     if dimension_ordered:
-        turns = _dimension_order_turns()
+        turns = _dimension_order_turns(directions)
         discipline = "dimension-order"
     elif minimal:
-        turns = _minimal_adaptive_turns()
+        turns = _minimal_adaptive_turns(directions)
         discipline = "minimal-adaptive"
     else:
-        turns = _unrestricted_turns()
+        turns = _unrestricted_turns(directions)
         discipline = "unrestricted"
     if blocking_keys is None:
         if queue_kind == KIND_CENTRAL:
             blocking_keys = frozenset({CENTRAL})
         elif queue_kind == KIND_INCOMING:
-            blocking_keys = frozenset(DIRECTIONS)
+            blocking_keys = frozenset(directions)
         else:  # pragma: no cover - QueueSpec rejects other kinds already
             raise ValueError(f"unknown queue kind {queue_kind!r}")
     return TransitionModel(

@@ -28,6 +28,7 @@ from repro.routing.dimension_order import DimensionOrderRouter
 from repro.routing.bounded_dor import BoundedDimensionOrderRouter
 from repro.routing.farthest_first import FarthestFirstRouter
 from repro.routing.adaptive import AlternatingAdaptiveRouter, GreedyAdaptiveRouter
+from repro.routing.credit_adaptive import CreditAdaptiveRouter
 from repro.routing.hot_potato import HotPotatoRouter
 from repro.routing.randomized import RandomizedAdaptiveRouter
 from repro.routing.delta_adaptive import BoundedExcursionRouter
@@ -40,6 +41,7 @@ __all__ = [
     "BoundedDimensionOrderRouter",
     "FarthestFirstRouter",
     "AlternatingAdaptiveRouter",
+    "CreditAdaptiveRouter",
     "GreedyAdaptiveRouter",
     "HotPotatoRouter",
     "RandomizedAdaptiveRouter",

@@ -31,7 +31,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.mesh import Mesh, Packet, Simulator, Topology, Torus
+from repro.mesh import (
+    Mesh,
+    MeshND,
+    Packet,
+    Simulator,
+    SparsePillarMesh,
+    Topology,
+    Torus,
+    TorusND,
+    TOPOLOGY_NAMES,
+)
 from repro.mesh.errors import SimulationError
 from repro.mesh.interfaces import RoutingAlgorithm
 from repro.verify.oracles import (
@@ -44,10 +54,23 @@ from repro.verify.oracles import (
     Violation,
 )
 
-FAMILIES = ("permutation", "hh", "torus", "dynamic")
+FAMILIES = ("permutation", "hh", "torus", "dynamic", "mesh3d", "torus3d", "pillar")
+
+#: The analysis-topology name (see ``repro.mesh.ndtopology.TOPOLOGY_NAMES``)
+#: each workload family runs on.  Routers are only exercised on families
+#: whose topology they are registered for (``RouterEntry.topologies``).
+FAMILY_TOPOLOGY: dict[str, str] = {
+    "permutation": "mesh",
+    "hh": "mesh",
+    "dynamic": "mesh",
+    "torus": "torus",
+    "mesh3d": "mesh3d",
+    "torus3d": "torus3d",
+    "pillar": "pillar",
+}
 
 #: Families included by ``python -m repro verify --smoke``.
-SMOKE_FAMILIES = ("permutation", "hh", "torus")
+SMOKE_FAMILIES = ("permutation", "hh", "torus", "mesh3d", "pillar")
 
 
 @dataclass(frozen=True)
@@ -59,14 +82,24 @@ class RouterEntry:
     the head-on deadlock the paper studies) live inside the factory.
     ``completes`` maps a family name to the expectation that the router
     delivers every packet there; unlisted families default to True.
+    ``topologies`` lists the analysis topologies the router is registered
+    on -- the 2D routers hard-code the four-direction mesh, so they default
+    to the classic pair; a d-dimensional router opts into the rest.
     """
 
     name: str
     factory: Callable[[int, int], RoutingAlgorithm]
     completes: dict[str, bool] = field(default_factory=dict)
+    topologies: tuple[str, ...] = ("mesh", "torus")
 
     def expects_completion(self, family: str) -> bool:
         return self.completes.get(family, True)
+
+    def supports_topology(self, topology_name: str) -> bool:
+        return topology_name in self.topologies
+
+    def supports_family(self, family: str) -> bool:
+        return FAMILY_TOPOLOGY.get(family, "mesh") in self.topologies
 
 
 def _registry() -> dict[str, RouterEntry]:
@@ -74,6 +107,7 @@ def _registry() -> dict[str, RouterEntry]:
         AlternatingAdaptiveRouter,
         BoundedDimensionOrderRouter,
         BoundedExcursionRouter,
+        CreditAdaptiveRouter,
         DimensionOrderRouter,
         FarthestFirstRouter,
         GreedyAdaptiveRouter,
@@ -109,6 +143,13 @@ def _registry() -> dict[str, RouterEntry]:
             "bounded-excursion",
             lambda k, s: BoundedExcursionRouter(max(k, 2), 1, "incoming"),
         ),
+        # The only d-dimensional entry: its escape channel is topology-bound
+        # at load time, so one registration covers every analysis topology.
+        RouterEntry(
+            "credit-adaptive",
+            lambda k, s: CreditAdaptiveRouter(k),
+            topologies=TOPOLOGY_NAMES,
+        ),
     ]
     return {e.name: e for e in entries}
 
@@ -135,6 +176,15 @@ def build_instance(family: str, n: int, seed: int) -> tuple[Topology, list[Packe
     if family == "dynamic":
         mesh = Mesh(n)
         return mesh, bernoulli_traffic(mesh, 0.1, 2 * n, seed=seed)
+    if family == "mesh3d":
+        cube = MeshND((n, n, n))
+        return cube, random_permutation(cube, seed=seed)
+    if family == "torus3d":
+        cube3 = TorusND((n, n, n))
+        return cube3, random_permutation(cube3, seed=seed)
+    if family == "pillar":
+        pillar = SparsePillarMesh(n)
+        return pillar, random_permutation(pillar, seed=seed)
     raise ValueError(f"unknown workload family {family!r}; expected one of {FAMILIES}")
 
 
@@ -150,10 +200,18 @@ def fresh_copies(packets: list[Packet]) -> list[Packet]:
 def transpose_instance(
     topology: Topology, packets: list[Packet]
 ) -> tuple[Topology, list[Packet]]:
-    """The instance under (x, y) -> (y, x); valid on square topologies."""
-    if topology.width != topology.height:
-        raise ValueError("transpose metamorphic transform needs a square topology")
-    t = lambda node: (node[1], node[0])
+    """The instance under coordinate reversal -- (x, y) -> (y, x) in 2D.
+
+    Valid on regular, equal-sided topologies (axis permutation is then a
+    graph automorphism); the sparse-pillar mesh breaks it because the
+    vertical axis is not exchangeable with the grid axes.
+    """
+    shape = topology.shape
+    if not topology.regular or len(set(shape)) != 1:
+        raise ValueError(
+            "transpose metamorphic transform needs an equal-sided regular topology"
+        )
+    t = lambda node: tuple(reversed(node))
     image = [
         Packet(p.pid, t(p.source), t(p.dest), injection_time=p.injection_time)
         for p in packets
@@ -164,9 +222,15 @@ def transpose_instance(
 def reflect_instance(
     topology: Topology, packets: list[Packet]
 ) -> tuple[Topology, list[Packet]]:
-    """The instance under (x, y) -> (width-1-x, y)."""
-    w = topology.width
-    r = lambda node: (w - 1 - node[0], node[1])
+    """The instance under first-axis reflection -- (x, y) -> (width-1-x, y).
+
+    Valid on regular topologies; reflection moves the pillar columns of the
+    sparse-pillar mesh, so it is rejected there.
+    """
+    if not topology.regular:
+        raise ValueError("reflect metamorphic transform needs a regular topology")
+    w = topology.shape[0]
+    r = lambda node: (w - 1 - node[0], *node[1:])
     image = [
         Packet(p.pid, r(p.source), r(p.dest), injection_time=p.injection_time)
         for p in packets
@@ -304,8 +368,18 @@ def cross_check(
     """
     topology, packets = build_instance(family, n, seed)
     report = CellReport(family=family, n=n, k=k, seed=seed)
-    names = routers or list(REGISTRY)
+    names = [
+        name
+        for name in (routers or list(REGISTRY))
+        if REGISTRY[name].supports_family(family)
+    ]
     all_pids = frozenset(p.pid for p in packets)
+    # Metamorphic transforms that are automorphisms of *this* topology.
+    transforms: list[tuple[str, Callable[..., tuple[Topology, list[Packet]]]]] = []
+    if topology.regular:
+        if len(set(topology.shape)) == 1:
+            transforms.append(("transpose", transpose_instance))
+        transforms.append(("reflect", reflect_instance))
 
     for name in names:
         entry = REGISTRY[name]
@@ -353,10 +427,7 @@ def cross_check(
             )
 
         if metamorphic and expected:
-            for tname, transform in (
-                ("transpose", transpose_instance),
-                ("reflect", reflect_instance),
-            ):
+            for tname, transform in transforms:
                 itopo, ipackets = transform(topology, packets)
                 image = checked_run(
                     entry, itopo, ipackets, k=k, seed=seed, mode=mode,

@@ -271,7 +271,9 @@ class MinimalityOracle(Oracle):
                         f"(distance {before}->{after}), not a profitable move "
                         f"for dest {mv.packet.dest}",
                     )
-        if topo.wraps or sim.interceptor is not None:
+        if topo.wraps or not topo.regular or sim.interceptor is not None:
+            # Irregular topologies (sparse-pillar) route minimally *around*
+            # missing links, so minimal paths legitimately leave the box.
             return
         for mv in moves:
             p = mv.packet
@@ -285,15 +287,14 @@ class MinimalityOracle(Oracle):
 
 
 def _rectangle_excess(
-    pos: tuple[int, int], a: tuple[int, int], b: tuple[int, int]
+    pos: tuple[int, ...], a: tuple[int, ...], b: tuple[int, ...]
 ) -> int:
-    """Manhattan distance from ``pos`` to the rectangle spanned by a and b."""
-    (x, y), (ax, ay), (bx, by) = pos, a, b
-    lo_x, hi_x = min(ax, bx), max(ax, bx)
-    lo_y, hi_y = min(ay, by), max(ay, by)
-    dx = max(lo_x - x, 0, x - hi_x)
-    dy = max(lo_y - y, 0, y - hi_y)
-    return dx + dy
+    """Manhattan distance from ``pos`` to the box spanned by a and b (any d)."""
+    excess = 0
+    for x, ax, bx in zip(pos, a, b):
+        lo, hi = min(ax, bx), max(ax, bx)
+        excess += max(lo - x, 0, x - hi)
+    return excess
 
 
 class StepBoundOracle(Oracle):

@@ -23,8 +23,8 @@ def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
 
 
 def packets_from_mapping(
-    mapping: Mapping[tuple[int, int], tuple[int, int]]
-    | Iterable[tuple[tuple[int, int], tuple[int, int]]],
+    mapping: Mapping[tuple[int, ...], tuple[int, ...]]
+    | Iterable[tuple[tuple[int, ...], tuple[int, ...]]],
     *,
     check_permutation: bool = True,
 ) -> list[Packet]:
@@ -81,42 +81,65 @@ def random_partial_permutation(
 
 
 def transpose_permutation(topology: Topology) -> list[Packet]:
-    """The matrix-transpose permutation: (x, y) -> (y, x).
+    """The coordinate-reversal permutation: (x, y) -> (y, x) in 2D.
 
     A classic stress pattern for dimension-order routing: all traffic
-    crosses the main diagonal.
+    crosses the main diagonal.  In d dimensions the node tuple is reversed,
+    which requires every side length to be equal.
     """
-    if topology.width != topology.height:
-        raise ValueError("transpose needs a square topology")
-    return packets_from_mapping({(x, y): (y, x) for x, y in topology.nodes()})
+    if len(set(topology.shape)) != 1:
+        raise ValueError("transpose needs equal side lengths on every axis")
+    return packets_from_mapping(
+        {node: tuple(reversed(node)) for node in topology.nodes()}
+    )
 
 
 def bit_reversal_permutation(topology: Topology) -> list[Packet]:
     """(x, y) -> (rev(x), rev(y)) where rev reverses the coordinate's bits.
 
-    Defined for power-of-two side lengths.
+    Defined for power-of-two side lengths, per axis, in any dimension.
     """
-    w, h = topology.width, topology.height
-    if w & (w - 1) or h & (h - 1):
-        raise ValueError("bit reversal needs power-of-two dimensions")
-    wbits = w.bit_length() - 1
-    hbits = h.bit_length() - 1
+    shape = topology.shape
+    for side in shape:
+        if side & (side - 1):
+            raise ValueError("bit reversal needs power-of-two dimensions")
+    bits = [side.bit_length() - 1 for side in shape]
 
-    def rev(v: int, bits: int) -> int:
+    def rev(v: int, nbits: int) -> int:
         out = 0
-        for _ in range(bits):
+        for _ in range(nbits):
             out = (out << 1) | (v & 1)
             v >>= 1
         return out
 
     return packets_from_mapping(
-        {(x, y): (rev(x, wbits), rev(y, hbits)) for x, y in topology.nodes()}
+        {
+            node: tuple(rev(c, b) for c, b in zip(node, bits))
+            for node in topology.nodes()
+        }
     )
 
 
-def rotation_permutation(topology: Topology, dx: int, dy: int) -> list[Packet]:
-    """Cyclic shift: (x, y) -> ((x+dx) mod w, (y+dy) mod h)."""
-    w, h = topology.width, topology.height
+def rotation_permutation(
+    topology: Topology, *shifts: int, dx: int | None = None, dy: int | None = None
+) -> list[Packet]:
+    """Cyclic shift: one shift per axis, each coordinate mod its side.
+
+    The historical 2D spelling ``rotation_permutation(mesh, dx=3, dy=0)``
+    is accepted as an alias for positional ``(dx, dy)``.
+    """
+    if dx is not None or dy is not None:
+        if shifts:
+            raise ValueError("pass shifts positionally or as dx/dy, not both")
+        shifts = (dx or 0, dy or 0)
+    shape = topology.shape
+    if len(shifts) != len(shape):
+        raise ValueError(
+            f"rotation needs one shift per axis ({len(shape)}), got {len(shifts)}"
+        )
     return packets_from_mapping(
-        {(x, y): ((x + dx) % w, (y + dy) % h) for x, y in topology.nodes()}
+        {
+            node: tuple((c + s) % side for c, s, side in zip(node, shifts, shape))
+            for node in topology.nodes()
+        }
     )

@@ -95,8 +95,9 @@ class TestAnalyzeTrialKind:
     def test_cdg_trial_executes(self):
         spec = TrialSpec(kind="analyze", workload="cdg", n=4, k=2)
         metrics = execute_trial(spec)
-        assert metrics["verdicts"] == 16  # 8 routers x 2 topologies
-        assert metrics["deadlock_free"] + metrics["cyclic"] == 16
+        # 8 compass routers x 2 topologies + credit-adaptive x 5 topologies.
+        assert metrics["verdicts"] == 21
+        assert metrics["deadlock_free"] + metrics["cyclic"] == 21
 
     def test_lint_trial_executes(self):
         spec = TrialSpec(kind="analyze", workload="lint", n=4)
@@ -124,9 +125,11 @@ class TestBoundsTrialKind:
     def test_bounds_trial_executes(self):
         spec = TrialSpec(kind="bounds", n=4, k=2)
         metrics = execute_trial(spec)
-        assert metrics["bounds_verdicts"] == 16  # 8 routers x 2 topologies
-        assert metrics["bounded"] + metrics["unbounded"] == 16
-        assert metrics["bounded"] == 4  # bounded-dor, ff (mesh) + hot-potato x2
+        # 8 compass routers x 2 topologies + credit-adaptive x 5 topologies.
+        assert metrics["bounds_verdicts"] == 21
+        assert metrics["bounded"] + metrics["unbounded"] == 21
+        # bounded-dor, ff (mesh), hot-potato x2, credit-adaptive (mesh+mesh3d).
+        assert metrics["bounded"] == 6
 
     def test_router_pin(self):
         spec = TrialSpec(kind="bounds", n=4, k=1, algorithm="hot-potato")
@@ -137,7 +140,8 @@ class TestBoundsTrialKind:
     def test_analyze_workload_bounds_runs_the_certifier(self):
         spec = TrialSpec(kind="analyze", workload="bounds", n=4, k=2)
         metrics = execute_trial(spec)
-        assert metrics["bounds_verdicts"] == 16
+        # 8 compass routers x 2 topologies + credit-adaptive x 5 topologies.
+        assert metrics["bounds_verdicts"] == 21
 
     def test_bad_router_rejected_by_validate(self):
         spec = TrialSpec(kind="bounds", n=4, algorithm="psychic")

@@ -50,6 +50,10 @@ GOLDEN = {
     ("bounded-excursion", "torus"): (UNBOUNDED, REASON_WEDGE, None),
     ("hot-potato", "mesh"): (BOUNDED, "", 4),
     ("hot-potato", "torus"): (BOUNDED, "", 4),
+    # Certified via the always-accepting escape channel on the mesh; the
+    # wrap closes the dependency cycle on the torus (conservative refusal).
+    ("credit-adaptive", "mesh"): (BOUNDED, "", "k"),
+    ("credit-adaptive", "torus"): (UNBOUNDED, REASON_WEDGE, None),
 }
 
 

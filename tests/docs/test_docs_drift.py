@@ -1,12 +1,17 @@
 """Docs-drift guards: the README must track the tree it describes.
 
-Two invariants, both cheap and purely textual:
+Four invariants:
 
 1. every ``docs/*.md`` file is linked (by name) from the README, so new
    documents cannot silently fall out of the entry point;
 2. every CLI subcommand the README advertises exists in ``cli.py``, and
    every top-level subcommand ``cli.py`` registers is mentioned in the
-   README — the two lists cannot drift apart.
+   README — the two lists cannot drift apart;
+3. the README architecture tree names exactly the packages that exist
+   under ``src/repro`` (no phantom entries, no undocumented packages);
+4. the verdict table embedded in ``docs/TOPOLOGY.md`` equals what the
+   CDG analyzer and queue-bound certifier currently prove — the one
+   check here that runs the analyzers rather than comparing text.
 """
 
 import pathlib
@@ -64,3 +69,64 @@ class TestCliListMatches:
             names = [n.strip() for n in blob.replace("\n", " ").split(",")]
             unknown = [n for n in names if n and n not in CLI_SUBCOMMANDS]
             assert unknown == [], f"README lists unknown subcommands: {unknown}"
+
+
+class TestArchitectureTree:
+    """The fenced tree under `## Architecture` vs the real src/repro."""
+
+    def _tree_entries(self):
+        section = README.split("## Architecture", 1)[1]
+        block = section.split("```", 2)[1]
+        # Top-level entries are indented exactly two spaces under src/repro/:
+        # package dirs as `name/`, modules as `name.py`.
+        return set(re.findall(r"^  ([a-z_]+(?:/|\.py))", block, re.MULTILINE))
+
+    def _real_entries(self):
+        src = REPO_ROOT / "src" / "repro"
+        entries = set()
+        for path in src.iterdir():
+            if path.is_dir() and (path / "__init__.py").exists():
+                entries.add(path.name + "/")
+            elif path.suffix == ".py" and path.name not in (
+                "__init__.py",
+                "__main__.py",
+            ):
+                entries.add(path.name)
+        return entries
+
+    def test_tree_matches_source_layout(self):
+        documented, real = self._tree_entries(), self._real_entries()
+        assert documented - real == set(), (
+            f"README architecture tree names entries that do not exist: "
+            f"{sorted(documented - real)}"
+        )
+        assert real - documented == set(), (
+            f"src/repro entries missing from the README architecture tree: "
+            f"{sorted(real - documented)}"
+        )
+
+
+class TestTopologyVerdictTable:
+    """docs/TOPOLOGY.md's embedded table must equal the analyzers' output."""
+
+    MARKER_BEGIN = "<!-- verdict-table:begin -->"
+    MARKER_END = "<!-- verdict-table:end -->"
+
+    def test_table_matches_regenerated(self):
+        from repro.analysis.static_check import verdict_table_markdown
+
+        doc = (REPO_ROOT / "docs" / "TOPOLOGY.md").read_text()
+        assert self.MARKER_BEGIN in doc and self.MARKER_END in doc, (
+            "docs/TOPOLOGY.md lost its verdict-table markers"
+        )
+        embedded = doc.split(self.MARKER_BEGIN, 1)[1].split(self.MARKER_END, 1)[0]
+        assert embedded.strip() == verdict_table_markdown().strip(), (
+            "docs/TOPOLOGY.md verdict table is stale; regenerate with "
+            "`python -m repro analyze cdg --format markdown --k 2` and paste "
+            "it between the verdict-table markers"
+        )
+
+    def test_topology_doc_linked_from_model_and_analysis(self):
+        for name in ("MODEL.md", "ANALYSIS.md"):
+            text = (REPO_ROOT / "docs" / name).read_text()
+            assert "TOPOLOGY.md" in text, f"docs/{name} lost its TOPOLOGY.md link"

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the d-dimensional topology layer.
+
+The 2D suite (``test_topology_properties.py``) pins the compass behaviour
+of :class:`Mesh`/:class:`Torus`; this suite checks the same invariants on
+the data-driven :class:`NdTopology` family for d in 1..4, plus the
+encoding laws of :func:`ports` and an exhaustive BFS cross-check of the
+irregular :class:`SparsePillarMesh` distance closed form.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.directions import DIRECTIONS
+from repro.mesh.ndtopology import MeshND, SparsePillarMesh, TorusND, ports
+
+
+@st.composite
+def nd_case(draw):
+    dims = draw(st.integers(1, 4))
+    shape = tuple(draw(st.integers(2, 5)) for _ in range(dims))
+    wrap = draw(st.booleans())
+    topo = TorusND(shape) if wrap else MeshND(shape)
+    a = tuple(draw(st.integers(0, s - 1)) for s in shape)
+    b = tuple(draw(st.integers(0, s - 1)) for s in shape)
+    return topo, a, b
+
+
+@given(nd_case())
+@settings(max_examples=200)
+def test_neighbor_symmetry(case):
+    """Every link is bidirectional: going out p and back p.opposite is home."""
+    topo, a, _ = case
+    for p in topo.directions:
+        nb = topo.neighbor(a, p)
+        if nb is not None:
+            assert topo.neighbor(nb, p.opposite) == a
+
+
+@given(nd_case())
+@settings(max_examples=200)
+def test_distance_matches_closed_form(case):
+    """Mesh distance is L1; torus distance is per-axis ring distance."""
+    topo, a, b = case
+    expected = 0
+    for axis, side in enumerate(topo.shape):
+        d = abs(a[axis] - b[axis])
+        expected += min(d, side - d) if topo.wrap[axis] else d
+    assert topo.distance(a, b) == expected
+    assert topo.distance(a, b) == topo.distance(b, a)
+    assert topo.distance(a, b) <= topo.diameter
+
+
+@given(nd_case())
+@settings(max_examples=200)
+def test_profitable_moves_reduce_distance_by_one(case):
+    topo, a, b = case
+    profitable = topo.profitable_directions(a, b)
+    assert bool(profitable) == (a != b)
+    for p in topo.directions:
+        nb = topo.neighbor(a, p)
+        if nb is None:
+            continue
+        if p in profitable:
+            assert topo.distance(nb, b) == topo.distance(a, b) - 1
+        else:
+            assert topo.distance(nb, b) >= topo.distance(a, b)
+
+
+@given(nd_case())
+@settings(max_examples=200)
+def test_wrap_tie_has_both_directions_profitable(case):
+    """Even-side half-circumference ties admit both ports; otherwise the
+    profitable set holds at most one port per axis."""
+    topo, a, b = case
+    profitable = topo.profitable_directions(a, b)
+    for axis, side in enumerate(topo.shape):
+        on_axis = [p for p in profitable if p.axis == axis]
+        d = abs(a[axis] - b[axis])
+        tie = topo.wrap[axis] and side % 2 == 0 and d == side // 2
+        assert len(on_axis) == (2 if tie else (0 if d == 0 else 1))
+
+
+@given(nd_case())
+@settings(max_examples=100)
+def test_node_index_is_a_bijection(case):
+    topo, _, _ = case
+    indices = [topo.node_index(node) for node in topo.nodes()]
+    assert indices == list(range(topo.num_nodes))
+
+
+def test_ports_encoding_laws():
+    for dims in range(1, 5):
+        ps = ports(dims)
+        assert len(ps) == 2 * dims
+        assert [int(p) for p in ps] == list(range(2 * dims))
+        for p in ps:
+            assert p.opposite.opposite is p
+            assert p.opposite.axis == p.axis
+            assert p.opposite.sign == -p.sign
+        assert sorted({(p.axis, p.sign) for p in ps}) == [
+            (axis, sign) for axis in range(dims) for sign in (-1, 1)
+        ]
+
+
+def test_ports_at_d2_coincide_with_compass_directions():
+    """Port 0..3 must be N, E, S, W numerically *and* geometrically."""
+    for port, direction in zip(ports(2), DIRECTIONS):
+        assert int(port) == int(direction)
+        assert port.axis == direction.axis
+        assert port.sign == direction.sign
+        assert int(port.opposite) == int(direction.opposite)
+
+
+def _bfs_distances(topo, source):
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for p in topo.out_directions(node):
+            nb = topo.neighbor(node, p)
+            if nb is not None and nb not in dist:
+                dist[nb] = dist[node] + 1
+                frontier.append(nb)
+    return dist
+
+
+def test_pillar_distance_matches_bfs_exhaustively():
+    topo = SparsePillarMesh(4, layers=3)
+    nodes = list(topo.nodes())
+    for src in nodes:
+        bfs = _bfs_distances(topo, src)
+        assert len(bfs) == topo.num_nodes  # connected despite missing z-links
+        for dst in nodes:
+            assert topo.distance(src, dst) == bfs[dst]
+
+
+def test_pillar_profitable_moves_reduce_bfs_distance():
+    topo = SparsePillarMesh(4, layers=3)
+    a, b = (1, 3, 0), (3, 1, 2)
+    profitable = topo.profitable_directions(a, b)
+    assert profitable  # some minimal outlink exists even off-pillar
+    for p in profitable:
+        assert topo.distance(topo.neighbor(a, p), b) == topo.distance(a, b) - 1

@@ -128,6 +128,7 @@ GOLDEN_STEPS = {
         "hot-potato": 14,
         "randomized-adaptive": 15,
         "bounded-excursion": 14,
+        "credit-adaptive": 20,
     },
     ("transpose", 16): {
         "dor": 30,
@@ -138,16 +139,17 @@ GOLDEN_STEPS = {
         "hot-potato": 30,
         "randomized-adaptive": 30,
         "bounded-excursion": 30,
+        "credit-adaptive": 44,
     },
     ("bit-reversal", 8): {name: 6 for name in (
         "dor", "bounded-dor", "farthest-first", "greedy-adaptive",
         "alternating-adaptive", "hot-potato", "randomized-adaptive",
-        "bounded-excursion",
+        "bounded-excursion", "credit-adaptive",
     )},
     ("bit-reversal", 16): {name: 18 for name in (
         "dor", "bounded-dor", "farthest-first", "greedy-adaptive",
         "alternating-adaptive", "hot-potato", "randomized-adaptive",
-        "bounded-excursion",
+        "bounded-excursion", "credit-adaptive",
     )},
 }
 
