@@ -90,11 +90,6 @@ def make_workload(name: str, topology, seed: int):
 
 
 def cmd_route(args: argparse.Namespace) -> int:
-    if args.engine == "array" and args.availability < 1.0:
-        raise _usage_error(
-            "--engine array does not support --availability < 1.0 "
-            "(link filters run on the reference engine only)"
-        )
     if args.topology and args.torus:
         raise _usage_error("--topology and --torus are mutually exclusive")
     if args.topology:

@@ -31,8 +31,12 @@ Three plan families are provided:
 
 Plans compose with :class:`CompositeFaultPlan` (an entity is up only if
 every constituent plan says so) and attach to a simulator with
-:meth:`FaultPlan.attach`, which installs a ``link_filter`` that also
-fails every link into or out of a down *node*.
+:meth:`FaultPlan.attach`.  On the reference engine that installs a
+scalar ``link_filter`` closure; on the array engine the plan is queried
+through the vectorized ``link_up_array``/``node_up_array`` methods,
+which evaluate the *same* pure counter-hash draws batch-wise -- both
+paths also fail every link into or out of a down *node*, and stay
+byte-identical to each other.
 """
 
 from __future__ import annotations
@@ -40,15 +44,19 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
 
 from repro.mesh.directions import Direction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.mesh.simulator import Simulator
+    from repro.mesh.topology import Topology
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
+_GOLDEN_U64 = np.uint64(_GOLDEN)
 
 
 def _mix(h: int) -> int:
@@ -57,6 +65,32 @@ def _mix(h: int) -> int:
     h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
     return h ^ (h >> 31)
+
+
+def _mix_u64(h: np.ndarray) -> np.ndarray:
+    """:func:`_mix` over uint64 arrays (wrapping arithmetic is mod 2**64)."""
+    h = h ^ (h >> np.uint64(30))
+    h = h * np.uint64(0xBF58476D1CE4E5B9)
+    h = h ^ (h >> np.uint64(27))
+    h = h * np.uint64(0x94D049BB133111EB)
+    return h ^ (h >> np.uint64(31))
+
+
+def link_draw_array(
+    seed: int, xs: np.ndarray, ys: np.ndarray, dirs: np.ndarray, time: int
+) -> np.ndarray:
+    """Vectorized :func:`link_draw`: bit-identical draws for whole arrays.
+
+    Element ``i`` equals ``counter_draw(seed, xs[i], ys[i], dirs[i],
+    time)`` exactly: uint64 arithmetic wraps mod 2**64 like the masked
+    Python-int path, and ``(h >> 11) / 2**53`` is exact in float64.
+    """
+    h: np.ndarray = np.uint64(_mix(seed ^ _GOLDEN))  # scalar prefix
+    with np.errstate(over="ignore"):
+        for c in (xs, ys, dirs):
+            h = _mix_u64(h ^ (c.astype(np.uint64) + _GOLDEN_U64))
+        h = _mix_u64(h ^ np.uint64((time + _GOLDEN) & _MASK64))
+    return (h >> np.uint64(11)).astype(np.float64) / float(1 << 53)
 
 
 def counter_draw(seed: int, *counters: int) -> float:
@@ -98,14 +132,49 @@ class FaultPlan:
         resilience layer (see :mod:`repro.faults.resilience`)."""
         return True
 
-    def attach(self, sim: "Simulator") -> "Simulator":
-        """Install this plan as ``sim.link_filter`` and return ``sim``.
+    def link_up_array(
+        self, xs: np.ndarray, ys: np.ndarray, dirs: np.ndarray, time: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`link_up` over parallel coordinate arrays.
 
-        The installed filter fails a scheduled move when the link itself
-        is down, or when either endpoint node is down -- so node failures
-        need no simulator support beyond the existing link hook.
+        The default answers element-wise through the scalar query, so
+        any plan is automatically correct on the array engine; plans
+        with a closed form (Bernoulli) override this with a batched
+        computation that is bit-identical to the scalar path.
         """
-        neighbor = sim.topology.neighbor
+        if type(self).link_up is FaultPlan.link_up:
+            return np.ones(len(xs), dtype=bool)
+        return np.fromiter(
+            (
+                self.link_up((x, y), Direction(d), time)
+                for x, y, d in zip(xs.tolist(), ys.tolist(), dirs.tolist())
+            ),
+            dtype=bool,
+            count=len(xs),
+        )
+
+    def node_up_array(
+        self, xs: np.ndarray, ys: np.ndarray, time: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`node_up` over parallel coordinate arrays."""
+        if type(self).node_up is FaultPlan.node_up:
+            return np.ones(len(xs), dtype=bool)
+        return np.fromiter(
+            (self.node_up((x, y), time) for x, y in zip(xs.tolist(), ys.tolist())),
+            dtype=bool,
+            count=len(xs),
+        )
+
+    def as_link_filter(
+        self, topology: "Topology"
+    ) -> Callable[[tuple[int, int], Direction, int], bool]:
+        """The scalar link filter this plan induces on ``topology``.
+
+        The filter fails a scheduled move when the link itself is down,
+        or when either endpoint node is down -- so node failures need no
+        simulator support beyond the existing link hook.
+        """
+        neighbor = topology.neighbor
 
         def link_filter(
             src: tuple[int, int], direction: Direction, time: int
@@ -117,7 +186,17 @@ class FaultPlan:
             target = neighbor(src, direction)
             return target is None or self.node_up(target, time)
 
-        sim.link_filter = link_filter
+        return link_filter
+
+    def attach(self, sim: "Simulator") -> "Simulator":
+        """Install this plan on ``sim`` and return ``sim``.
+
+        The reference engine installs the scalar :meth:`as_link_filter`
+        closure; the array engine keeps the plan itself and evaluates
+        the same draws through the vectorized ``*_array`` queries, so
+        both paths stay byte-identical.
+        """
+        sim.attach_fault_plan(self)
         return sim
 
 
@@ -142,6 +221,13 @@ class BernoulliLinkPlan(FaultPlan):
         if self.availability >= 1.0:
             return True
         return link_draw(self.seed, src, direction, time) < self.availability
+
+    def link_up_array(
+        self, xs: np.ndarray, ys: np.ndarray, dirs: np.ndarray, time: int
+    ) -> np.ndarray:
+        if self.availability >= 1.0:
+            return np.ones(len(xs), dtype=bool)
+        return link_draw_array(self.seed, xs, ys, dirs, time) < self.availability
 
 
 @dataclass(frozen=True)
@@ -270,3 +356,19 @@ class CompositeFaultPlan(FaultPlan):
 
     def node_up(self, node: tuple[int, int], time: int) -> bool:
         return all(p.node_up(node, time) for p in self.plans)
+
+    def link_up_array(
+        self, xs: np.ndarray, ys: np.ndarray, dirs: np.ndarray, time: int
+    ) -> np.ndarray:
+        up = np.ones(len(xs), dtype=bool)
+        for p in self.plans:
+            up &= p.link_up_array(xs, ys, dirs, time)
+        return up
+
+    def node_up_array(
+        self, xs: np.ndarray, ys: np.ndarray, time: int
+    ) -> np.ndarray:
+        up = np.ones(len(xs), dtype=bool)
+        for p in self.plans:
+            up &= p.node_up_array(xs, ys, time)
+        return up

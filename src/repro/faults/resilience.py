@@ -104,6 +104,12 @@ class ResilienceManager:
             raise ValueError(
                 f"max_retransmits must be >= 0, got {max_retransmits}"
             )
+        if getattr(sim, "engine_name", "reference") != "reference":
+            raise NotImplementedError(
+                "ResilienceManager needs packet drops and dynamic"
+                " retransmission, which the array engine does not support;"
+                " construct the simulator with engine='reference'"
+            )
         self.sim = sim
         self.plan = plan
         self.timeout = timeout

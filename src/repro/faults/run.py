@@ -104,6 +104,7 @@ def run_faulty(
     retransmit_timeout: int = 0,
     max_retransmits: int = 3,
     oracle_mode: str = "record",
+    engine: str = "reference",
 ) -> FaultyRunReport:
     """Run ``algorithm`` on ``packets`` under ``plan`` and measure it.
 
@@ -112,8 +113,13 @@ def run_faulty(
             otherwise sources re-inject undelivered packets every
             ``retransmit_timeout`` steps (at most ``max_retransmits``
             times each) and node outages drop resident packets.
+            Requires the reference engine (ResilienceManager raises on
+            any other).
         oracle_mode: ``record`` (default) counts violations without
             aborting; ``strict`` raises on the first one (tests).
+        engine: Step-engine to run on (``reference`` or ``array``);
+            fault plans evaluate the same pure counter-hash draws on
+            either, so results are byte-identical.
 
     The simulator runs with ``validate=False``: enforcement is exactly
     the oracles' job here, and record mode must be able to observe a
@@ -122,7 +128,9 @@ def run_faulty(
     original_packets = list(packets)
     injection_time = {p.pid: p.injection_time for p in original_packets}
 
-    sim = Simulator(topology, algorithm, original_packets, validate=False)
+    sim = Simulator(
+        topology, algorithm, original_packets, validate=False, engine=engine
+    )
     plan.attach(sim)
     checker = attach_checker(
         sim,
@@ -161,6 +169,10 @@ def run_faulty(
             t - injection_time[pid] for pid, t in result.delivery_times.items()
         )
         extra = {"retransmissions": 0, "dropped_by_outage": 0}
+    # Report the engine that actually ran: "array" silently falls back to
+    # "reference" for unported routers, and a fault sweep must not claim
+    # array-engine coverage it did not get.
+    extra["engine"] = sim.engine_name
 
     degradation = degradation_metrics(
         delivered=delivered,

@@ -432,6 +432,7 @@ def _run_faults(spec: TrialSpec) -> dict[str, Any]:
         max_steps=spec.max_steps,
         retransmit_timeout=spec.retransmit_timeout,
         max_retransmits=spec.max_retransmits,
+        engine=spec.engine,
     )
     return {"algorithm_name": algorithm.name, **report.to_metrics()}
 

@@ -285,11 +285,6 @@ class TrialSpec:
             raise ValueError(f"queues must be 'central' or 'incoming', got {self.queues!r}")
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
-        if self.engine == "array" and self.availability < 1.0:
-            raise ValueError(
-                "engine='array' does not support degraded availability "
-                "(link filters run on the reference engine only)"
-            )
         if not 0.0 < self.availability <= 1.0:
             raise ValueError(f"availability must be in (0, 1], got {self.availability}")
         if self.max_steps < 1:

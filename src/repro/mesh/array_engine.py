@@ -10,13 +10,18 @@ every step, same counters, same ``RunResult`` -- which the equivalence
 harness (:mod:`repro.verify.engine_equivalence`), the golden step tables,
 and the hypothesis lockstep suite enforce.
 
-Only the *ported* routers run here -- bounded dimension-order, hot-potato,
-and central-queue dimension-order, each as a :class:`RouterKernel` -- and
-only on plain ``Mesh``/``Torus`` topologies without interceptors.
+Only the *ported* routers run here -- bounded dimension-order,
+central-queue dimension-order, hot-potato, greedy-adaptive,
+farthest-first, and credit-adaptive, each as a :class:`RouterKernel` --
+and only on plain ``Mesh``/``Torus`` topologies without interceptors.
 ``Simulator(engine="array")`` dispatches through
 :func:`resolve_array_class` and silently falls back to the reference
 engine for everything else, so callers can request the array engine
-unconditionally.
+unconditionally.  Fault plans (:mod:`repro.faults.plan`) attach through
+:meth:`ArraySimulator.attach_fault_plan` and run as a vectorized
+per-step availability mask over the scheduled moves, evaluated from the
+same pure counter-hash draws as the reference engine's ``link_filter``
+path -- so faulty runs are byte-identical across engines too.
 
 The compatibility surface (``queues``, ``configuration()``,
 ``iter_packets`` and the observer hooks) is provided by materializing
@@ -32,7 +37,16 @@ from typing import Any, Iterable
 
 import numpy as np
 
-from repro.mesh.array_state import LOWBIT_DIR, OPP, ArrayState, GridGeometry
+from repro.mesh.array_state import (
+    DIR_E,
+    DIR_N,
+    DIR_S,
+    DIR_W,
+    LOWBIT_DIR,
+    OPP,
+    ArrayState,
+    GridGeometry,
+)
 from repro.mesh.directions import DIRECTIONS, Direction
 from repro.mesh.errors import QueueOverflowError
 from repro.mesh.packet import Packet
@@ -41,6 +55,14 @@ from repro.mesh.simulator import ScheduledMove, Simulator, StepRecord
 from repro.mesh.topology import Mesh, Torus, Topology
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: ``NodeContext.packets`` iterates queues in repr-sorted key order -- for
+#: the four compass directions that is E, N, S, W -- so kernels that mirror
+#: it rank queue keys through this table (index = ``Direction`` value).
+_REPR_RANK = np.array([1, 0, 2, 3], dtype=np.int64)
+
+#: Sentinel cost larger than any queue occupancy (credit steering).
+_BIG = np.int64(1) << 60
 
 
 class RouterKernel:
@@ -52,8 +74,10 @@ class RouterKernel:
     target), and ``after_step`` (phase (e): packet-state updates).  The
     engine owns everything else -- injection, transmit, counters, maxima.
 
-    Class attributes declare the queue regime: ``num_keys`` (1 central / 4
-    incoming) and ``track_age`` (packet state is an integer age).
+    ``num_keys`` (1 central / 4 incoming) and ``track_age`` (packet state
+    is an integer age) declare the queue regime.  The engine reads both
+    off the *constructed* kernel, so routers that support either queue
+    kind set ``num_keys`` per instance in ``__init__``.
     """
 
     num_keys = 1
@@ -151,23 +175,29 @@ class CentralDorKernel(RouterKernel):
         return cand, cslot >> 2, cslot & 3
 
     def accept(self, pkt, src, dirs, tgt, came):
-        engine = self.engine
-        st = engine._state
-        free = engine.spec.capacity - st.occ[tgt, 0]
-        # Rotating round-robin priority (rotation_order(time)); within each
-        # target, the first ``free`` offers in that priority are accepted.
-        prio = (came - (engine.time & 3)) & 3
-        order = np.lexsort((prio, tgt))
-        tgt_s = tgt[order]
-        newg = np.empty(len(tgt_s), dtype=bool)
-        newg[0] = True
-        newg[1:] = tgt_s[1:] != tgt_s[:-1]
-        starts = np.flatnonzero(newg)
-        grp = np.cumsum(newg) - 1
-        posg = np.arange(len(tgt_s), dtype=np.int64) - starts[grp]
-        acc = np.empty(len(tgt_s), dtype=bool)
-        acc[order] = posg < free[order]
-        return acc
+        return _rotating_central_accept(self.engine, tgt, came)
+
+
+def _rotating_central_accept(
+    engine: "ArraySimulator", tgt: np.ndarray, came: np.ndarray
+) -> np.ndarray:
+    """``accept_up_to_central_space``, batched: per target, the first
+    ``capacity - occupancy`` offers in rotating round-robin priority
+    (``rotation_order(time)``) are accepted."""
+    st = engine._state
+    free = engine.spec.capacity - st.occ[tgt, 0]
+    prio = (came - (engine.time & 3)) & 3
+    order = np.lexsort((prio, tgt))
+    tgt_s = tgt[order]
+    newg = np.empty(len(tgt_s), dtype=bool)
+    newg[0] = True
+    newg[1:] = tgt_s[1:] != tgt_s[:-1]
+    starts = np.flatnonzero(newg)
+    grp = np.cumsum(newg) - 1
+    posg = np.arange(len(tgt_s), dtype=np.int64) - starts[grp]
+    acc = np.empty(len(tgt_s), dtype=bool)
+    acc[order] = posg < free[order]
+    return acc
 
 
 class HotPotatoKernel(RouterKernel):
@@ -240,6 +270,226 @@ class HotPotatoKernel(RouterKernel):
             engine._state.age[act] += 1  # everyone in the network ages
 
 
+class GreedyAdaptiveKernel(RouterKernel):
+    """Greedy adaptive: packets claim free profitable outlinks in order.
+
+    Mirrors ``GreedyAdaptiveRouter.outqueue``: packets are processed in
+    ``ctx.packets`` order (queues in repr-sorted key order, FIFO within)
+    and each claims the first unclaimed profitable outlink in
+    ``rotation_order(time)`` preference.  Central accept is the rotating
+    accept-up-to-space; incoming accepts below per-queue capacity.
+    """
+
+    def __init__(self, engine: "ArraySimulator") -> None:
+        super().__init__(engine)
+        self.num_keys = 1 if engine._central else 4
+
+    def schedule(self, act: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        engine = self.engine
+        st = engine._state
+        node = st.posf[act]
+        if self.num_keys == 1:
+            order = np.lexsort((st.qseq[act], node))
+        else:
+            order = np.lexsort((st.qseq[act], _REPR_RANK[st.qkey[act]], node))
+        slots = act[order]
+        snode = node[order]
+        newg = np.empty(len(snode), dtype=bool)
+        newg[0] = True
+        newg[1:] = snode[1:] != snode[:-1]
+        starts = np.flatnonzero(newg)
+        grp = np.cumsum(newg) - 1
+        rank = np.arange(len(snode), dtype=np.int64) - starts[grp]
+        pmask = st.profitable_mask(slots)
+        taken = np.zeros(int(newg.sum()), dtype=np.int64)
+        cdir = np.full(len(slots), -1, dtype=np.int64)
+        pref = engine.time & 3
+        for r in range(int(rank.max()) + 1):
+            idx = np.flatnonzero(rank == r)
+            if len(idx) == 0:
+                break  # ranks are contiguous per node
+            nn = grp[idx]
+            free = pmask[idx] & ~taken[nn]
+            # Rotate so bit j means direction (j + pref) % 4; the lowest
+            # set bit is then the first free direction in preference order.
+            rot = ((free >> pref) | (free << (4 - pref))) & 15
+            dd = LOWBIT_DIR[rot & -rot]
+            placed = dd >= 0
+            d = (dd[placed] + pref) & 3
+            cdir[idx[placed]] = d
+            taken[nn[placed]] |= 1 << d
+        sel = cdir >= 0
+        return slots[sel], snode[sel], cdir[sel]
+
+    def accept(self, pkt, src, dirs, tgt, came):
+        engine = self.engine
+        if self.num_keys == 1:
+            return _rotating_central_accept(engine, tgt, came)
+        return engine._state.occ[tgt, came] < engine.spec.capacity
+
+
+class FarthestFirstKernel(RouterKernel):
+    """Farthest-first dimension-order (the Section 5 E4 victim).
+
+    Every packet's sole candidate outlink is its dimension-order desired
+    direction; per (node, direction) the packet with the most remaining
+    distance in that dimension wins.  Incoming regime: straight-through
+    priority -- any candidate from the opposite inlink queue beats every
+    turner, and turners rank by the concatenation order of the node's
+    other queues (queue-creation order, FIFO within), so the full rank is
+    (straight class, -distance, key creation rank, FIFO).  Central
+    regime: FIFO index breaks distance ties.  Inqueue: delivering offers
+    always accept; incoming N/S always accept; otherwise space-gated
+    (central sorts transit offers farthest-first against free space).
+    """
+
+    def __init__(self, engine: "ArraySimulator") -> None:
+        super().__init__(engine)
+        self.num_keys = 1 if engine._central else 4
+
+    def schedule(self, act: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        st = self.engine._state
+        node = st.posf[act]
+        dx, dy = st.displacement(act)
+        desired = st.desired_direction(dx, dy)
+        # E/W are the odd direction values, so parity selects the axis.
+        dist = np.where((desired & 1) == 1, np.abs(dx), np.abs(dy))
+        group = (node << 2) | desired
+        if self.num_keys == 1:
+            order = np.lexsort((st.qseq[act], -dist, group))
+        else:
+            krank = st.key_rank[node, st.qkey[act]]
+            notstraight = (st.qkey[act] != OPP[desired]).astype(np.int64)
+            order = np.lexsort((st.qseq[act], krank, -dist, notstraight, group))
+        group_s = group[order]
+        first = np.empty(len(group_s), dtype=bool)
+        first[0] = True
+        first[1:] = group_s[1:] != group_s[:-1]
+        sel = order[first]
+        return act[sel], node[sel], desired[sel]
+
+    def accept(self, pkt, src, dirs, tgt, came):
+        engine = self.engine
+        st = engine._state
+        capacity = engine.spec.capacity
+        delivering = tgt == st.destf[pkt]
+        if self.num_keys == 4:
+            vertical = (came == DIR_N) | (came == DIR_S)
+            return delivering | vertical | (st.occ[tgt, came] < capacity)
+        # Central: delivering offers consume no space and always accept;
+        # transit offers rank farthest-first (total remaining distance,
+        # inlink value tie) against beginning-of-step free space.
+        acc = delivering.copy()
+        transit = np.flatnonzero(~delivering)
+        if len(transit):
+            dx, dy = st.displacement(pkt[transit])
+            totrem = np.abs(dx) + np.abs(dy)
+            ttgt = tgt[transit]
+            order = np.lexsort((came[transit], -totrem, ttgt))
+            tgt_s = ttgt[order]
+            newg = np.empty(len(tgt_s), dtype=bool)
+            newg[0] = True
+            newg[1:] = tgt_s[1:] != tgt_s[:-1]
+            starts = np.flatnonzero(newg)
+            grp = np.cumsum(newg) - 1
+            posg = np.arange(len(tgt_s), dtype=np.int64) - starts[grp]
+            free = capacity - st.occ[ttgt, 0]
+            acc[transit[order]] = posg < free[order]
+        return acc
+
+
+class CreditAdaptiveKernel(RouterKernel):
+    """Credit-steered minimal adaptive with a dimension-ordered escape axis.
+
+    Phase 1 enforces the escape-channel drain invariant: the FIFO head of
+    each vertical (escape-axis) queue goes straight when that move is
+    profitable.  Phase 2 walks the remaining packets in (queue value,
+    FIFO) order; each takes the unclaimed allowed direction with the
+    least downstream occupancy -- the credit probe readback, which is
+    ``occ[neighbor, opposite(direction)]`` at start of phase (a) -- with
+    ties to the smaller direction value.  Negative-first adaptivity: a
+    packet with any profitable horizontal direction is restricted to W
+    when W is profitable, else E; vertical-only packets use their
+    profitable vertical directions.  Incoming-only; escape (vertical)
+    inqueues always accept, adaptive queues accept below capacity.
+    """
+
+    num_keys = 4
+
+    def schedule(self, act: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        engine = self.engine
+        st = engine._state
+        node = st.posf[act]
+        qkey = st.qkey[act]
+        order = np.lexsort((st.qseq[act], qkey, node))
+        slots = act[order]
+        snode = node[order]
+        skey = qkey[order]
+        newg = np.empty(len(snode), dtype=bool)
+        newg[0] = True
+        newg[1:] = snode[1:] != snode[:-1]
+        starts = np.flatnonzero(newg)
+        grp = np.cumsum(newg) - 1
+        rank = np.arange(len(snode), dtype=np.int64) - starts[grp]
+        pmask = st.profitable_mask(slots)
+        taken = np.zeros(int(newg.sum()), dtype=np.int64)
+        cdir = np.full(len(slots), -1, dtype=np.int64)
+        done = np.zeros(len(slots), dtype=bool)
+        # Phase 1 (escape drain): the FIFO head of each vertical queue
+        # goes straight when profitable.  N-heads claim S and S-heads
+        # claim N, so the two sweeps can never collide.
+        for k in (DIR_N, DIR_S):
+            straight = int(OPP[k])
+            idxk = np.flatnonzero(skey == k)
+            if len(idxk) == 0:
+                continue
+            nodek = snode[idxk]
+            firstk = np.empty(len(idxk), dtype=bool)
+            firstk[0] = True
+            firstk[1:] = nodek[1:] != nodek[:-1]
+            heads = idxk[firstk]
+            ok = heads[((pmask[heads] >> straight) & 1) == 1]
+            cdir[ok] = straight
+            done[ok] = True
+            taken[grp[ok]] |= 1 << straight
+        # Phase 2 (credit steering): negative-first allowed set per packet.
+        wbit = (pmask >> DIR_W) & 1
+        ebit = (pmask >> DIR_E) & 1
+        amask = np.where(
+            wbit == 1,
+            1 << DIR_W,
+            np.where(ebit == 1, 1 << DIR_E, pmask & ((1 << DIR_N) | (1 << DIR_S))),
+        )
+        nbr = st.geom.nbr_flat
+        occ = st.occ
+        for r in range(int(rank.max()) + 1):
+            idx = np.flatnonzero((rank == r) & ~done)
+            if len(idx) == 0:
+                continue  # phase-1 heads may hollow out a rank; keep going
+            nn = grp[idx]
+            free = amask[idx] & ~taken[nn]
+            nodes = snode[idx]
+            costs = np.full((len(idx), 4), _BIG, dtype=np.int64)
+            for d in range(4):
+                has = ((free >> d) & 1) == 1
+                if not bool(has.any()):
+                    continue
+                tgtd = nbr[nodes[has], d]
+                costs[has, d] = occ[tgtd, OPP[d]]
+            pick = np.argmin(costs, axis=1)  # ties -> smaller direction
+            placed = costs[np.arange(len(idx), dtype=np.int64), pick] < _BIG
+            d = pick[placed]
+            cdir[idx[placed]] = d
+            taken[nn[placed]] |= 1 << d
+        sel = cdir >= 0
+        return slots[sel], snode[sel], cdir[sel]
+
+    def accept(self, pkt, src, dirs, tgt, came):
+        st = self.engine._state
+        vertical = (came == DIR_N) | (came == DIR_S)
+        return vertical | (st.occ[tgt, came] < self.engine.spec.capacity)
+
+
 class ArraySimulator(Simulator):
     """Array-backend drop-in for :class:`~repro.mesh.simulator.Simulator`.
 
@@ -248,8 +498,10 @@ class ArraySimulator(Simulator):
     ported and the run shape is supported, and silently falls back to the
     reference engine otherwise.  Unsupported at construction time:
     interceptors and link-load recording (the factory never routes those
-    here); unsupported at run time: link filters and packet drops (these
-    raise).
+    here).  Unsupported capabilities fail fast with a message naming the
+    fallback: arbitrary ``link_filter`` assignment raises at assignment
+    time (fault plans attach through :meth:`attach_fault_plan` instead),
+    and packet drops raise at the call.
 
     The observable surface matches the reference engine exactly:
     ``queues`` materializes Packet objects lazily (cached per step), so
@@ -290,7 +542,8 @@ class ArraySimulator(Simulator):
         self.record_series = record_series
         self.record_link_loads = False
         self.link_loads: dict = {}
-        self.link_filter = None
+        self._fault_plan: Any = None
+        self._plan_filter: Any = None
         self.spec = algorithm.queue_spec
         self.time = 0
         self.node_states: dict = {}
@@ -313,10 +566,16 @@ class ArraySimulator(Simulator):
         self.post_step_hooks: list = []
         self._central = self.spec.kind == "central"
         self._height = topology.height
+        self.spec.bind_directions(topology.directions)
+        algorithm.bind_topology(topology)
+        # The kernel is constructed first because queue-kind-dependent
+        # kernels pick ``num_keys`` per instance.
         self._kernel = kernel_cls(self)
         self._state = ArrayState(
-            GridGeometry(topology), kernel_cls.num_keys, kernel_cls.track_age
+            GridGeometry(topology), self._kernel.num_keys, self._kernel.track_age
         )
+        if algorithm.uses_credit:
+            algorithm.attach_credit_probe(self._downstream_occupancy)
         self._packet_of: list[Packet] = []  # slot -> Packet
         self._slot_of: dict[int, int] = {}  # pid -> slot (in-network only)
         self._known_pids: set[int] = set()
@@ -474,6 +733,55 @@ class ArraySimulator(Simulator):
         kidx = 0 if self._central else int(key)
         return int(self._state.occ[self._flat(node), kidx])
 
+    def _downstream_occupancy(self, node: tuple[int, int], direction: Any) -> int:
+        """Destination-free credit probe over the array state.
+
+        Parity with the reference simulator's probe: occupancy of the
+        queue a packet sent from ``node`` along ``direction`` would land
+        in.  The credit kernel reads ``occ`` directly on the hot path;
+        this exists so the algorithm object stays introspectable.
+        """
+        st = self._state
+        tgt = int(st.geom.nbr_flat[self._flat(node), int(direction)])
+        if tgt < 0:
+            return 0
+        kidx = 0 if self._central else int(OPP[int(direction)])
+        return int(st.occ[tgt, kidx])
+
+    # -- fault plans ---------------------------------------------------------
+
+    @property
+    def link_filter(self) -> Any:
+        """The scalar equivalent of the attached fault plan (None without).
+
+        The engine itself never calls it -- faults run through the plan's
+        vectorized per-step mask in :meth:`step` -- but the readback keeps
+        the reference-engine contract for tests and observers.
+        """
+        return self._plan_filter
+
+    @link_filter.setter
+    def link_filter(self, value: Any) -> None:
+        if value is not None:
+            raise NotImplementedError(
+                "array engine does not support arbitrary link filters; "
+                "attach a FaultPlan (plan.attach(sim)) for fault support, "
+                "or construct with engine='reference'"
+            )
+        self._fault_plan = None
+        self._plan_filter = None
+
+    def attach_fault_plan(self, plan: Any) -> None:
+        """Register ``plan`` for the vectorized per-step availability mask.
+
+        The counterpart of the reference engine's scalar ``link_filter``
+        installation (see :meth:`repro.faults.plan.FaultPlan.attach`);
+        results are byte-identical because the plan's array queries make
+        the same pure counter-hash draws.
+        """
+        self._fault_plan = plan
+        self._plan_filter = plan.as_link_filter(self.topology)
+
     def _check_new_pid(self, packet: Packet) -> None:
         if packet.pid in self._known_pids:
             raise ValueError(f"duplicate packet id {packet.pid}")
@@ -511,14 +819,14 @@ class ArraySimulator(Simulator):
 
     def step(self) -> list[ScheduledMove]:
         """Run one synchronous step (the reference phase order, batched)."""
-        if self.link_filter is not None:
-            raise NotImplementedError(
-                "array engine does not support link filters; use engine='reference'"
-            )
         instr = self.instrument
         if instr is not None:
             instr.begin_step()
         self.time += 1
+        # Invalidate the materialized-queue cache up front: even a step
+        # with zero accepted moves (every scheduled move refused by a
+        # fault plan) advances packet ages in phase (e).
+        self._mat = None
         if self.pre_step_hooks:
             for hook in self.pre_step_hooks:
                 hook(self)
@@ -533,12 +841,31 @@ class ArraySimulator(Simulator):
             sched_pkt, sched_src, sched_dir = self._kernel.schedule(act)
         else:
             sched_pkt = sched_src = sched_dir = _EMPTY
-        self.scheduled_moves += len(sched_pkt)
+        n_scheduled = len(sched_pkt)
+        self.scheduled_moves += n_scheduled
         if instr is not None:
             instr.mark("a")
 
-        # (b) no interceptor and no link filter by construction; minimality
-        # holds by kernel construction (desired moves are profitable).
+        # (b) no interceptor by construction; minimality holds by kernel
+        # construction (desired moves are profitable).  An attached fault
+        # plan drops scheduled moves over down links/nodes here, exactly
+        # where the reference engine applies its link_filter -- a dropped
+        # move counts as a refusal, like a refused offer.
+        plan = self._fault_plan
+        if plan is not None and n_scheduled:
+            t = self.time
+            h = self._height
+            sx = sched_src // h
+            sy = sched_src % h
+            keep = plan.link_up_array(sx, sy, sched_dir, t)
+            keep &= plan.node_up_array(sx, sy, t)
+            # Scheduled moves are profitable, so the target always exists.
+            tgt_all = self._state.geom.nbr_flat[sched_src, sched_dir]
+            keep &= plan.node_up_array(tgt_all // h, tgt_all % h, t)
+            if not bool(keep.all()):
+                sched_pkt = sched_pkt[keep]
+                sched_src = sched_src[keep]
+                sched_dir = sched_dir[keep]
         if instr is not None:
             instr.mark("b")
 
@@ -554,7 +881,7 @@ class ArraySimulator(Simulator):
             acame = came[acc]
         else:
             apkt = asrc = adir = atgt = acame = _EMPTY
-        self.refused_moves += len(sched_pkt) - len(apkt)
+        self.refused_moves += n_scheduled - len(apkt)
         if instr is not None:
             instr.mark("c")
 
@@ -600,7 +927,6 @@ class ArraySimulator(Simulator):
         self.total_moves += n_acc
         if n_acc == 0:
             return []
-        self._mat = None
         # Arrival order is (target, inlink direction): targets ascending,
         # multi-offer groups by came_from -- the reference accepted_moves
         # order, which fixes FIFO sequence numbers and key creation order.
@@ -757,13 +1083,19 @@ _KERNELS: dict[type, type[RouterKernel]] = {}
 
 
 def _register_kernels() -> None:
+    from repro.routing.adaptive import GreedyAdaptiveRouter
     from repro.routing.bounded_dor import BoundedDimensionOrderRouter
+    from repro.routing.credit_adaptive import CreditAdaptiveRouter
     from repro.routing.dimension_order import DimensionOrderRouter
+    from repro.routing.farthest_first import FarthestFirstRouter
     from repro.routing.hot_potato import HotPotatoRouter
 
     _KERNELS[BoundedDimensionOrderRouter] = BoundedDorKernel
     _KERNELS[DimensionOrderRouter] = CentralDorKernel
     _KERNELS[HotPotatoRouter] = HotPotatoKernel
+    _KERNELS[GreedyAdaptiveRouter] = GreedyAdaptiveKernel
+    _KERNELS[FarthestFirstRouter] = FarthestFirstKernel
+    _KERNELS[CreditAdaptiveRouter] = CreditAdaptiveKernel
 
 
 _register_kernels()

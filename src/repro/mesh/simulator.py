@@ -262,6 +262,15 @@ class Simulator:
 
     # -- setup ---------------------------------------------------------------
 
+    def attach_fault_plan(self, plan: Any) -> None:
+        """Install ``plan`` (a :class:`repro.faults.plan.FaultPlan`).
+
+        The reference engine evaluates plans through the scalar
+        ``link_filter`` closure; the array engine overrides this to keep
+        the plan itself and query its vectorized methods per step.
+        """
+        self.link_filter = plan.as_link_filter(self.topology)
+
     def _load(self, packets: Iterable[Packet]) -> None:
         seen: set[int] = set()
         originating: dict[tuple[int, int], list[Packet]] = {}

@@ -49,7 +49,14 @@ from repro.verify.differential import (
 #: registry order.  Extending the backend means appending here *and*
 #: registering the kernel in ``repro.mesh.array_engine``; the lockstep
 #: test suite asserts the two lists agree.
-ARRAY_PORTED = ("dor", "bounded-dor", "hot-potato")
+ARRAY_PORTED = (
+    "dor",
+    "bounded-dor",
+    "hot-potato",
+    "greedy-adaptive",
+    "farthest-first",
+    "credit-adaptive",
+)
 
 #: Instance families the lockstep matrix sweeps by default: static
 #: permutations on both topologies plus the dynamic (timed-injection)

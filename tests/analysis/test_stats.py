@@ -38,6 +38,50 @@ class TestPercentile:
 
         assert faults_percentile is percentile
 
+    def test_presorted_skips_the_sort_but_agrees(self):
+        values = [9, 1, 5, 5, 2]
+        ordered = sorted(values)
+        for q in (1, 25, 50, 75, 99, 100):
+            assert percentile(ordered, q, presorted=True) == percentile(values, q)
+
+    def test_presorted_trusts_the_caller(self):
+        # presorted=True must not re-sort: on deliberately unsorted input
+        # it indexes the sequence as-is (this is the contract, not a bug).
+        assert percentile([9, 1, 5], 50, presorted=True) == 1
+        assert percentile([9, 1, 5], 50) == 5
+
+
+#: Nearest-rank goldens: (sample, q) -> pinned output.  These pin the
+#: exact rank rule (ceil(q/100 * len), clamped to [1, len], 1-indexed on
+#: the ascending sample) so the single-sort refactor of
+#: latency_percentiles provably changed nothing.
+PERCENTILE_GOLDENS = {
+    ((4, 1, 3, 2, 5), 1): 1,
+    ((4, 1, 3, 2, 5), 20): 1,
+    ((4, 1, 3, 2, 5), 21): 2,
+    ((4, 1, 3, 2, 5), 50): 3,
+    ((4, 1, 3, 2, 5), 99): 5,
+    ((4, 1, 3, 2, 5), 100): 5,
+    ((7,), 50): 7,
+    ((7,), 99): 7,
+    ((10, 10, 20), 50): 10,
+    ((10, 10, 20), 67): 20,
+    (tuple(range(100, 0, -1)), 50): 50,
+    (tuple(range(100, 0, -1)), 95): 95,
+    (tuple(range(100, 0, -1)), 99): 99,
+}
+
+
+class TestPercentileGoldens:
+    def test_pinned_nearest_rank_outputs(self):
+        for (sample, q), expected in PERCENTILE_GOLDENS.items():
+            assert percentile(list(sample), q) == expected, (sample, q)
+
+    def test_latency_percentiles_matches_pins(self):
+        sample = (4, 1, 3, 2, 5)
+        row = latency_percentiles(list(sample), (50, 99))
+        assert row == {"latency_p50": 3, "latency_p99": 5}
+
 
 class TestLatencyPercentiles:
     def test_default_keys(self):

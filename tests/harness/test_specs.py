@@ -57,14 +57,16 @@ class TestEngineField:
                 dict(kind="route", n=8, algorithm="dor", engine="simd")
             )
 
-    def test_array_engine_incompatible_with_degraded_links(self):
-        with pytest.raises(ValueError, match="reference engine only"):
-            TrialSpec.from_dict(
-                dict(
-                    kind="route", n=8, algorithm="bounded-dor",
-                    engine="array", availability=0.9,
-                )
+    def test_array_engine_accepts_degraded_links(self):
+        # Fault plans run vectorized on the array backend now, so the old
+        # array+availability rejection is gone.
+        spec = TrialSpec.from_dict(
+            dict(
+                kind="route", n=8, algorithm="bounded-dor",
+                engine="array", availability=0.9,
             )
+        )
+        spec.validate()
 
     def test_engine_affects_cache_key(self):
         reference = TrialSpec(kind="bench", n=8, algorithm="bounded-dor")

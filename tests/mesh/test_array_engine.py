@@ -12,9 +12,12 @@ import pytest
 from repro.mesh import Mesh, Packet, Simulator, Torus
 from repro.mesh.array_engine import ArraySimulator, ported_router_types
 from repro.routing import (
+    AlternatingAdaptiveRouter,
     BoundedDimensionOrderRouter,
+    CreditAdaptiveRouter,
     DimensionOrderRouter,
     FarthestFirstRouter,
+    GreedyAdaptiveRouter,
     HotPotatoRouter,
 )
 from repro.workloads import random_permutation
@@ -33,6 +36,11 @@ class TestDispatch:
             BoundedDimensionOrderRouter(2),
             DimensionOrderRouter(4),
             HotPotatoRouter(),
+            GreedyAdaptiveRouter(2, "incoming"),
+            GreedyAdaptiveRouter(4, "central"),
+            FarthestFirstRouter(2),
+            FarthestFirstRouter(2, "central"),
+            CreditAdaptiveRouter(2),
         ):
             sim = make(algorithm=algorithm)
             assert isinstance(sim, ArraySimulator)
@@ -52,7 +60,7 @@ class TestDispatch:
             make(engine="simd")
 
     def test_unported_router_falls_back(self):
-        sim = make(algorithm=FarthestFirstRouter(2))
+        sim = make(algorithm=AlternatingAdaptiveRouter(2))
         assert sim.engine_name == "reference"
 
     def test_router_subclass_falls_back(self):
@@ -91,14 +99,25 @@ class TestGuardrails:
         with pytest.raises(NotImplementedError, match="reference"):
             sim.drop_pending(999)
 
-    def test_late_link_filter_refused_at_step_time(self):
-        """Dispatch cannot see a filter attached after construction (the
-        faults layer does exactly that), so step() must refuse loudly
-        rather than silently ignore the filter."""
+    def test_arbitrary_link_filter_refused_at_assignment(self):
+        """Fault plans go through attach_fault_plan (vectorized path);
+        an arbitrary scalar closure cannot be vectorized, so assigning
+        one must fail fast, not explode mid-run at step() time."""
         sim = make()
-        sim.link_filter = lambda time, src, direction: True
         with pytest.raises(NotImplementedError, match="link filters"):
-            sim.step()
+            sim.link_filter = lambda src, direction, time: True
+
+    def test_clearing_link_filter_is_allowed(self):
+        sim = make()
+        sim.link_filter = None
+        assert sim.link_filter is None
+
+    def test_resilience_manager_refused_at_construction(self):
+        from repro.faults import BernoulliLinkPlan, ResilienceManager
+
+        sim = make()
+        with pytest.raises(NotImplementedError, match="reference"):
+            ResilienceManager(sim, BernoulliLinkPlan(0.9), timeout=8)
 
     def test_duplicate_pid_rejected_at_load(self):
         with pytest.raises(ValueError, match="duplicate"):

@@ -44,6 +44,58 @@ def lockstep_case(draw):
     return router, n, k, seed, torus, workload
 
 
+@st.composite
+def faulted_lockstep_case(draw):
+    router = draw(st.sampled_from(ARRAY_PORTED))
+    n = draw(st.integers(4, 8))
+    k = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    torus = draw(st.booleans())
+    availability = draw(st.sampled_from([0.5, 0.8, 0.95]))
+    fault_seed = draw(st.integers(0, 2**16))
+    return router, n, k, seed, torus, availability, fault_seed
+
+
+@given(faulted_lockstep_case())
+@settings(max_examples=25, deadline=None)
+def test_engines_agree_step_by_step_under_link_faults(case):
+    """Per-step equality must survive a Bernoulli link plan: both engines
+    evaluate the same pure counter-hash draws (scalar closure vs
+    vectorized mask), so the filtered traces are byte-identical too."""
+    from repro.faults import BernoulliLinkPlan
+
+    router, n, k, seed, torus, availability, fault_seed = case
+    topology = Torus(n) if torus else Mesh(n)
+    packets = random_permutation(topology, seed=seed)
+    entry = REGISTRY[router]
+
+    # validate=False: flaky links void the synchrony assumption behind
+    # e.g. bounded-dor's always-accept vertical queues, so overflow is a
+    # legitimate outcome here -- the engines must agree about it, not die.
+    reference = Simulator(
+        topology, entry.factory(k, seed), fresh_copies(packets), validate=False
+    )
+    array = Simulator(
+        topology,
+        entry.factory(k, seed),
+        fresh_copies(packets),
+        engine="array",
+        validate=False,
+    )
+    assert array.engine_name == "array", "ported router must not fall back"
+    BernoulliLinkPlan(availability, seed=fault_seed).attach(reference)
+    BernoulliLinkPlan(availability, seed=fault_seed).attach(array)
+
+    report = LockstepReport(
+        router=router, family="faulted", n=n, k=k, seed=seed, engaged=True
+    )
+    # Degraded links can stall any router indefinitely; compare over a
+    # bounded window rather than a completion budget.
+    budget = min(step_budget(n, k), 40 * n)
+    lockstep(reference, array, budget, report)
+    assert report.ok, report.findings
+
+
 @given(lockstep_case())
 @settings(max_examples=40, deadline=None)
 def test_engines_agree_step_by_step(case):

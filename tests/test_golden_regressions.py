@@ -189,9 +189,15 @@ GOLDEN_N64 = {
     ("transpose", "dor"): (1000, True, 126, 4096, 174720, 2),
     ("transpose", "bounded-dor"): (1000, True, 188, 4096, 174720, 1),
     ("transpose", "hot-potato"): (1000, True, 126, 4096, 174720, 2),
+    ("transpose", "greedy-adaptive"): (1000, True, 126, 4096, 174720, 1),
+    ("transpose", "farthest-first"): (1000, True, 188, 4096, 174720, 1),
+    ("transpose", "credit-adaptive"): (1000, True, 188, 4096, 174720, 1),
     ("bit-reversal", "dor"): (300, False, 300, 3735, 152050, 4),
     ("bit-reversal", "bounded-dor"): (1000, True, 104, 4096, 159744, 1),
     ("bit-reversal", "hot-potato"): (1000, True, 98, 4096, 161664, 4),
+    ("bit-reversal", "greedy-adaptive"): (1000, True, 101, 4096, 159744, 2),
+    ("bit-reversal", "farthest-first"): (1000, True, 104, 4096, 159744, 1),
+    ("bit-reversal", "credit-adaptive"): (1000, True, 104, 4096, 159744, 1),
 }
 
 #: Pinned open-loop streaming trace per ported router: Mesh(8), poisson
@@ -216,6 +222,24 @@ GOLDEN_STREAMING = {
         "steps": 87, "offered_packets": 216, "admitted_packets": 216,
         "rejected_packets": 0, "delivered_measured": 174,
         "total_moves": 1236, "max_queue_len": 3,
+        "latency_p50": 6, "latency_p99": 12, "drained": True,
+    },
+    "greedy-adaptive": {
+        "steps": 87, "offered_packets": 216, "admitted_packets": 216,
+        "rejected_packets": 0, "delivered_measured": 174,
+        "total_moves": 1206, "max_queue_len": 2,
+        "latency_p50": 5, "latency_p99": 12, "drained": True,
+    },
+    "farthest-first": {
+        "steps": 87, "offered_packets": 216, "admitted_packets": 216,
+        "rejected_packets": 0, "delivered_measured": 174,
+        "total_moves": 1206, "max_queue_len": 2,
+        "latency_p50": 6, "latency_p99": 12, "drained": True,
+    },
+    "credit-adaptive": {
+        "steps": 87, "offered_packets": 216, "admitted_packets": 216,
+        "rejected_packets": 0, "delivered_measured": 174,
+        "total_moves": 1206, "max_queue_len": 2,
         "latency_p50": 6, "latency_p99": 12, "drained": True,
     },
 }

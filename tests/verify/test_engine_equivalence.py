@@ -24,14 +24,14 @@ class TestLockstepCell:
         assert report.ok and report.engaged
 
     def test_unported_router_fallback_is_a_finding(self):
-        report = lockstep_cell("farthest-first", "permutation", 6, 2, 0)
+        report = lockstep_cell("alternating-adaptive", "permutation", 6, 2, 0)
         assert not report.ok
         assert not report.engaged
         assert "did not engage" in report.findings[0]
 
     def test_fallback_tolerated_when_not_required(self):
         report = lockstep_cell(
-            "farthest-first", "permutation", 6, 2, 0, require_array=False
+            "alternating-adaptive", "permutation", 6, 2, 0, require_array=False
         )
         assert report.ok  # reference-vs-reference, trivially equal
         assert not report.engaged
